@@ -1,0 +1,85 @@
+/// Ablation — bit-error rate vs the Section 3.2 failure handling.
+///
+/// 802.3 guarantees BER <= 1e-12 (one error per ~100 s at 10G); DTP's
+/// filters must keep precision even at far worse line quality. Sweep BER
+/// and report what the range filter and parity catch and what the offset
+/// bound does.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "bench_util.hpp"
+#include "dtp/agent.hpp"
+#include "net/topology.hpp"
+
+using namespace dtpsim;
+using namespace dtpsim::benchutil;
+
+namespace {
+
+struct BerResult {
+  double worst_ticks;
+  std::uint64_t corrupted;
+  std::uint64_t filtered;
+  std::uint64_t parity_drops;
+};
+
+BerResult run(double ber, bool parity, fs_t duration, std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  net::NetworkParams np;
+  np.cable.ber = ber;
+  net::Network net(sim, np);
+  auto& a = net.add_host("a", 100.0);
+  auto& b = net.add_host("b", -100.0);
+  phy::Cable& cable = net.connect(a, b);
+  dtp::DtpParams params;
+  params.parity = parity;
+  dtp::Agent agent_a(a, params), agent_b(b, params);
+  sim.run_until(from_ms(2));
+
+  BerResult r{};
+  const fs_t end = sim.now() + duration;
+  while (sim.now() < end) {
+    sim.run_until(sim.now() + from_us(100));
+    r.worst_ticks = std::max(
+        r.worst_ticks, std::abs(dtp::true_offset_fractional(agent_a, agent_b, sim.now())));
+  }
+  r.corrupted = cable.corrupted_control();
+  r.filtered = agent_a.port_logic(0).stats().filtered_range +
+               agent_b.port_logic(0).stats().filtered_range;
+  r.parity_drops = agent_a.port_logic(0).stats().filtered_parity +
+                   agent_b.port_logic(0).stats().filtered_parity;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const fs_t duration = duration_flag(flags, 0.5);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 6110));
+
+  banner("Ablation  bit-error rate vs DTP failure handling (Section 3.2)");
+
+  Table t({"BER", "parity", "corrupted msgs", "range-filtered", "parity-dropped",
+           "max |offset| (ticks)"});
+  bool pass = true;
+  std::uint64_t s = seed;
+  for (double ber : {0.0, 1e-12, 1e-8, 1e-6}) {
+    for (bool parity : {false, true}) {
+      const BerResult r = run(ber, parity, duration, s++);
+      t.add_row({Table::cell("%.0e", ber), parity ? "on" : "off",
+                 Table::cell("%llu", static_cast<unsigned long long>(r.corrupted)),
+                 Table::cell("%llu", static_cast<unsigned long long>(r.filtered)),
+                 Table::cell("%llu", static_cast<unsigned long long>(r.parity_drops)),
+                 Table::cell("%.2f", r.worst_ticks)});
+      // Without parity, flips confined to the low 3 bits slip through the
+      // +-8 range filter; with parity they are caught too.
+      pass &= r.worst_ticks <= (parity ? 6.0 : 8.0);
+    }
+  }
+  std::printf("\n%s\n", t.render().c_str());
+  std::printf("802.3's BER objective is 1e-12 (one flip per ~100 s at 10G); the\n"
+              "sweep runs 4-6 orders of magnitude worse to exercise the filters.\n");
+  return check("precision bounded by the filter design at every BER", pass) ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+/// Extension (Section 5.4) — "Following The Fastest Clock", remedied.
+///
+/// In DTP's default mode the whole network follows its fastest oscillator;
+/// if one crystal drifts out of the 802.3 envelope, every clock in the
+/// datacenter speeds up with it. The paper sketches (as future work) a
+/// master-rooted spanning tree where each device follows its parent and a
+/// fast child *stalls*. This harness runs the rogue-oscillator scenario in
+/// both modes over the paper's Fig. 5 tree and reports the counter rate and
+/// precision of each.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "bench_util.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+
+using namespace dtpsim;
+using namespace dtpsim::benchutil;
+
+namespace {
+
+struct ModeResult {
+  double rate_ppm_vs_nominal;  ///< network counter rate error
+  double worst_offset_ticks;   ///< max pairwise disagreement
+};
+
+ModeResult run(dtp::SyncMode mode, double rogue_ppm, fs_t duration, std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  net::Network net(sim);
+  auto tree = net::build_paper_tree(net);
+  // One leaf has the rogue oscillator.
+  tree.leaves[4]->oscillator().set_ppm_at(0, rogue_ppm);
+
+  dtp::DtpParams params;
+  params.mode = mode;
+  dtp::DtpNetwork dtp = dtp::enable_dtp(net, params);
+  if (mode == dtp::SyncMode::kMasterTree) dtp::configure_master_tree(dtp, *tree.root);
+  sim.run_until(from_ms(4));
+
+  const fs_t t0 = sim.now();
+  dtp::Agent* root = dtp.agent_of(tree.root);
+  const auto gc0 = root->global_at(t0).low64();
+  ModeResult r{};
+  while (sim.now() < t0 + duration) {
+    sim.run_until(sim.now() + from_us(100));
+    r.worst_offset_ticks =
+        std::max(r.worst_offset_ticks, dtp.max_pairwise_offset_ticks(sim.now()));
+  }
+  const double gain = static_cast<double>(root->global_at(sim.now()).low64() - gc0);
+  const double nominal_ticks = to_sec_f(sim.now() - t0) * 156.25e6;
+  r.rate_ppm_vs_nominal = (gain / nominal_ticks - 1.0) * 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const fs_t duration = duration_flag(flags, 0.3);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 6080));
+
+  banner("Extension  Section 5.4: peer-max vs master-tree under a rogue oscillator");
+
+  Table t({"mode", "rogue ppm", "network counter rate (ppm)", "max offset (ticks)"});
+  ModeResult peer_ok = run(dtp::SyncMode::kPeerMax, 0.0, duration, seed);
+  ModeResult peer_rogue = run(dtp::SyncMode::kPeerMax, +500.0, duration, seed + 1);
+  ModeResult tree_ok = run(dtp::SyncMode::kMasterTree, 0.0, duration, seed + 2);
+  ModeResult tree_rogue = run(dtp::SyncMode::kMasterTree, +500.0, duration, seed + 3);
+
+  t.add_row({"peer-max", "none", Table::cell("%+.1f", peer_ok.rate_ppm_vs_nominal),
+             Table::cell("%.1f", peer_ok.worst_offset_ticks)});
+  t.add_row({"peer-max", "+500", Table::cell("%+.1f", peer_rogue.rate_ppm_vs_nominal),
+             Table::cell("%.1f", peer_rogue.worst_offset_ticks)});
+  t.add_row({"master-tree", "none", Table::cell("%+.1f", tree_ok.rate_ppm_vs_nominal),
+             Table::cell("%.1f", tree_ok.worst_offset_ticks)});
+  t.add_row({"master-tree", "+500", Table::cell("%+.1f", tree_rogue.rate_ppm_vs_nominal),
+             Table::cell("%.1f", tree_rogue.worst_offset_ticks)});
+  std::printf("\n%s\n", t.render().c_str());
+
+  const bool pass =
+      check("peer-max drags the whole network to the rogue's +500 ppm",
+            peer_rogue.rate_ppm_vs_nominal > 400.0) &
+      check("master-tree pins the network to the root's (honest) rate",
+            std::abs(tree_rogue.rate_ppm_vs_nominal) < 150.0) &
+      check("master-tree keeps a usable bound with the rogue on board",
+            tree_rogue.worst_offset_ticks < 24.0) &
+      check("both modes match on healthy hardware",
+            peer_ok.worst_offset_ticks < 24.0 && tree_ok.worst_offset_ticks < 24.0);
+  return pass ? 0 : 1;
+}

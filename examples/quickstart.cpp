@@ -1,0 +1,66 @@
+/// Quickstart — synchronize two directly-connected machines with DTP.
+///
+/// Builds the smallest possible DTP network (two hosts, one cable), runs
+/// the protocol, and shows the three things a user cares about:
+///
+///   1. the INIT handshake measures the one-way delay in clock ticks,
+///   2. the global counters agree within 4 ticks = 25.6 ns, forever,
+///   3. software reads the synchronized counter through a daemon.
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "dtp/agent.hpp"
+#include "dtp/daemon.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dtpsim;
+
+int main() {
+  // A simulator plus a network: every device gets its own imperfect
+  // oscillator (within IEEE 802.3's +-100 ppm).
+  sim::Simulator sim(/*seed=*/42);
+  net::Network net(sim);
+
+  // Two servers with deliberately worst-case opposite clock skews.
+  net::Host& alice = net.add_host("alice", +100.0);  // +100 ppm
+  net::Host& bob = net.add_host("bob", -100.0);      // -100 ppm
+  net.connect(alice, bob);  // a 10 m cable (~50 ns propagation)
+
+  // DTP-enable both NICs. Agents start the INIT phase immediately.
+  dtp::Agent dtp_alice(alice);
+  dtp::Agent dtp_bob(bob);
+
+  // Let the protocol run for one simulated millisecond.
+  sim.run_until(from_ms(1));
+
+  std::printf("after 1 ms:\n");
+  std::printf("  alice port state: %s\n", to_string(dtp_alice.port_logic(0).state()));
+  std::printf("  measured one-way delay: %lld ticks (%.1f ns)\n",
+              static_cast<long long>(*dtp_bob.port_logic(0).measured_owd()),
+              static_cast<double>(*dtp_bob.port_logic(0).measured_owd()) * 6.4);
+
+  // Watch the counters stay locked for a second of simulated time, while
+  // the oscillators keep drifting apart at 200 ppm.
+  double worst = 0.0;
+  while (sim.now() < from_sec(1)) {
+    sim.run_until(sim.now() + from_ms(1));
+    const double offset = dtp::true_offset_fractional(dtp_alice, dtp_bob, sim.now());
+    worst = std::max(worst, std::abs(offset));
+  }
+  std::printf("  worst counter disagreement over 1 s: %.2f ticks (%.1f ns)\n", worst,
+              worst * 6.4);
+  std::printf("  (unsynchronized, 200 ppm of skew would be 200 us by now)\n");
+
+  // Software access: a daemon interpolates the NIC counter with the TSC.
+  dtp::Daemon daemon(sim, dtp_alice, {}, /*tsc_ppm=*/12.0);
+  daemon.start();
+  sim.run_until(sim.now() + from_ms(200));
+  std::printf("  daemon says the DTP time is %.1f ns (get_dtp_counter API)\n",
+              daemon.get_time_ns(sim.now()));
+  std::printf("  zero Ethernet frames were used: alice sent %llu frames\n",
+              static_cast<unsigned long long>(alice.nic().stats().tx_frames));
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "apps/owd.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+namespace dtpsim::apps {
+
+namespace {
+std::uint32_t next_meter_id() {
+  static std::uint32_t counter = 0;
+  return ++counter;
+}
+}  // namespace
+
+OwdMeter::OwdMeter(sim::Simulator& sim, net::Host& src, net::Host& dst, ClockFn src_clock,
+                   ClockFn dst_clock, fs_t period, std::uint32_t payload_bytes)
+    : sim_(sim),
+      src_(src),
+      dst_(dst),
+      src_clock_(std::move(src_clock)),
+      dst_clock_(std::move(dst_clock)),
+      payload_bytes_(payload_bytes),
+      meter_id_(next_meter_id()),
+      proc_(sim, period, [this] { send_probe(); }) {
+  // Stamp departures at the hardware TX instant (chained behind any
+  // existing hook, e.g. a PTP client's timestamping).
+  auto prev_tx = src_.nic().on_transmit;
+  src_.nic().on_transmit = [this, prev_tx](net::Frame& f, fs_t tx_start) {
+    if (f.ethertype == kEtherTypeOwd) {
+      if (auto pkt = std::dynamic_pointer_cast<const OwdProbePacket>(f.packet);
+          pkt && pkt->meter_id == meter_id_) {
+        // The payload object is shared with the in-flight copy; stamping
+        // here models the NIC writing the timestamp as the frame leaves.
+        const_cast<OwdProbePacket*>(pkt.get())->tx_clock_ns = src_clock_(tx_start);
+        tx_times_[pkt->sequence] = tx_start;
+      }
+    }
+    if (prev_tx) prev_tx(f, tx_start);
+  };
+
+  auto prev_rx = dst_.on_hw_receive;
+  dst_.on_hw_receive = [this, prev_rx](const net::Frame& f, fs_t rx_time) {
+    if (f.ethertype == kEtherTypeOwd) {
+      auto pkt = std::dynamic_pointer_cast<const OwdProbePacket>(f.packet);
+      if (!pkt || pkt->meter_id != meter_id_) {
+        if (prev_rx) prev_rx(f, rx_time);
+        return;
+      }
+      {
+        auto it = tx_times_.find(pkt->sequence);
+        if (it != tx_times_.end()) {
+          const double measured = dst_clock_(rx_time) - pkt->tx_clock_ns;
+          const double truth = to_ns_f(rx_time - it->second);
+          const double t_sec = to_sec_f(rx_time);
+          measured_.add(t_sec, measured);
+          truth_.add(t_sec, truth);
+          error_.add(t_sec, measured - truth);
+          ++received_;
+          tx_times_.erase(it);
+        }
+      }
+      return;
+    }
+    if (prev_rx) prev_rx(f, rx_time);
+  };
+}
+
+void OwdMeter::send_probe() {
+  auto pkt = std::make_shared<OwdProbePacket>();
+  pkt->meter_id = meter_id_;
+  pkt->sequence = ++seq_;
+  net::Frame f;
+  f.dst = dst_.addr();
+  f.ethertype = kEtherTypeOwd;
+  f.payload_bytes = payload_bytes_;
+  f.packet = pkt;
+  src_.send_app(f);
+}
+
+}  // namespace dtpsim::apps

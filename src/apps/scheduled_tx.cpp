@@ -1,0 +1,56 @@
+#include "apps/scheduled_tx.hpp"
+
+#include <cmath>
+
+namespace dtpsim::apps {
+
+ScheduledSender::ScheduledSender(sim::Simulator& sim, net::Host& host, ClockFn clock)
+    : sim_(sim), host_(host), clock_(std::move(clock)) {
+  // Record adherence at the hardware TX instant (chained, like OwdMeter).
+  auto prev_tx = host_.nic().on_transmit;
+  host_.nic().on_transmit = [this, prev_tx](net::Frame& f, fs_t tx_start) {
+    if (f.ethertype == kEtherTypeOwd && f.correction_ns != 0.0) {
+      // correction_ns doubles as the slot target for scheduled frames (it
+      // is otherwise unused outside PTP transit).
+      adherence_.add(to_sec_f(tx_start), clock_(tx_start) - f.correction_ns);
+      ++sent_;
+    }
+    if (prev_tx) prev_tx(f, tx_start);
+  };
+}
+
+void ScheduledSender::schedule(double clock_target_ns, const net::Frame& frame) {
+  Pending p{clock_target_ns, frame};
+  p.frame.ethertype = kEtherTypeOwd;
+  p.frame.correction_ns = clock_target_ns;
+  queue_.push_back(std::move(p));
+  arm();
+}
+
+// A real implementation arms a hardware timer from its clock estimate and
+// re-checks on wake; the simulated version does exactly that against the
+// provided ClockFn (which may drift, so the wake time is re-derived).
+void ScheduledSender::arm() {
+  if (armed_ || queue_.empty()) return;
+  armed_ = true;
+  const double now_ns = clock_(sim_.now());
+  const double delta_ns = queue_.front().target_ns - now_ns;
+  const fs_t wake = sim_.now() + std::max<fs_t>(static_cast<fs_t>(delta_ns * 1e6), 0);
+  sim_.schedule_at(wake, [this] { fire(); });
+}
+
+void ScheduledSender::fire() {
+  armed_ = false;
+  if (queue_.empty()) return;
+  const double now_ns = clock_(sim_.now());
+  if (now_ns + 1.0 < queue_.front().target_ns) {
+    // Woke early (clock estimate moved); re-arm for the remainder.
+    arm();
+    return;
+  }
+  host_.send_hw(queue_.front().frame);
+  queue_.pop_front();
+  arm();
+}
+
+}  // namespace dtpsim::apps

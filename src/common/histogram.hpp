@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-bin histogram with ASCII rendering. The evaluation harness uses it
+/// to print distribution figures (e.g. Fig. 6c, the PDF of DTP offsets).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtpsim {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins plus underflow and
+/// overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add one sample.
+  void add(double x);
+  /// Add a sample with an integral weight (e.g. pre-binned counts).
+  void add(double x, std::uint64_t weight);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+
+  /// Center of bin `i`.
+  double bin_center(std::size_t i) const;
+
+  /// Fraction of all samples falling in bin `i` (the "PDF" of Fig. 6c).
+  double pdf(std::size_t i) const;
+
+  /// Multi-line ASCII bar chart; `width` is the max bar width in characters.
+  /// Bins with zero count are printed only if `show_empty`.
+  std::string render(std::size_t width = 50, bool show_empty = true) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram over integer values in [lo, hi] with one bin per integer —
+/// natural for tick-valued offsets.
+class IntHistogram {
+ public:
+  IntHistogram(std::int64_t lo, std::int64_t hi);
+
+  void add(std::int64_t v);
+
+  std::int64_t lo() const { return lo_; }
+  std::int64_t hi() const { return hi_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::int64_t v) const;
+  double pdf(std::int64_t v) const;
+  /// Smallest / largest value observed (clamped values count at the edges).
+  std::int64_t min_seen() const { return min_seen_; }
+  std::int64_t max_seen() const { return max_seen_; }
+
+  std::string render(std::size_t width = 50, bool show_empty = true) const;
+
+ private:
+  std::int64_t lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::int64_t min_seen_ = 0;
+  std::int64_t max_seen_ = 0;
+};
+
+}  // namespace dtpsim

@@ -1,0 +1,132 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dtpsim {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::max_abs() const {
+  if (n_ == 0) return 0.0;
+  return std::max(std::fabs(min_), std::fabs(max_));
+}
+
+std::string StreamingStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%zu min=%.6g max=%.6g mean=%.6g sd=%.6g",
+                n_, min(), max(), mean(), stddev());
+  return buf;
+}
+
+void SampleSeries::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSeries::percentile(double q) const {
+  if (xs_.empty()) throw std::logic_error("percentile of empty series");
+  ensure_sorted();
+  if (q <= 0) return xs_.front();
+  if (q >= 100) return xs_.back();
+  const double rank = q / 100.0 * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+double SampleSeries::min() const {
+  if (xs_.empty()) throw std::logic_error("min of empty series");
+  ensure_sorted();
+  return xs_.front();
+}
+
+double SampleSeries::max() const {
+  if (xs_.empty()) throw std::logic_error("max of empty series");
+  ensure_sorted();
+  return xs_.back();
+}
+
+double SampleSeries::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double SampleSeries::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double SampleSeries::max_abs() const {
+  return std::max(std::fabs(min()), std::fabs(max()));
+}
+
+void TimeSeries::add(double t_sec, double value) {
+  stats_.add(value);
+  if (points_.size() < max_points_) points_.push_back({t_sec, value});
+}
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("MovingAverage window must be > 0");
+  buf_.assign(window_, 0.0);
+}
+
+double MovingAverage::push(double x) {
+  if (filled_ < window_) {
+    buf_[next_] = x;
+    sum_ += x;
+    ++filled_;
+  } else {
+    sum_ += x - buf_[next_];
+    buf_[next_] = x;
+  }
+  next_ = (next_ + 1) % window_;
+  return sum_ / static_cast<double>(filled_);
+}
+
+}  // namespace dtpsim

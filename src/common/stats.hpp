@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics and time-series capture used by the evaluation
+/// harness (Section 6 of the paper measures offsets over days; we summarize
+/// the same offset streams with these accumulators).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtpsim {
+
+/// Constant-memory accumulator: count, min, max, mean, variance (Welford).
+class StreamingStats {
+ public:
+  /// Fold one sample into the accumulator.
+  void add(double x);
+
+  /// Merge another accumulator (parallel Welford combination).
+  void merge(const StreamingStats& other);
+
+  std::size_t count() const { return n_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// max(|min|, |max|): the paper's "offsets never differed by more than N".
+  double max_abs() const;
+
+  /// One-line summary, e.g. "n=1200 min=-2 max=2 mean=0.01 sd=0.8".
+  std::string summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples; supports exact percentiles. Used where the evaluation
+/// needs distributions (Fig. 6c) rather than extremes.
+class SampleSeries {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  const std::vector<double>& samples() const { return xs_; }
+
+  /// Exact percentile by nearest-rank; q in [0,100]. Sorts lazily.
+  double percentile(double q) const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  double max_abs() const;
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// (time, value) series with a cap; for offset-vs-time traces (Fig. 6a/6b/7).
+class TimeSeries {
+ public:
+  struct Point {
+    double t_sec;
+    double value;
+  };
+
+  explicit TimeSeries(std::size_t max_points = 1 << 20) : max_points_(max_points) {}
+
+  /// Record a point; silently drops once the cap is reached (the summary
+  /// statistics in `stats()` still see every sample).
+  void add(double t_sec, double value);
+
+  const std::vector<Point>& points() const { return points_; }
+  const StreamingStats& stats() const { return stats_; }
+
+ private:
+  std::size_t max_points_;
+  std::vector<Point> points_;
+  StreamingStats stats_;
+};
+
+/// Moving-average smoother, window w — the Fig. 7b "smoothing" (w = 10).
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  /// Push a sample, returns the mean over the last min(window, n) samples.
+  double push(double x);
+
+  std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  std::vector<double> buf_;
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace dtpsim

@@ -1,0 +1,52 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dtpsim {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) throw std::invalid_argument("Table: column count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size()) line += std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = emit_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out += std::string(rule, '-') + '\n';
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string Table::cell(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace dtpsim

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file table.hpp
+/// Minimal ASCII table formatter so bench binaries print rows in the shape of
+/// the paper's tables (Table 1, Table 2) and figure legends.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtpsim {
+
+/// Column-aligned ASCII table builder.
+class Table {
+ public:
+  /// Construct with header cells; column count is fixed from the header.
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have exactly the header's column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a separator line under the header.
+  std::string render() const;
+
+  /// Helper: printf-style cell formatting.
+  static std::string cell(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dtpsim

@@ -1,0 +1,34 @@
+#include "common/time_units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dtpsim {
+
+std::string format_duration(fs_t t) {
+  const bool neg = t < 0;
+  const double a = std::abs(static_cast<double>(t));
+  const char* unit = "fs";
+  double value = a;
+  if (a >= static_cast<double>(kFsPerSec)) {
+    unit = "s";
+    value = a / static_cast<double>(kFsPerSec);
+  } else if (a >= static_cast<double>(kFsPerMs)) {
+    unit = "ms";
+    value = a / static_cast<double>(kFsPerMs);
+  } else if (a >= static_cast<double>(kFsPerUs)) {
+    unit = "us";
+    value = a / static_cast<double>(kFsPerUs);
+  } else if (a >= static_cast<double>(kFsPerNs)) {
+    unit = "ns";
+    value = a / static_cast<double>(kFsPerNs);
+  } else if (a >= static_cast<double>(kFsPerPs)) {
+    unit = "ps";
+    value = a / static_cast<double>(kFsPerPs);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%.4g%s", neg ? "-" : "", value, unit);
+  return buf;
+}
+
+}  // namespace dtpsim

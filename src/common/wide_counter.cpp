@@ -1,0 +1,31 @@
+#include "common/wide_counter.hpp"
+
+#include <cstdio>
+
+namespace dtpsim {
+
+WideCounter WideCounter::reconstruct_from_lsb(std::uint64_t lsb, int bits) const {
+  const std::uint64_t mask = (1ULL << bits) - 1;
+  lsb &= mask;
+  const std::uint64_t ours = static_cast<std::uint64_t>(value_) & mask;
+  // Signed distance in the `bits`-bit ring, mapped to [-2^(bits-1), 2^(bits-1)).
+  std::int64_t delta = static_cast<std::int64_t>(lsb) - static_cast<std::int64_t>(ours);
+  const std::int64_t half = 1LL << (bits - 1);
+  const std::int64_t full = 1LL << bits;
+  if (delta >= half) delta -= full;
+  if (delta < -half) delta += full;
+
+  WideCounter peer;
+  peer.value_ = (value_ + static_cast<__int128>(delta)) & kMask106;
+  return peer;
+}
+
+std::string WideCounter::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "0x%014llx:%014llx",
+                static_cast<unsigned long long>(msb53()),
+                static_cast<unsigned long long>(lsb53()));
+  return buf;
+}
+
+}  // namespace dtpsim

@@ -1,0 +1,109 @@
+#include "dtp/agent.hpp"
+
+#include <stdexcept>
+
+namespace dtpsim::dtp {
+
+Agent::Agent(net::Device& dev, DtpParams params)
+    : dev_(dev),
+      params_(params),
+      global_(params.counter_delta,
+              dev.oscillator().tick_at(dev.simulator().now())) {
+  for (std::size_t i = 0; i < dev_.port_count(); ++i) {
+    ports_.push_back(std::make_unique<PortLogic>(*this, dev_.port(i), i));
+  }
+  for (auto& p : ports_) p->start();
+}
+
+double Agent::global_fractional_at(fs_t t) const {
+  const auto& osc = dev_.oscillator();
+  const std::int64_t k = osc.tick_at(t);
+  const fs_t edge = osc.edge_of_tick(k);
+  const double frac = static_cast<double>(t - edge) / static_cast<double>(osc.period());
+  const WideCounter v = global_.at_tick(k);
+  return static_cast<double>(static_cast<unsigned long long>(
+             v.value() & 0xFFFF'FFFF'FFFF'FFFFULL)) +
+         frac * static_cast<double>(params_.counter_delta);
+}
+
+void Agent::force_global(fs_t t, const WideCounter& v) {
+  const std::int64_t k = tick_at(t);
+  global_.set(k, v);
+  sync_locals_to_global(k);
+  // An operator-set counter is a join-sized event: announce it so peers do
+  // not spend eternity range-filtering our beacons.
+  for (auto& p : ports_)
+    if (p->state() == PortState::kSynced) p->send_join();
+}
+
+void Agent::sync_locals_to_global(std::int64_t k) {
+  // Pull every port's local counter up to gc. Without this, a port whose lc
+  // predates a join-sized gc move would keep filtering its peer's (now
+  // far-ahead) beacons forever and the subnet would free-run apart.
+  const WideCounter gc = global_.at_tick(k);
+  for (auto& port : ports_) port->local_.fast_forward(k, gc);
+}
+
+void Agent::local_updated(std::size_t port_index, std::int64_t k, bool join) {
+  const WideCounter lc = ports_[port_index]->local().at_tick(k);
+  const unsigned __int128 jump = global_.fast_forward(k, lc);  // T5
+  if (jump > 0) ++global_adjustments_;
+  if (join && jump > 0) {
+    sync_locals_to_global(k);
+    // A join-sized move: announce the new counter on every other port so the
+    // whole connected component converges in one propagation wave.
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+      if (i == port_index) continue;
+      if (ports_[i]->state() == PortState::kSynced) ports_[i]->send_join();
+    }
+  }
+}
+
+void Agent::set_parent_port(std::size_t port_index) {
+  if (params_.mode != SyncMode::kMasterTree)
+    throw std::logic_error("Agent: parent ports require SyncMode::kMasterTree");
+  if (port_index >= ports_.size()) throw std::out_of_range("Agent: no such port");
+  parent_port_ = port_index;
+}
+
+void Agent::set_as_root() {
+  if (params_.mode != SyncMode::kMasterTree)
+    throw std::logic_error("Agent: root role requires SyncMode::kMasterTree");
+  parent_port_.reset();
+}
+
+void Agent::parent_update(std::int64_t k, const WideCounter& target) {
+  // fast_forward also discards (via its capped read of the current value)
+  // any excess a fast oscillator accumulated over the last interval, so the
+  // equilibrium excess is bounded by the ceiling slack below.
+  const unsigned __int128 jump = global_.fast_forward(k, target);
+  if (jump > 0) ++global_adjustments_;
+  // Ceiling: the parent advances about one beacon interval's worth of units
+  // before we hear from it again; allow that plus a few ticks of crossing
+  // jitter, then stall (Section 5.4: "the local counter of a child should
+  /// stall occasionally").
+  constexpr std::uint64_t kStallSlackTicks = 4;
+  const auto headroom =
+      static_cast<std::uint64_t>(params_.beacon_interval_ticks + kStallSlackTicks) *
+      params_.counter_delta;
+  global_.set_cap(target.plus(headroom));
+}
+
+void Agent::port_went_down(std::size_t) {
+  for (const auto& p : ports_)
+    if (p->phy_port().link_up()) return;
+  const std::int64_t k = tick_at(dev_.simulator().now());
+  global_.set(k, WideCounter(0));
+  for (auto& p : ports_) p->local_.set(k, WideCounter(0));
+  ++counter_resets_;
+}
+
+__int128 true_offset_units(const Agent& a, const Agent& b, fs_t t) {
+  return a.global_at(t).diff(b.global_at(t));
+}
+
+double true_offset_fractional(const Agent& a, const Agent& b, fs_t t) {
+  return a.global_fractional_at(t) - b.global_fractional_at(t);
+}
+
+}  // namespace dtpsim::dtp

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file agent.hpp
+/// Algorithm 2 — DTP inside a network device.
+///
+/// An `Agent` DTP-enables a `net::Device`: it owns the device's 106-bit
+/// global counter (gc), one `PortLogic` per PHY port, and the T5 rule
+/// gc <- max(gc + 1, {lc_i}), realized analytically: all counters on a
+/// device share one oscillator, so between protocol events every counter
+/// advances in lockstep and the max only needs re-evaluating when some lc
+/// fast-forwards.
+///
+/// The agent also handles device-wide BEACON-JOIN propagation: when one
+/// port learns a counter far ahead of gc (a newly joined subnet), the new
+/// gc is announced on every other port.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dtp/config.hpp"
+#include "dtp/counter.hpp"
+#include "dtp/port.hpp"
+#include "net/device.hpp"
+
+namespace dtpsim::dtp {
+
+/// DTP-enables one device (NIC or switch).
+class Agent {
+ public:
+  /// Attaches to every port currently on `dev` and starts the protocol on
+  /// ports whose link is already up. Ports added to the device afterwards
+  /// are NOT covered; build the topology first, then attach agents.
+  Agent(net::Device& dev, DtpParams params = {});
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  net::Device& device() { return dev_; }
+  const net::Device& device() const { return dev_; }
+  const DtpParams& params() const { return params_; }
+  sim::Simulator& simulator() { return dev_.simulator(); }
+
+  /// Device tick index at simulated time `t`.
+  std::int64_t tick_at(fs_t t) const { return dev_.oscillator().tick_at(t); }
+
+  /// Global counter value after the edge of tick `k`.
+  WideCounter global_at_tick(std::int64_t k) const { return global_.at_tick(k); }
+  /// Global counter value at simulated time `t` (the value software would
+  /// read from the NIC register at that instant).
+  WideCounter global_at(fs_t t) const { return global_.at_tick(tick_at(t)); }
+
+  /// Global counter in fractional ticks at time `t` (ground-truth probes):
+  /// counter units plus the phase fraction into the current tick.
+  double global_fractional_at(fs_t t) const;
+
+  std::size_t port_count() const { return ports_.size(); }
+  PortLogic& port_logic(std::size_t i) { return *ports_.at(i); }
+  const PortLogic& port_logic(std::size_t i) const { return *ports_.at(i); }
+
+  /// Force the global counter to `v` as of time `t` (tests: pre-aged
+  /// devices for BEACON-JOIN / partition-heal scenarios).
+  void force_global(fs_t t, const WideCounter& v);
+
+  // --- Master-tree mode (Section 5.4) -------------------------------------
+  /// Declare which port leads to this device's parent in the spanning tree.
+  /// Only meaningful with SyncMode::kMasterTree; beacons on other ports are
+  /// then ignored for counter purposes.
+  void set_parent_port(std::size_t port_index);
+  /// Declare this device the tree root (no parent; its counter free-runs
+  /// and everyone else follows it).
+  void set_as_root();
+  bool is_root() const { return params_.mode == SyncMode::kMasterTree && !parent_port_; }
+  std::optional<std::size_t> parent_port() const { return parent_port_; }
+  /// True while the counter is currently stalled against its ceiling.
+  bool stalled_at(fs_t t) const { return global_.capped_at(tick_at(t)); }
+
+  /// Total positive gc fast-forwards (device-level jumps).
+  std::uint64_t global_adjustments() const { return global_adjustments_; }
+
+  /// Times the counters were zeroed because every port went inactive
+  /// (Section 3.2, "Network dynamics").
+  std::uint64_t counter_resets() const { return counter_resets_; }
+
+ private:
+  friend class PortLogic;
+
+  /// A port's lc was fast-forwarded at tick `k`; fold into gc (T5) and, for
+  /// join-sized moves, announce on the other ports.
+  void local_updated(std::size_t port_index, std::int64_t k, bool join);
+
+  /// Fast-forward every port's lc to the current gc (join adoption).
+  void sync_locals_to_global(std::int64_t k);
+
+  /// Master-tree mode: the parent port heard the parent's counter `target`
+  /// (already delay-compensated) at tick `k`; jump up if behind, set the
+  /// stall ceiling if ahead.
+  void parent_update(std::int64_t k, const WideCounter& target);
+
+  /// A port lost its link; when the last one goes, the device's counters
+  /// reset to zero ("the global counter is set to zero when all ports
+  /// become inactive", Section 3.2) and a later reconnection re-learns the
+  /// network's counter through BEACON-JOIN.
+  void port_went_down(std::size_t port_index);
+
+  net::Device& dev_;
+  DtpParams params_;
+  TickCounter global_;
+  std::vector<std::unique_ptr<PortLogic>> ports_;
+  std::uint64_t global_adjustments_ = 0;
+  std::uint64_t counter_resets_ = 0;
+  std::optional<std::size_t> parent_port_;
+};
+
+/// Ground truth: gc_a(t) - gc_b(t) in counter units, evaluated at one
+/// instant with no measurement machinery in the way.
+__int128 true_offset_units(const Agent& a, const Agent& b, fs_t t);
+
+/// Same, in fractional ticks (accounts for tick-phase difference).
+double true_offset_fractional(const Agent& a, const Agent& b, fs_t t);
+
+}  // namespace dtpsim::dtp

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file config.hpp
+/// DTP protocol parameters.
+
+#include <cstdint>
+
+#include "common/time_units.hpp"
+
+namespace dtpsim::dtp {
+
+/// How a device's global counter follows the network (Section 5.4).
+enum class SyncMode : std::uint8_t {
+  /// The paper's main design: gc = max over everything heard; the whole
+  /// network follows the fastest oscillator.
+  kPeerMax,
+  /// The paper's future-work extension: a spanning tree rooted at a chosen
+  /// master; each device follows only its parent, stalling its counter when
+  /// its own oscillator runs fast. Survives out-of-spec oscillators that
+  /// would drag the whole network in kPeerMax mode.
+  kMasterTree,
+};
+
+/// Tunables of Algorithm 1/2 plus the failure-handling heuristics of
+/// Section 3.2. Counter-valued fields are in *counter units*: with
+/// `counter_delta == 1` (the paper's 10 GbE prototype) one unit is one tick
+/// = 6.4 ns; in multi-rate mode (Table 2) one unit is 0.32 ns.
+struct DtpParams {
+  /// Counter-following discipline (see SyncMode).
+  SyncMode mode = SyncMode::kPeerMax;
+
+  /// BEACON interval in local ticks (T3 timeout). The paper uses 200 (the
+  /// idle-block cadence under MTU-saturated load) to 1200 (jumbo); any
+  /// value below ~5000 keeps the two-tick bound (Section 3.3).
+  std::int64_t beacon_interval_ticks = 200;
+
+  /// The OWD under-estimation correction (Section 3.3): measured RTT is
+  /// reduced by alpha ticks before halving so the measured delay never
+  /// exceeds the true delay and the global counter never runs fast.
+  std::int64_t alpha_ticks = 3;
+
+  /// Counter increment per tick (Table 2; 1 reproduces the paper's 10G
+  /// prototype where a unit is 6.4 ns).
+  std::uint32_t counter_delta = 1;
+
+  /// Drop BEACONs whose implied adjustment exceeds this many ticks in
+  /// either direction (bit-error filter, Section 3.2). The paper uses 8.
+  std::int64_t max_beacon_offset_ticks = 8;
+
+  /// Enable the parity bit over the 3 LSBs (Section 3.2), sacrificing one
+  /// payload bit.
+  bool parity = false;
+
+  /// Send a BEACON-MSB (high 53 counter bits) every N beacons.
+  std::int64_t msb_every_n_beacons = 1024;
+
+  /// Retransmit INIT if no INIT-ACK arrives within this many ticks
+  /// (supports peers whose DTP layer comes up later — incremental deploy).
+  std::int64_t init_retry_ticks = 50'000;
+
+  /// Divergence recovery: after this many *consecutive* range-filtered
+  /// beacons from a peer (impossible under random bit errors, certain under
+  /// real divergence), announce our counter with a BEACON-JOIN so the pair
+  /// re-agrees on the maximum. 0 disables.
+  std::int64_t filter_recovery_threshold = 16;
+
+  /// Faulty-peer detection (Section 3.2): adjustments larger than
+  /// `jump_threshold_ticks` are suspicious; more than `max_jumps` of them
+  /// within `jump_window` marks the peer faulty and stops synchronizing.
+  std::int64_t jump_threshold_ticks = 4;
+  int max_jumps = 16;
+  fs_t jump_window = from_ms(10);
+  bool enable_jump_detector = false;
+};
+
+}  // namespace dtpsim::dtp

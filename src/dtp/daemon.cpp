@@ -1,0 +1,129 @@
+#include "dtp/daemon.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtpsim::dtp {
+
+Daemon::Daemon(sim::Simulator& sim, Agent& agent, DaemonParams params, double tsc_ppm)
+    : sim_(sim),
+      agent_(agent),
+      params_(params),
+      rng_(sim.fork_rng(0xDAE0 ^ std::hash<std::string>{}(agent.device().name()))),
+      tsc_rate_hz_(static_cast<std::int64_t>(
+          std::llround(params.tsc_hz * (1.0 + tsc_ppm * 1e-6)))),
+      smoother_(params.smooth_window),
+      poller_(sim, params.poll_period, [this] { poll(); }),
+      sampler_(sim, params.sample_period > 0 ? params.sample_period : from_ms(1),
+               [this] { sample(); }) {
+  if (params.poll_period <= 0) throw std::invalid_argument("Daemon: poll period");
+}
+
+void Daemon::start() {
+  poller_.start_with_phase(0);
+  if (params_.sample_period > 0) sampler_.start();
+}
+
+void Daemon::stop() {
+  poller_.stop();
+  sampler_.stop();
+}
+
+__int128 Daemon::tsc_at(fs_t t) const {
+  return static_cast<__int128>(t) * tsc_rate_hz_ / kFsPerSec;
+}
+
+void Daemon::poll() {
+  // An MMIO read is a PCIe round trip: the request reaches the NIC (which
+  // samples the register *then*), and the completion returns. The daemon
+  // brackets the read with rdtsc and associates the value with the
+  // midpoint of the measured round trip — so the association error is the
+  // request/response *asymmetry*: zero-mean jitter plus occasional
+  // one-sided spikes, exactly the Fig. 7a error structure.
+  auto leg = [&] {
+    fs_t d = params_.pcie_base / 2;
+    if (params_.pcie_jitter_mean > 0)
+      d += static_cast<fs_t>(rng_.exponential(static_cast<double>(params_.pcie_jitter_mean)));
+    if (params_.pcie_spike_prob > 0 && rng_.bernoulli(params_.pcie_spike_prob))
+      d += static_cast<fs_t>(rng_.exponential(static_cast<double>(params_.pcie_spike_mean)));
+    return d;
+  };
+  const fs_t t_issue = sim_.now();
+  const fs_t d_req = leg();
+  const fs_t d_resp = leg();
+
+  // Quality filter: the daemon sees the bracketed RTT; a read that took far
+  // longer than the best recent one carries unbounded association error, so
+  // it is discarded and the clock keeps extrapolating (RADclock-style).
+  const fs_t rtt = d_req + d_resp;
+  if (best_rtt_ == 0 || rtt < best_rtt_) best_rtt_ = rtt;
+  // Let the floor decay slowly so a step change in PCIe latency re-learns.
+  best_rtt_ += best_rtt_ / 256;
+  if (params_.rtt_reject_margin > 0 && polls_ >= 2 &&
+      rtt > best_rtt_ + params_.rtt_reject_margin) {
+    ++rejected_;
+    return;
+  }
+
+  const fs_t t_value = t_issue + d_req;  // register sampled on request arrival
+  const double counter = static_cast<double>(static_cast<unsigned long long>(
+      agent_.global_at(t_value).value() & 0xFFFF'FFFF'FFFF'FFFFULL));
+  const __int128 tsc_assoc = tsc_at(t_issue + (d_req + d_resp) / 2);
+
+  if (polls_ > 0) {
+    // Long-baseline rate: divide by the span back to the oldest checkpoint
+    // in the window so per-read jitter is amortized over many intervals.
+    const auto& anchor =
+        checkpoints_.size() < params_.rate_window_polls
+            ? checkpoints_.front()
+            : checkpoints_[checkpoint_next_];  // oldest slot in the ring
+    const double dc = counter - anchor.first;
+    const auto dt = static_cast<double>(tsc_assoc - anchor.second);
+    if (dt > 0) counter_per_tsc_ = dc / dt;
+  }
+  if (checkpoints_.size() < params_.rate_window_polls) {
+    checkpoints_.emplace_back(counter, tsc_assoc);
+  } else {
+    checkpoints_[checkpoint_next_] = {counter, tsc_assoc};
+    checkpoint_next_ = (checkpoint_next_ + 1) % params_.rate_window_polls;
+  }
+  if (polls_ >= 2) {
+    // Blend the new (jittery) reading into the prediction instead of
+    // jumping to it; the raw readings still feed the rate window above.
+    const double predicted =
+        last_counter_ + static_cast<double>(tsc_assoc - last_tsc_) * counter_per_tsc_;
+    last_counter_ = predicted + params_.anchor_blend * (counter - predicted);
+  } else {
+    last_counter_ = counter;
+  }
+  last_tsc_ = tsc_assoc;
+  ++polls_;
+}
+
+double Daemon::get_dtp_counter(fs_t now) const {
+  if (!calibrated()) throw std::logic_error("Daemon: not calibrated yet");
+  const auto dt = static_cast<double>(tsc_at(now) - last_tsc_);
+  return last_counter_ + dt * counter_per_tsc_;
+}
+
+double Daemon::get_time_ns(fs_t now) const {
+  const double units = get_dtp_counter(now);
+  // One counter unit is one tick of the nominal clock (delta units per tick
+  // in multi-rate mode, where a unit is 0.32 ns).
+  const double ns_per_unit =
+      to_ns_f(agent_.device().oscillator().nominal_period()) /
+      static_cast<double>(agent_.params().counter_delta);
+  return units * ns_per_unit;
+}
+
+void Daemon::sample() {
+  if (!calibrated()) return;
+  const fs_t now = sim_.now();
+  const double est = get_dtp_counter(now);
+  const double truth = agent_.global_fractional_at(now);
+  const double ticks = (est - truth) / static_cast<double>(agent_.params().counter_delta);
+  raw_series_.add(to_sec_f(now), ticks);
+  smoothed_series_.add(to_sec_f(now), smoother_.push(ticks));
+}
+
+}  // namespace dtpsim::dtp

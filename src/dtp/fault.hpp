@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file fault.hpp
+/// Faulty-peer detection (Section 3.2, "Handling failures").
+///
+/// Bit errors are filtered per message (range check + optional parity; see
+/// PortLogic). A *faulty device* — e.g. an oscillator outside the 802.3
+/// envelope, or a peer reporting bogus counters that survive the range
+/// filter — shows up as a stream of suspicious jumps. The detector counts
+/// jumps above a threshold inside a sliding window and trips when there are
+/// too many.
+
+#include <cstdint>
+#include <deque>
+
+#include "common/time_units.hpp"
+
+namespace dtpsim::dtp {
+
+/// Sliding-window counter of suspicious clock jumps.
+class JumpDetector {
+ public:
+  /// \param threshold_units  adjustments strictly larger than this count
+  /// \param max_jumps        trip after more than this many in the window
+  /// \param window           sliding window length
+  JumpDetector(std::int64_t threshold_units, int max_jumps, fs_t window)
+      : threshold_(threshold_units), max_jumps_(max_jumps), window_(window) {}
+
+  /// Record an adjustment of `jump` counter units applied at time `now`.
+  /// Returns true if the peer should now be considered faulty.
+  bool record(fs_t now, unsigned __int128 jump) {
+    if (tripped_) return true;
+    if (jump <= static_cast<unsigned __int128>(threshold_)) return false;
+    events_.push_back(now);
+    while (!events_.empty() && events_.front() + window_ < now) events_.pop_front();
+    if (static_cast<int>(events_.size()) > max_jumps_) tripped_ = true;
+    return tripped_;
+  }
+
+  bool tripped() const { return tripped_; }
+  std::size_t suspicious_in_window() const { return events_.size(); }
+
+  /// Clear state (e.g. after operator intervention re-enables a port).
+  void reset() {
+    tripped_ = false;
+    events_.clear();
+  }
+
+ private:
+  std::int64_t threshold_;
+  int max_jumps_;
+  fs_t window_;
+  std::deque<fs_t> events_;
+  bool tripped_ = false;
+};
+
+}  // namespace dtpsim::dtp

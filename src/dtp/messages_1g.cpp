@@ -1,0 +1,42 @@
+#include "dtp/messages_1g.hpp"
+
+namespace dtpsim::dtp {
+
+std::vector<phy::Symbol10> encode_1g(const Message& m, phy::Encoder8b10b& encoder) {
+  const std::uint64_t bits56 = encode_bits(m);
+  std::vector<phy::Symbol10> out;
+  out.reserve(kDtpOrderedSetSymbols);
+  out.push_back(encoder.encode_control(phy::KCode::kK28_1));
+  for (std::size_t i = 0; i < 7; ++i)
+    out.push_back(encoder.encode_data(static_cast<std::uint8_t>(bits56 >> (8 * i))));
+  return out;
+}
+
+std::optional<Message> Decoder1g::feed(phy::Symbol10 symbol) {
+  const auto decoded = decoder_.decode(symbol);
+  if (!decoded) {
+    ++violations_;
+    collecting_ = false;
+    pending_.clear();
+    return std::nullopt;
+  }
+  if (decoded->is_control) {
+    // K28.1 opens a DTP set; any other control code (idle /I/, /S/, /T/...)
+    // ends whatever we were collecting.
+    collecting_ = decoded->byte == static_cast<std::uint8_t>(phy::KCode::kK28_1);
+    pending_.clear();
+    return std::nullopt;
+  }
+  if (!collecting_) return std::nullopt;  // payload of some other ordered set
+  pending_.push_back(decoded->byte);
+  if (pending_.size() < 7) return std::nullopt;
+
+  std::uint64_t bits56 = 0;
+  for (std::size_t i = 0; i < 7; ++i)
+    bits56 |= static_cast<std::uint64_t>(pending_[i]) << (8 * i);
+  collecting_ = false;
+  pending_.clear();
+  return decode_bits(bits56);
+}
+
+}  // namespace dtpsim::dtp

@@ -1,0 +1,93 @@
+#include "dtp/network.hpp"
+
+#include <algorithm>
+
+namespace dtpsim::dtp {
+
+Agent* DtpNetwork::agent_of(const net::Device* dev) const {
+  auto it = by_device_.find(dev);
+  return it == by_device_.end() ? nullptr : it->second;
+}
+
+unsigned __int128 DtpNetwork::max_pairwise_offset_units(fs_t t) const {
+  if (agents_.empty()) return 0;
+  // max pairwise |a - b| = max(a) - min(a).
+  unsigned __int128 lo = agents_.front()->global_at(t).value();
+  unsigned __int128 hi = lo;
+  for (const auto& a : agents_) {
+    const unsigned __int128 v = a->global_at(t).value();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return hi - lo;
+}
+
+double DtpNetwork::max_pairwise_offset_ticks(fs_t t) const {
+  if (agents_.empty()) return 0.0;
+  double lo = agents_.front()->global_fractional_at(t);
+  double hi = lo;
+  for (const auto& a : agents_) {
+    const double v = a->global_fractional_at(t);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return (hi - lo) / static_cast<double>(agents_.front()->params().counter_delta);
+}
+
+bool DtpNetwork::all_synced() const {
+  for (const auto& a : agents_) {
+    for (std::size_t p = 0; p < a->port_count(); ++p) {
+      if (a->port_logic(p).state() != PortState::kSynced) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t configure_master_tree(DtpNetwork& dtp, net::Device& root) {
+  Agent* root_agent = dtp.agent_of(&root);
+  if (!root_agent) throw std::invalid_argument("configure_master_tree: root has no agent");
+
+  // Map every PHY port back to (agent, port index) so BFS can walk cables.
+  std::unordered_map<const phy::PhyPort*, std::pair<Agent*, std::size_t>> owner;
+  for (std::size_t i = 0; i < dtp.size(); ++i) {
+    Agent& a = dtp.agent(i);
+    for (std::size_t p = 0; p < a.port_count(); ++p)
+      owner[&a.port_logic(p).phy_port()] = {&a, p};
+  }
+
+  root_agent->set_as_root();
+  std::unordered_map<Agent*, bool> visited;
+  visited[root_agent] = true;
+  std::vector<Agent*> frontier{root_agent};
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    std::vector<Agent*> next;
+    for (Agent* a : frontier) {
+      for (std::size_t p = 0; p < a->port_count(); ++p) {
+        const phy::PhyPort* peer = a->port_logic(p).phy_port().peer();
+        if (!peer) continue;
+        auto it = owner.find(peer);
+        if (it == owner.end()) continue;  // neighbor is not DTP-enabled
+        auto [neighbor, peer_port] = it->second;
+        if (visited[neighbor]) continue;
+        visited[neighbor] = true;
+        neighbor->set_parent_port(peer_port);
+        next.push_back(neighbor);
+        ++reached;
+      }
+    }
+    frontier = std::move(next);
+  }
+  return reached;
+}
+
+DtpNetwork enable_dtp(net::Network& net, DtpParams params) {
+  DtpNetwork out;
+  for (net::Device* dev : net.devices()) {
+    out.agents_.push_back(std::make_unique<Agent>(*dev, params));
+    out.by_device_[dev] = out.agents_.back().get();
+  }
+  return out;
+}
+
+}  // namespace dtpsim::dtp

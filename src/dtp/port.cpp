@@ -1,0 +1,295 @@
+#include "dtp/port.hpp"
+
+#include <algorithm>
+
+#include "dtp/agent.hpp"
+
+namespace dtpsim::dtp {
+
+const char* to_string(PortState s) {
+  switch (s) {
+    case PortState::kDown: return "DOWN";
+    case PortState::kInitWait: return "INIT-WAIT";
+    case PortState::kSynced: return "SYNCED";
+    case PortState::kFaulty: return "FAULTY";
+  }
+  return "?";
+}
+
+namespace {
+/// Payload width in use (53, or 52 with parity).
+int payload_bits(const DtpParams& p) {
+  return p.parity ? kParityPayloadBits : kDtpPayloadBits;
+}
+}  // namespace
+
+PortLogic::PortLogic(Agent& agent, phy::PhyPort& port, std::size_t index)
+    : agent_(agent),
+      port_(port),
+      index_(index),
+      local_(agent.params().counter_delta,
+             agent.device().oscillator().tick_at(agent.simulator().now())),
+      jump_detector_(agent.params().jump_threshold_ticks *
+                         agent.params().counter_delta,
+                     agent.params().max_jumps, agent.params().jump_window) {
+  port_.on_control = [this](const phy::ControlRx& rx) { handle_control(rx); };
+  port_.on_link_down = [this] { handle_link_down(); };
+}
+
+void PortLogic::start() {
+  // Persistent hook: every (re)connection restarts the INIT phase (T0).
+  port_.on_link_up = [this] { send_init(); };
+  if (port_.link_up()) send_init();
+}
+
+void PortLogic::handle_link_down() {
+  state_ = PortState::kDown;
+  // The measured delay belongs to the old cable; a reconnection re-measures.
+  owd_units_.reset();
+  init_echo_wait_.reset();
+  auto& sim = agent_.simulator();
+  sim.cancel(beacon_timer_);
+  sim.cancel(init_retry_);
+  agent_.port_went_down(index_);
+}
+
+WideCounter PortLogic::local_at(fs_t t) const {
+  return local_.at_tick(agent_.device().oscillator().tick_at(t));
+}
+
+// T0: lc <- gc; send (INIT, lc). The counter is stamped at the instant the
+// idle block serializes, exactly as the hardware would.
+void PortLogic::send_init() {
+  state_ = PortState::kInitWait;
+  port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
+    local_.set(tx_tick, agent_.global_at_tick(tx_tick));
+    init_echo_wait_ = local_.at_tick(tx_tick);
+    ++stats_.inits_sent;
+    return encode_bits({MessageType::kInit, init_echo_wait_->lsb53()},
+                       agent_.params().parity);
+  });
+  arm_init_retry();
+}
+
+void PortLogic::arm_init_retry() {
+  auto& sim = agent_.simulator();
+  sim.cancel(init_retry_);
+  const auto& osc = agent_.device().oscillator();
+  const std::int64_t due = osc.tick_at(sim.now()) + agent_.params().init_retry_ticks;
+  init_retry_ = sim.schedule_at(osc.edge_of_tick(due), [this] {
+    if (state_ == PortState::kInitWait) send_init();
+  });
+}
+
+void PortLogic::handle_control(const phy::ControlRx& rx) {
+  if (!port_.link_up()) return;  // a message that was in flight at unplug time
+  const auto msg = decode_bits(rx.bits56, agent_.params().parity);
+  if (!msg) {
+    // Either plain idles (bits56 == 0) or a parity-failed DTP message.
+    if (rx.bits56 != 0) ++stats_.filtered_parity;
+    return;
+  }
+  const std::int64_t rx_tick = rx.crossing.visible_tick;
+  switch (msg->type) {
+    case MessageType::kInit:
+      handle_init(*msg, rx_tick);
+      break;
+    case MessageType::kInitAck:
+      handle_init_ack(*msg, rx_tick);
+      break;
+    case MessageType::kBeacon:
+      ++stats_.beacons_received;
+      handle_beacon(*msg, rx_tick, /*join=*/false);
+      break;
+    case MessageType::kBeaconJoin:
+      ++stats_.joins_received;
+      handle_beacon(*msg, rx_tick, /*join=*/true);
+      break;
+    case MessageType::kBeaconMsb:
+      handle_msb(*msg, rx_tick);
+      break;
+    case MessageType::kLog:
+      handle_log(*msg, rx_tick, rx.crossing.visible_time);
+      break;
+    case MessageType::kNone:
+      break;
+  }
+}
+
+// T1: echo the received counter back in an INIT-ACK.
+void PortLogic::handle_init(const Message& m, std::int64_t) {
+  port_.request_control_slot([this, c = m.payload](fs_t, std::int64_t) {
+    ++stats_.init_acks_sent;
+    return encode_bits({MessageType::kInitAck, c}, agent_.params().parity);
+  });
+}
+
+// T2: d <- (lc - c - alpha) / 2.
+void PortLogic::handle_init_ack(const Message& m, std::int64_t rx_tick) {
+  if (!init_echo_wait_) return;  // unsolicited / duplicate
+  const int bits = payload_bits(agent_.params());
+  const std::uint64_t mask = (1ULL << bits) - 1;
+  if ((m.payload & mask) != (init_echo_wait_->lsb53() & mask)) return;  // stale echo
+
+  const WideCounter lc_now = local_.at_tick(rx_tick);
+  const __int128 rtt_units = lc_now.diff(*init_echo_wait_);
+  const auto alpha_units = static_cast<__int128>(agent_.params().alpha_ticks) *
+                           agent_.params().counter_delta;
+  const __int128 d = (rtt_units - alpha_units) / 2;
+  owd_units_ = static_cast<std::int64_t>(std::max<__int128>(d, 0));
+  init_echo_wait_.reset();
+  agent_.simulator().cancel(init_retry_);
+  state_ = PortState::kSynced;
+  // Announce our counter device-wide once, so a joining device (or healed
+  // partition) converges immediately rather than through the +-8 filter.
+  send_join();
+  schedule_beacon();
+}
+
+// T3: arm the beacon timeout one interval of local ticks from now.
+void PortLogic::schedule_beacon() {
+  auto& sim = agent_.simulator();
+  const auto& osc = agent_.device().oscillator();
+  const std::int64_t due = osc.tick_at(sim.now()) + agent_.params().beacon_interval_ticks;
+  beacon_timer_ = sim.schedule_at(osc.edge_of_tick(due), [this] { send_beacon(); });
+}
+
+void PortLogic::send_beacon() {
+  if (state_ != PortState::kSynced) return;
+  port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
+    const WideCounter gc = agent_.global_at_tick(tx_tick);
+    ++stats_.beacons_sent;
+    return encode_bits({MessageType::kBeacon, gc.lsb53()}, agent_.params().parity);
+  });
+  // The high counter half rides in an occasional *extra* idle block right
+  // behind the regular beacon (idle slots are plentiful — even a saturated
+  // link yields one whole /E/ block per frame gap), so the beacon cadence
+  // that the precision analysis depends on is never thinned.
+  if (agent_.params().msb_every_n_beacons > 0 &&
+      ++beacons_since_msb_ >= agent_.params().msb_every_n_beacons) {
+    beacons_since_msb_ = 0;
+    port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
+      const WideCounter gc = agent_.global_at_tick(tx_tick);
+      ++stats_.msbs_sent;
+      return encode_bits({MessageType::kBeaconMsb, gc.msb53()}, agent_.params().parity);
+    });
+  }
+  schedule_beacon();
+}
+
+// T4: lc <- max(lc, c + d), guarded by the Section 3.2 filters.
+void PortLogic::handle_beacon(const Message& m, std::int64_t rx_tick, bool join) {
+  if (state_ == PortState::kFaulty) return;
+  if (!owd_units_) return;  // cannot apply a beacon before d is measured
+
+  const DtpParams& p = agent_.params();
+  const WideCounter lc_now = local_.at_tick(rx_tick);
+  const WideCounter gc_now = agent_.global_at_tick(rx_tick);
+  // Reconstruct the peer's full counter from the 53-bit payload. lc is the
+  // reference in master-tree mode: gc may be stalled against its ceiling
+  // (Section 5.4) while lc keeps tracking the parent without a cap.
+  const WideCounter& reference = p.mode == SyncMode::kMasterTree ? lc_now : gc_now;
+  const WideCounter peer = reference.reconstruct_from_lsb(m.payload, payload_bits(p));
+  const WideCounter target = peer.plus(static_cast<std::uint64_t>(*owd_units_));
+
+  const auto limit = static_cast<__int128>(p.max_beacon_offset_ticks) * p.counter_delta;
+
+  if (p.mode == SyncMode::kMasterTree) {
+    // Only the parent's counter disciplines this device; beacons from
+    // children (or from anyone, at the root) are ignored. The bit-error
+    // filter compares against the *uncapped* lc — judging against a stalled
+    // gc would reject every beacon and deadlock the stall mechanism.
+    if (agent_.parent_port() != std::optional<std::size_t>(index_)) return;
+    if (!join) {
+      const __int128 ldiff = target.diff(lc_now);
+      if (ldiff > limit || ldiff < -limit) {
+        ++stats_.filtered_range;
+        return;
+      }
+    }
+    // lc is the running estimate of the *parent's* counter: it tracks in
+    // both directions (monotonicity of the device clock is gc's job, via
+    // fast-forward plus the stall ceiling).
+    local_.set(rx_tick, target);
+    agent_.parent_update(rx_tick, target);
+    ++stats_.adjustments;
+    return;
+  }
+
+  if (!join) {
+    // Section 3.2's bit-error filter: the remote counter is judged against
+    // the device's global counter — the value this device transmits and the
+    // only reference that stays valid across join-sized adjustments.
+    const __int128 gdiff = target.diff(gc_now);
+    if (gdiff > limit || gdiff < -limit) {
+      ++stats_.filtered_range;
+      // Random bit errors are filtered one at a time; a *run* of filtered
+      // beacons means the pair genuinely diverged — trigger a join exchange.
+      if (p.filter_recovery_threshold > 0 &&
+          ++consecutive_filtered_ >= p.filter_recovery_threshold) {
+        consecutive_filtered_ = 0;
+        send_join();
+      }
+      return;
+    }
+    consecutive_filtered_ = 0;
+  }
+
+  const __int128 diff = target.diff(lc_now);
+  if (join && diff < -limit) {
+    // The peer announced a counter far *behind* ours — it just joined (or
+    // its join raced our INIT and was lost). Announce back so both sides
+    // agree on the maximum (Section 3.2); rate-limited to one reply per
+    // beacon interval so two healthy peers cannot ping-pong joins.
+    if (rx_tick - last_join_reply_tick_ >= p.beacon_interval_ticks) {
+      last_join_reply_tick_ = rx_tick;
+      send_join();
+    }
+    return;
+  }
+  if (diff <= 0) return;  // we are already at or ahead of the peer's view
+
+  const unsigned __int128 jump = local_.fast_forward(rx_tick, target);
+  ++stats_.adjustments;
+  stats_.max_adjustment =
+      std::max<std::uint64_t>(stats_.max_adjustment, static_cast<std::uint64_t>(jump));
+
+  if (p.enable_jump_detector &&
+      jump_detector_.record(agent_.simulator().now(), jump)) {
+    state_ = PortState::kFaulty;
+    return;
+  }
+  agent_.local_updated(index_, rx_tick, join);
+}
+
+void PortLogic::handle_msb(const Message& m, std::int64_t) {
+  ++stats_.msbs_received;
+  last_peer_msb_ = m.payload;
+}
+
+void PortLogic::handle_log(const Message& m, std::int64_t rx_tick, fs_t rx_time) {
+  ++stats_.logs_received;
+  if (on_log_received) {
+    const WideCounter t2 = agent_.global_at_tick(rx_tick);
+    on_log_received(m.payload, t2, rx_time);
+  }
+}
+
+void PortLogic::send_log(std::uint64_t sw_payload) {
+  port_.request_control_slot([this, sw_payload](fs_t tx_time, std::int64_t tx_tick) {
+    const WideCounter t1 = agent_.global_at_tick(tx_tick);
+    ++stats_.logs_sent;
+    if (on_log_sent) on_log_sent(sw_payload, t1, tx_time);
+    return encode_bits({MessageType::kLog, t1.lsb53()}, agent_.params().parity);
+  });
+}
+
+void PortLogic::send_join() {
+  ++stats_.joins_sent;
+  port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
+    const WideCounter gc = agent_.global_at_tick(tx_tick);
+    return encode_bits({MessageType::kBeaconJoin, gc.lsb53()}, agent_.params().parity);
+  });
+}
+
+}  // namespace dtpsim::dtp

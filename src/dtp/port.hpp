@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file port.hpp
+/// Algorithm 1 — DTP inside a network port.
+///
+/// One `PortLogic` instance hangs off each PhyPort of a DTP-enabled device.
+/// It owns the port's local counter `lc`, measures the one-way delay `d`
+/// during the INIT phase, emits BEACONs with the device's global counter
+/// every `beacon_interval_ticks`, and fast-forwards `lc` (never backwards)
+/// on received BEACONs:
+///
+///   T0  link up:                 lc <- gc; send (INIT, lc)
+///   T1  recv (INIT, c):          send (INIT-ACK, c)
+///   T2  recv (INIT-ACK, c):      d <- (lc - c - alpha) / 2
+///   T3  timeout:                 send (BEACON, gc)
+///   T4  recv (BEACON, c):        lc <- max(lc, c + d)
+///
+/// plus BEACON-JOIN (unfiltered large adjustment after INIT, propagated
+/// device-wide), BEACON-MSB (high counter half), the bit-error filters and
+/// the faulty-peer detector of Section 3.2, and the LOG message the
+/// evaluation harness uses (Section 6.2).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/wide_counter.hpp"
+#include "dtp/config.hpp"
+#include "dtp/counter.hpp"
+#include "dtp/fault.hpp"
+#include "dtp/messages.hpp"
+#include "phy/port.hpp"
+
+namespace dtpsim::dtp {
+
+class Agent;
+
+/// Port synchronization state.
+enum class PortState : std::uint8_t {
+  kDown,      ///< no link
+  kInitWait,  ///< INIT sent, waiting for INIT-ACK
+  kSynced,    ///< d measured; beaconing
+  kFaulty,    ///< peer declared faulty; synchronization stopped
+};
+
+const char* to_string(PortState s);
+
+/// Per-port protocol counters (diagnostics and tests).
+struct PortStats {
+  std::uint64_t inits_sent = 0;
+  std::uint64_t init_acks_sent = 0;
+  std::uint64_t beacons_sent = 0;
+  std::uint64_t beacons_received = 0;
+  std::uint64_t joins_sent = 0;
+  std::uint64_t joins_received = 0;
+  std::uint64_t msbs_sent = 0;
+  std::uint64_t msbs_received = 0;
+  std::uint64_t logs_sent = 0;
+  std::uint64_t logs_received = 0;
+  std::uint64_t filtered_range = 0;   ///< beacons dropped by the +-8 filter
+  std::uint64_t filtered_parity = 0;  ///< messages dropped by parity (decode)
+  std::uint64_t adjustments = 0;      ///< positive lc fast-forwards
+  std::uint64_t max_adjustment = 0;   ///< largest single fast-forward (units)
+};
+
+/// Algorithm 1 state machine for one port.
+class PortLogic {
+ public:
+  /// \param agent  owning device agent (Algorithm 2); must outlive this
+  /// \param port   the PHY port to speak through; must outlive this
+  PortLogic(Agent& agent, phy::PhyPort& port, std::size_t index);
+
+  PortLogic(const PortLogic&) = delete;
+  PortLogic& operator=(const PortLogic&) = delete;
+
+  /// Begin the protocol (T0) if the link is up; otherwise waits for link-up.
+  void start();
+
+  PortState state() const { return state_; }
+  std::size_t index() const { return index_; }
+
+  /// Measured one-way delay in counter units; nullopt before T2 completes.
+  std::optional<std::int64_t> measured_owd() const { return owd_units_; }
+
+  /// The port-local counter (lc).
+  const TickCounter& local() const { return local_; }
+  /// lc at an absolute simulated time.
+  WideCounter local_at(fs_t t) const;
+
+  const PortStats& stats() const { return stats_; }
+  phy::PhyPort& phy_port() { return port_; }
+
+  /// Send a LOG message carrying the device global counter stamped at the
+  /// moment of transmission (t1 of Section 6.2). `sw_payload` is ignored by
+  /// the protocol but handed to `on_log_sent` so callers can pair t0/t1.
+  void send_log(std::uint64_t sw_payload);
+
+  /// Fired when a LOG message is transmitted: (sw_payload, t1 = gc at the
+  /// tx tick, tx_time).
+  std::function<void(std::uint64_t, WideCounter, fs_t)> on_log_sent;
+  /// Fired when a LOG message is received: (t1 LSBs from the wire,
+  /// t2 = gc at the visible tick, visible_time).
+  std::function<void(std::uint64_t, WideCounter, fs_t)> on_log_received;
+
+  /// Request a device-wide counter announcement (BEACON-JOIN) on this port;
+  /// used by the Agent when another port learned a much larger counter.
+  void send_join();
+
+ private:
+  friend class Agent;
+
+  void handle_control(const phy::ControlRx& rx);
+  void handle_link_down();
+  void handle_init(const Message& m, std::int64_t rx_tick);
+  void handle_init_ack(const Message& m, std::int64_t rx_tick);
+  void handle_beacon(const Message& m, std::int64_t rx_tick, bool join);
+  void handle_msb(const Message& m, std::int64_t rx_tick);
+  void handle_log(const Message& m, std::int64_t rx_tick, fs_t rx_time);
+
+  void send_init();
+  void arm_init_retry();
+  void schedule_beacon();
+  void send_beacon();
+
+  Agent& agent_;
+  phy::PhyPort& port_;
+  std::size_t index_;
+  PortState state_ = PortState::kDown;
+
+  TickCounter local_;
+  std::optional<std::int64_t> owd_units_;
+  std::optional<WideCounter> init_echo_wait_;  ///< lc value sent in our INIT
+  std::uint64_t last_peer_msb_ = 0;
+  std::int64_t beacons_since_msb_ = 0;
+  std::int64_t last_join_reply_tick_ = 0;
+  std::int64_t consecutive_filtered_ = 0;
+  JumpDetector jump_detector_;
+  PortStats stats_;
+  sim::EventHandle beacon_timer_;
+  sim::EventHandle init_retry_;
+};
+
+}  // namespace dtpsim::dtp

@@ -1,0 +1,30 @@
+#include "net/crc32.hpp"
+
+#include <array>
+
+namespace dtpsim::net {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (0xEDB8'8320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+const std::array<std::uint32_t, 256> kTable = make_table();
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i)
+    state = kTable[(state ^ data[i]) & 0xFF] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  return crc32_finish(crc32_update(kCrc32Init, data, len));
+}
+
+}  // namespace dtpsim::net

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file crc32.hpp
+/// IEEE 802.3 CRC-32 (the Ethernet frame check sequence).
+///
+/// Used by the byte-level frame codec and tests; the event-level simulation
+/// models FCS failures statistically (see phy::Cable), but the codec path
+/// computes the real polynomial so that encode/decode round-trips through
+/// the PCS are verifiable end to end.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dtpsim::net {
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) over `len` bytes; returns the
+/// value transmitted as the Ethernet FCS.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+/// Incremental variant: fold more bytes into a running CRC. Start with
+/// `kCrc32Init`, finish with `crc32_finish`.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFF'FFFFu;
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data, std::size_t len);
+constexpr std::uint32_t crc32_finish(std::uint32_t state) { return ~state; }
+
+}  // namespace dtpsim::net

@@ -1,0 +1,29 @@
+#include "net/device.hpp"
+
+namespace dtpsim::net {
+
+Device::Device(sim::Simulator& sim, std::string name, DeviceParams params)
+    : sim_(sim),
+      name_(std::move(name)),
+      params_(params),
+      osc_(phy::nominal_period(params.rate), params.ppm, params.phase) {}
+
+phy::PhyPort& Device::add_port() {
+  phy::PortParams pp = params_.port;
+  pp.rate = params_.rate;
+  const auto index = ports_.size();
+  ports_.push_back(std::make_unique<phy::PhyPort>(
+      sim_, osc_, pp, name_ + ":p" + std::to_string(index)));
+  macs_.push_back(std::make_unique<Mac>(sim_, *ports_.back(), params_.mac));
+  on_port_added(index);
+  return *ports_.back();
+}
+
+void Device::enable_drift(phy::DriftParams dp) {
+  if (drift_) return;
+  drift_.emplace(sim_, osc_, dp,
+                 sim_.fork_rng(0xD21F7 ^ std::hash<std::string>{}(name_)));
+  drift_->start();
+}
+
+}  // namespace dtpsim::net

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file device.hpp
+/// Base class for network devices (hosts, switches).
+///
+/// A device owns exactly one oscillator — the paper leans on the fact that a
+/// commodity switch feeds all its ports from a single clock source (Section
+/// 2.5) — plus any number of PhyPorts and their MACs. Frequency offset and
+/// optional temperature drift are per-device.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/mac.hpp"
+#include "phy/drift.hpp"
+#include "phy/oscillator.hpp"
+#include "phy/port.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtpsim::net {
+
+/// Per-device clock/PHY configuration.
+struct DeviceParams {
+  phy::LinkRate rate = phy::LinkRate::k10G;
+  double ppm = 0.0;     ///< oscillator frequency offset
+  fs_t phase = 0;       ///< tick-0 edge time (staggers tick grids)
+  phy::PortParams port{};  ///< applied to every port (rate overridden)
+  MacParams mac{};
+};
+
+/// A device: one oscillator, N (port, MAC) pairs.
+class Device {
+ public:
+  Device(sim::Simulator& sim, std::string name, DeviceParams params);
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Simulator& simulator() { return sim_; }
+  phy::Oscillator& oscillator() { return osc_; }
+  const phy::Oscillator& oscillator() const { return osc_; }
+  const DeviceParams& params() const { return params_; }
+
+  /// Create one more port (and its MAC) on this device.
+  phy::PhyPort& add_port();
+
+  std::size_t port_count() const { return ports_.size(); }
+  phy::PhyPort& port(std::size_t i) { return *ports_.at(i); }
+  Mac& mac(std::size_t i) { return *macs_.at(i); }
+  const Mac& mac(std::size_t i) const { return *macs_.at(i); }
+
+  /// Attach a temperature-drift random walk to this device's oscillator.
+  void enable_drift(phy::DriftParams dp);
+  bool drift_enabled() const { return drift_.has_value(); }
+
+ protected:
+  /// Invoked after add_port wires the MAC; subclasses hook receive paths.
+  virtual void on_port_added(std::size_t /*index*/) {}
+
+  sim::Simulator& sim_;
+  std::string name_;
+  DeviceParams params_;
+  phy::Oscillator osc_;
+  std::optional<phy::DriftProcess> drift_;
+  std::vector<std::unique_ptr<phy::PhyPort>> ports_;
+  std::vector<std::unique_ptr<Mac>> macs_;
+};
+
+}  // namespace dtpsim::net

@@ -1,0 +1,44 @@
+#include "net/host.hpp"
+
+namespace dtpsim::net {
+
+fs_t StackModel::sample() {
+  fs_t d = params_.base;
+  if (params_.jitter_mean > 0)
+    d += static_cast<fs_t>(rng_.exponential(static_cast<double>(params_.jitter_mean)));
+  if (params_.spike_prob > 0 && rng_.bernoulli(params_.spike_prob))
+    d += static_cast<fs_t>(rng_.exponential(static_cast<double>(params_.spike_mean)));
+  return d;
+}
+
+Host::Host(sim::Simulator& sim, std::string name, MacAddr addr, DeviceParams dev,
+           HostParams params)
+    : Device(sim, std::move(name), dev),
+      addr_(addr),
+      tx_stack_(params.tx_stack, sim.fork_rng(0x7C5ULL ^ addr.value)),
+      rx_stack_(params.rx_stack, sim.fork_rng(0x7C6ULL ^ addr.value)) {
+  add_port();
+}
+
+void Host::on_port_added(std::size_t index) {
+  mac(index).on_receive = [this](const Frame& f, fs_t rx_time) { handle_rx(f, rx_time); };
+}
+
+void Host::send_app(Frame frame) {
+  frame.src = addr_;
+  const fs_t delay = tx_stack_.sample();
+  sim_.schedule_in(delay, [this, frame] { nic().enqueue(frame); });
+}
+
+void Host::handle_rx(const Frame& frame, fs_t rx_time) {
+  if (!(frame.dst == addr_) && !frame.dst.is_broadcast() && !frame.dst.is_multicast()) return;
+  if (on_hw_receive) on_hw_receive(frame, rx_time);
+  if (on_app_receive) {
+    const fs_t delay = rx_stack_.sample();
+    sim_.schedule_in(delay, [this, frame, rx_time] {
+      on_app_receive(frame, rx_time, sim_.now());
+    });
+  }
+}
+
+}  // namespace dtpsim::net

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file host.hpp
+/// End host: one NIC (port + MAC) plus a software network stack model.
+///
+/// The paper's Section 2.3.2 blames system calls, kernel buffering, and DMA
+/// for the delay errors daemon-based protocols suffer. `StackModel`
+/// reproduces that error structure: a deterministic base cost, an
+/// exponential jitter tail, and rare large "spikes" (scheduler preemption,
+/// cache misses). Applications see both the hardware timestamps (MAC
+/// boundary — what PTP-capable NICs expose) and the software arrival time
+/// (what NTP-style daemons get), so baselines can be configured either way.
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "net/device.hpp"
+#include "net/frame.hpp"
+
+namespace dtpsim::net {
+
+/// Software network stack delay model (per direction).
+struct StackParams {
+  fs_t base = from_us(2);            ///< deterministic syscall/driver/DMA cost
+  fs_t jitter_mean = from_us(1);     ///< exponential jitter added on top
+  double spike_prob = 0.01;          ///< probability of a scheduling spike
+  fs_t spike_mean = from_us(50);     ///< exponential spike magnitude
+};
+
+/// Samples one traversal delay of the software stack.
+class StackModel {
+ public:
+  StackModel(StackParams params, Rng rng) : params_(params), rng_(rng) {}
+
+  /// One stack traversal delay (>= base).
+  fs_t sample();
+
+  const StackParams& params() const { return params_; }
+
+ private:
+  StackParams params_;
+  Rng rng_;
+};
+
+/// Host configuration.
+struct HostParams {
+  StackParams tx_stack{};
+  StackParams rx_stack{};
+};
+
+/// An end host with a single NIC.
+class Host : public Device {
+ public:
+  Host(sim::Simulator& sim, std::string name, MacAddr addr, DeviceParams dev,
+       HostParams params = {});
+
+  MacAddr addr() const { return addr_; }
+  phy::PhyPort& nic_port() { return port(0); }
+  Mac& nic() { return mac(0); }
+
+  /// Send a frame from an application: traverses the TX software stack
+  /// (random delay) and then enters the NIC queue. Returns immediately.
+  void send_app(Frame frame);
+
+  /// Send a frame directly from the NIC (no software stack) — used by
+  /// hardware-assisted protocol agents that bypass the kernel. The source
+  /// address is stamped with this host's NIC address.
+  bool send_hw(Frame frame) {
+    frame.src = addr_;
+    return nic().enqueue(frame);
+  }
+
+  /// Application receive: frame, hardware RX timestamp point, and the later
+  /// software delivery time. Only frames addressed to this host (or
+  /// broadcast/multicast) are delivered.
+  std::function<void(const Frame&, fs_t hw_rx_time, fs_t app_rx_time)> on_app_receive;
+
+  /// Raw receive hook at the MAC boundary (before the stack model); fires
+  /// for every clean frame addressed to us, at the hardware timestamp point.
+  std::function<void(const Frame&, fs_t hw_rx_time)> on_hw_receive;
+
+ protected:
+  void on_port_added(std::size_t index) override;
+
+ private:
+  void handle_rx(const Frame& frame, fs_t rx_time);
+
+  MacAddr addr_;
+  StackModel tx_stack_;
+  StackModel rx_stack_;
+};
+
+}  // namespace dtpsim::net

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file topology.hpp
+/// Network container and topology builders.
+///
+/// `Network` owns every simulated object (devices, cables, traffic sources)
+/// and assigns each device an oscillator offset sampled uniformly within the
+/// 802.3 envelope plus a random tick phase, so no two tick grids align.
+/// Builders construct the shapes the paper evaluates:
+///
+///   * `build_star`        — the PTP testbed (hosts around one switch);
+///   * `build_paper_tree`  — Fig. 5: root S0, aggregation S1-S3, leaves
+///                           S4-S11 (max 4 hops between leaves);
+///   * `build_chain`       — D-hop linear chains for the 4TD bound sweep;
+///   * `build_fat_tree`    — k-ary fat-tree (6 hops max for any k), the
+///                           "longest distance in a Fat-tree" case cited in
+///                           the abstract.
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/switch.hpp"
+#include "net/traffic.hpp"
+#include "phy/syntonize.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtpsim::net {
+
+/// Knobs applied to every device/cable the Network creates.
+struct NetworkParams {
+  phy::LinkRate rate = phy::LinkRate::k10G;
+  double ppm_spread = phy::kMaxPpm;  ///< device ppm ~ U[-spread, +spread]
+  bool enable_drift = false;
+  phy::DriftParams drift{};
+  phy::Cable::Params cable{};        ///< default ~10 m, no bit errors
+  SwitchParams switch_params{};
+  HostParams host{};
+  MacParams mac{};
+  phy::SyncFifoParams fifo{};
+};
+
+/// Owns a set of devices and the cables between them.
+class Network {
+ public:
+  Network(sim::Simulator& sim, NetworkParams params = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  const NetworkParams& params() const { return params_; }
+
+  /// Create a host with an auto-assigned MAC address.
+  Host& add_host(const std::string& name);
+  /// Create a host with an explicit oscillator offset (tests).
+  Host& add_host(const std::string& name, double ppm);
+
+  /// Create a switch.
+  Switch& add_switch(const std::string& name);
+  Switch& add_switch(const std::string& name, double ppm);
+
+  /// Cable two devices together: hosts use their single NIC port, switches
+  /// grow a new port. Returns the cable.
+  phy::Cable& connect(Device& a, Device& b);
+  /// Cable two specific ports together.
+  phy::Cable& connect_ports(phy::PhyPort& a, phy::PhyPort& b);
+
+  /// Attach a traffic generator (owned by the network).
+  TrafficGenerator& add_traffic(Host& src, MacAddr dst, TrafficParams tp);
+
+  const std::vector<Host*>& hosts() const { return hosts_; }
+  const std::vector<Switch*>& switches() const { return switches_; }
+  const std::vector<std::unique_ptr<phy::Cable>>& cables() const { return cables_; }
+  std::vector<Device*> devices() const;
+
+ private:
+  DeviceParams make_device_params(double ppm);
+  double sample_ppm();
+  phy::PhyPort& attach_port(Device& d);
+
+  sim::Simulator& sim_;
+  NetworkParams params_;
+  Rng rng_;
+  std::uint64_t next_mac_ = 0x02'00'00'00'00'01ULL;  // locally administered
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<Host*> hosts_;
+  std::vector<Switch*> switches_;
+  std::vector<std::unique_ptr<phy::Cable>> cables_;
+  std::vector<std::unique_ptr<TrafficGenerator>> traffic_;
+};
+
+/// Hosts around one switch (the paper's PTP testbed shape).
+struct StarTopology {
+  Switch* hub = nullptr;
+  std::vector<Host*> hosts;
+};
+StarTopology build_star(Network& net, std::size_t n_hosts,
+                        const std::string& prefix = "h");
+
+/// The paper's Fig. 5 deployment: S0 root switch; S1-S3 aggregation
+/// switches; leaf servers S4-S11 (S1: S4-S6, S2: S7-S8, S3: S9-S11).
+struct PaperTreeTopology {
+  Switch* root = nullptr;                ///< S0
+  std::array<Switch*, 3> aggs{};         ///< S1, S2, S3
+  std::vector<Host*> leaves;             ///< S4 ... S11
+  /// Which aggregation switch a leaf hangs off (index into aggs).
+  std::array<std::size_t, 8> agg_of_leaf{};
+};
+PaperTreeTopology build_paper_tree(Network& net);
+
+/// host - switch_1 - ... - switch_n - host. Hop count between the two hosts
+/// is n_switches + 1.
+struct ChainTopology {
+  Host* left = nullptr;
+  Host* right = nullptr;
+  std::vector<Switch*> switches;
+};
+ChainTopology build_chain(Network& net, std::size_t n_switches);
+
+/// SyncE-style frequency syntonization over a network (Section 8 of the
+/// paper): breadth-first from `root`, each device's oscillator is
+/// frequency-locked to its BFS parent's. Returns the PLLs (they must stay
+/// alive for the lock to persist); they are already started.
+std::vector<std::unique_ptr<phy::Syntonizer>> syntonize_tree(
+    Network& net, Device& root, phy::SyntonizeParams params = {});
+
+/// k-ary fat-tree: (k/2)^2 cores, k pods of k/2 agg + k/2 edge switches,
+/// (k/2) hosts per edge switch. k must be even and >= 2.
+struct FatTreeTopology {
+  int k = 0;
+  std::vector<Switch*> core;
+  std::vector<Switch*> agg;    ///< pod-major order
+  std::vector<Switch*> edge;   ///< pod-major order
+  std::vector<Host*> hosts;    ///< edge-major order
+};
+FatTreeTopology build_fat_tree(Network& net, int k);
+
+}  // namespace dtpsim::net

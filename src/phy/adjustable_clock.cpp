@@ -1,0 +1,54 @@
+#include "phy/adjustable_clock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtpsim::phy {
+
+namespace {
+constexpr double kMaxTrimPpb = 1e6;  // NIC PHCs accept very large trims (ptp4l: 900 ppm)
+}
+
+AdjustableClock::AdjustableClock(const Oscillator& osc, fs_t resolution, bool ideal)
+    : osc_(osc),
+      resolution_(resolution),
+      ideal_(ideal),
+      ns_per_tick_(to_ns_f(osc.nominal_period())) {}
+
+double AdjustableClock::time_ns_at(fs_t t) const {
+  if (ideal_) return to_ns_f(t);
+  const std::int64_t k = osc_.tick_at(t);
+  // Sub-tick interpolation keeps reads monotone and smooth; the counter
+  // itself only changes on edges, which `timestamp_ns` reflects via its
+  // quantization.
+  const double frac = static_cast<double>(t - osc_.edge_of_tick(k)) /
+                      static_cast<double>(osc_.period());
+  return value_ns_ + (static_cast<double>(k - anchor_tick_) + frac) * ns_per_tick_;
+}
+
+double AdjustableClock::timestamp_ns(fs_t t) const {
+  const double res_ns = to_ns_f(resolution_);
+  return std::floor(time_ns_at(t) / res_ns) * res_ns;
+}
+
+void AdjustableClock::re_anchor(fs_t t) {
+  const std::int64_t k = osc_.tick_at(t);
+  value_ns_ += static_cast<double>(k - anchor_tick_) * ns_per_tick_;
+  anchor_tick_ = k;
+}
+
+void AdjustableClock::adj_freq(fs_t t, double ppb) {
+  if (ideal_) return;
+  ppb = std::clamp(ppb, -kMaxTrimPpb, kMaxTrimPpb);
+  re_anchor(t);
+  freq_ppb_ = ppb;
+  ns_per_tick_ = to_ns_f(osc_.nominal_period()) * (1.0 + ppb * 1e-9);
+}
+
+void AdjustableClock::step(fs_t t, double offset_ns) {
+  if (ideal_) return;
+  re_anchor(t);
+  value_ns_ += offset_ns;
+}
+
+}  // namespace dtpsim::phy

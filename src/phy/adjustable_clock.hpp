@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file adjustable_clock.hpp
+/// A steerable clock driven by an oscillator.
+///
+/// Both PTP hardware clocks (PHCs) and kernel software clocks share this
+/// structure: a counter advancing with the local oscillator whose per-tick
+/// increment can be trimmed (frequency adjustment, ppb) and whose value can
+/// be stepped. Readings are in nanoseconds; hardware timestamps are
+/// quantized to a configurable resolution. The clock inherits the
+/// oscillator's unknown, wandering frequency error — cancelling it is the
+/// job of whatever servo steers the clock.
+
+#include <cstdint>
+
+#include "common/time_units.hpp"
+#include "phy/oscillator.hpp"
+
+namespace dtpsim::phy {
+
+/// Adjustable clock counting (scaled) oscillator ticks, reporting ns.
+class AdjustableClock {
+ public:
+  /// \param osc         driving oscillator (must outlive the clock)
+  /// \param resolution  timestamp granularity
+  /// \param ideal       if true the clock reports true time exactly — used
+  ///                    for GPS-disciplined references
+  explicit AdjustableClock(const Oscillator& osc, fs_t resolution = from_ns(8),
+                           bool ideal = false);
+
+  /// Continuous reading at simulated time `t`, in nanoseconds.
+  double time_ns_at(fs_t t) const;
+
+  /// Timestamp: the reading quantized down to the resolution.
+  double timestamp_ns(fs_t t) const;
+
+  /// Set the frequency trim (ppb, clamped to +-1e6 ppb)
+  /// as of time `t`.
+  void adj_freq(fs_t t, double ppb);
+  double freq_ppb() const { return freq_ppb_; }
+
+  /// Step the clock by `offset_ns` as of time `t`.
+  void step(fs_t t, double offset_ns);
+
+  fs_t resolution() const { return resolution_; }
+  bool ideal() const { return ideal_; }
+
+ private:
+  void re_anchor(fs_t t);
+
+  const Oscillator& osc_;
+  fs_t resolution_;
+  bool ideal_;
+  std::int64_t anchor_tick_ = 0;
+  double value_ns_ = 0.0;  ///< clock value at the anchor tick's edge
+  double ns_per_tick_;     ///< current increment per oscillator tick
+  double freq_ppb_ = 0.0;
+};
+
+}  // namespace dtpsim::phy

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file block.hpp
+/// 66-bit PCS block model (IEEE 802.3 clause 49, 10GBASE-R).
+///
+/// The 64b/66b PCS moves 66-bit blocks: a 2-bit sync header (0b01 = data,
+/// 0b10 = control) followed by a 64-bit payload. A pure-idle control block
+/// (`/E/`, block type 0x1e) carries eight 7-bit idle control codes = 56 free
+/// bits; DTP hijacks exactly those 56 bits for its protocol messages
+/// (Section 4.4: 3-bit message type + 53-bit counter payload) and restores
+/// them to zeros (idles) before the block reaches the MAC.
+
+#include <cstdint>
+#include <string>
+
+namespace dtpsim::phy {
+
+/// Sync header values.
+inline constexpr std::uint8_t kSyncData = 0b01;
+inline constexpr std::uint8_t kSyncControl = 0b10;
+
+/// Control block type bytes (clause 49, figure 49-7).
+inline constexpr std::uint8_t kBlockTypeIdle = 0x1E;     ///< eight control chars (/E/)
+inline constexpr std::uint8_t kBlockTypeStart = 0x78;    ///< /S/ + 7 data bytes
+inline constexpr std::uint8_t kBlockTypeOrderedSet = 0x4B;
+
+/// Terminate block types /T0/../T7/: index = number of data bytes before T.
+inline constexpr std::uint8_t kBlockTypeTerm[8] = {0x87, 0x99, 0xAA, 0xB4,
+                                                   0xCC, 0xD2, 0xE1, 0xFF};
+
+/// One 66-bit PCS block.
+struct Block {
+  std::uint8_t sync = kSyncControl;  ///< 2-bit sync header
+  std::uint64_t payload = 0;         ///< 64-bit payload, LSB = first-on-wire byte 0
+
+  bool is_data() const { return sync == kSyncData; }
+  bool is_control() const { return sync == kSyncControl; }
+
+  /// Block type byte of a control block (payload byte 0).
+  std::uint8_t block_type() const { return static_cast<std::uint8_t>(payload & 0xFF); }
+
+  /// True for an all-idle control block (whether or not DTP bits are set).
+  bool is_idle_frame() const { return is_control() && block_type() == kBlockTypeIdle; }
+  bool is_start() const { return is_control() && block_type() == kBlockTypeStart; }
+  bool is_terminate() const;
+  /// For a terminate block, how many data bytes it carries (0..7).
+  int terminate_data_bytes() const;
+
+  /// The 56 bits following the block type byte of an idle block — the field
+  /// DTP uses for its messages. Zero means "plain idles".
+  std::uint64_t idle_field() const { return payload >> 8; }
+  void set_idle_field(std::uint64_t bits56);
+
+  /// Byte `i` (0..7) of the payload in wire order.
+  std::uint8_t byte(int i) const { return static_cast<std::uint8_t>(payload >> (8 * i)); }
+  void set_byte(int i, std::uint8_t v);
+
+  bool operator==(const Block&) const = default;
+
+  std::string to_string() const;
+};
+
+/// A pure idle block (all /I/ characters, no DTP message).
+Block make_idle_block();
+/// A start block carrying the first 7 bytes of a frame.
+Block make_start_block(const std::uint8_t bytes7[7]);
+/// A data block carrying 8 frame bytes.
+Block make_data_block(const std::uint8_t bytes8[8]);
+/// A terminate block carrying `n` (0..7) final frame bytes.
+Block make_terminate_block(const std::uint8_t* bytes, int n);
+
+}  // namespace dtpsim::phy

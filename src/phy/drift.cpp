@@ -1,0 +1,23 @@
+#include "phy/drift.hpp"
+
+#include <cmath>
+
+namespace dtpsim::phy {
+
+DriftProcess::DriftProcess(sim::Simulator& sim, Oscillator& osc, DriftParams params, Rng rng)
+    : sim_(sim),
+      osc_(osc),
+      params_(params),
+      rng_(rng),
+      ppm_(osc.ppm()),
+      proc_(sim, params.update_interval, [this] { step(); }) {}
+
+void DriftProcess::step() {
+  ppm_ += rng_.uniform_real(-params_.step_ppm, params_.step_ppm);
+  // Reflect at the +-bound so the walk stays inside the 802.3 envelope.
+  if (ppm_ > params_.bound_ppm) ppm_ = 2 * params_.bound_ppm - ppm_;
+  if (ppm_ < -params_.bound_ppm) ppm_ = -2 * params_.bound_ppm - ppm_;
+  osc_.set_ppm_at(sim_.now(), ppm_);
+}
+
+}  // namespace dtpsim::phy

@@ -1,0 +1,68 @@
+#include "phy/oscillator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtpsim::phy {
+
+fs_t period_from_ppm(fs_t nominal_period, double ppm) {
+  // f = f_nom * (1 + ppm/1e6)  =>  P = P_nom / (1 + ppm/1e6).
+  const double p = static_cast<double>(nominal_period) / (1.0 + ppm * 1e-6);
+  const auto rounded = static_cast<fs_t>(std::llround(p));
+  if (rounded <= 0) throw std::invalid_argument("period_from_ppm: non-positive period");
+  return rounded;
+}
+
+Oscillator::Oscillator(fs_t nominal_period, double ppm, fs_t phase)
+    : nominal_period_(nominal_period),
+      period_(period_from_ppm(nominal_period, ppm)),
+      anchor_time_(phase),
+      anchor_tick_(0) {
+  if (nominal_period <= 0) throw std::invalid_argument("Oscillator: non-positive period");
+}
+
+double Oscillator::ppm() const {
+  return (static_cast<double>(nominal_period_) / static_cast<double>(period_) - 1.0) * 1e6;
+}
+
+void Oscillator::check_time(fs_t t) const {
+  if (t < anchor_time_) throw std::logic_error("Oscillator: query before anchor time");
+}
+
+std::int64_t Oscillator::tick_at(fs_t t) const {
+  check_time(t);
+  return anchor_tick_ + (t - anchor_time_) / period_;
+}
+
+fs_t Oscillator::edge_of_tick(std::int64_t k) const {
+  if (k < anchor_tick_) throw std::logic_error("Oscillator: tick before anchor");
+  return anchor_time_ + (k - anchor_tick_) * period_;
+}
+
+fs_t Oscillator::next_edge_at_or_after(fs_t t) const {
+  check_time(t);
+  const fs_t since = t - anchor_time_;
+  const fs_t k = (since + period_ - 1) / period_;  // ceil division
+  return anchor_time_ + k * period_;
+}
+
+fs_t Oscillator::next_edge_after(fs_t t) const {
+  const fs_t e = next_edge_at_or_after(t);
+  return e > t ? e : e + period_;
+}
+
+void Oscillator::set_period_at(fs_t t, fs_t new_period) {
+  if (new_period <= 0) throw std::invalid_argument("Oscillator: non-positive period");
+  check_time(t);
+  // Re-anchor on the last edge at or before t so past edges are preserved.
+  const std::int64_t k = tick_at(t);
+  anchor_time_ = edge_of_tick(k);
+  anchor_tick_ = k;
+  period_ = new_period;
+}
+
+void Oscillator::set_ppm_at(fs_t t, double ppm) {
+  set_period_at(t, period_from_ppm(nominal_period_, ppm));
+}
+
+}  // namespace dtpsim::phy

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file oscillator.hpp
+/// Free-running quartz oscillator model with exact tick-edge arithmetic.
+///
+/// Every network device in the paper is driven by its own oscillator whose
+/// frequency sits within +-100 ppm of nominal (IEEE 802.3) but is otherwise
+/// unknown and may wander with temperature. DTP's entire error budget comes
+/// from the interaction of these slightly-mismatched tick grids, so tick
+/// edges here are computed with exact integer femtosecond arithmetic: an
+/// oscillator is a grid of edges `edge_of_tick(k) = anchor_time + (k -
+/// anchor_tick) * period`, re-anchored whenever the period changes (drift).
+///
+/// The simulation never "ticks" an oscillator; protocol code asks analytic
+/// queries (which tick contains time t, when is the next edge) only at event
+/// times.
+
+#include <cstdint>
+
+#include "common/time_units.hpp"
+#include "phy/rates.hpp"
+
+namespace dtpsim::phy {
+
+/// Convert a ppm frequency offset into an integer femtosecond period.
+/// Positive ppm means the oscillator runs fast (shorter period).
+fs_t period_from_ppm(fs_t nominal_period, double ppm);
+
+/// A free-running oscillator: an infinite grid of tick edges.
+///
+/// Invariants:
+///  * the edge of `anchor_tick` is exactly `anchor_time`;
+///  * queries are only valid for times >= the current anchor (simulated time
+///    moves forward; the anchor only moves forward too);
+///  * tick indices are monotone in time.
+class Oscillator {
+ public:
+  /// \param nominal_period  nominal PCS clock period (e.g. 6'400'000 fs)
+  /// \param ppm             initial frequency offset in ppm
+  /// \param phase           time of tick 0's edge (allows staggered startup)
+  Oscillator(fs_t nominal_period, double ppm = 0.0, fs_t phase = 0);
+
+  /// Nominal period this oscillator was specified with.
+  fs_t nominal_period() const { return nominal_period_; }
+
+  /// Current actual period in femtoseconds.
+  fs_t period() const { return period_; }
+
+  /// Current frequency offset from nominal, in ppm (derived from period).
+  double ppm() const;
+
+  /// Index of the last tick whose edge is at or before `t`.
+  /// Requires t >= anchor time.
+  std::int64_t tick_at(fs_t t) const;
+
+  /// Time of the edge of tick `k`. Requires k >= anchor tick.
+  fs_t edge_of_tick(std::int64_t k) const;
+
+  /// Time of the first edge at or after `t`. Requires t >= anchor time.
+  fs_t next_edge_at_or_after(fs_t t) const;
+
+  /// Time of the first edge strictly after `t`. Requires t >= anchor time.
+  fs_t next_edge_after(fs_t t) const;
+
+  /// Change the period as of time `t` (drift). Edges at or before `t` are
+  /// preserved; the new period applies from the last edge at or before `t`.
+  /// Requires t >= anchor time.
+  void set_period_at(fs_t t, fs_t new_period);
+
+  /// Convenience: set frequency offset in ppm as of time `t`.
+  void set_ppm_at(fs_t t, double ppm);
+
+ private:
+  void check_time(fs_t t) const;
+
+  fs_t nominal_period_;
+  fs_t period_;
+  fs_t anchor_time_;         // edge time of anchor_tick_
+  std::int64_t anchor_tick_; // tick index anchored at anchor_time_
+};
+
+}  // namespace dtpsim::phy

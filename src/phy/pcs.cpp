@@ -1,0 +1,58 @@
+#include "phy/pcs.hpp"
+
+#include <stdexcept>
+
+namespace dtpsim::phy {
+
+std::vector<Block> encode_frame(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 7) throw std::invalid_argument("encode_frame: frame shorter than 7 bytes");
+  std::vector<Block> out;
+  out.reserve(bytes.size() / 8 + 2);
+
+  out.push_back(make_start_block(bytes.data()));
+  std::size_t pos = 7;
+  while (bytes.size() - pos >= 8) {
+    out.push_back(make_data_block(bytes.data() + pos));
+    pos += 8;
+  }
+  out.push_back(make_terminate_block(bytes.data() + pos, static_cast<int>(bytes.size() - pos)));
+  return out;
+}
+
+bool FrameDecoder::feed(const Block& b) {
+  if (b.is_idle_frame()) {
+    if (in_frame_) throw DecodeError("idle block inside a frame");
+    return false;
+  }
+  if (b.is_start()) {
+    if (in_frame_) throw DecodeError("start block inside a frame");
+    in_frame_ = true;
+    current_.clear();
+    for (int i = 0; i < 7; ++i) current_.push_back(b.byte(i + 1));
+    return false;
+  }
+  if (b.is_data()) {
+    if (!in_frame_) throw DecodeError("data block outside a frame");
+    for (int i = 0; i < 8; ++i) current_.push_back(b.byte(i));
+    return false;
+  }
+  if (b.is_terminate()) {
+    if (!in_frame_) throw DecodeError("terminate block outside a frame");
+    const int n = b.terminate_data_bytes();
+    for (int i = 0; i < n; ++i) current_.push_back(b.byte(i + 1));
+    in_frame_ = false;
+    completed_ = std::move(current_);
+    current_.clear();
+    has_completed_ = true;
+    return true;
+  }
+  throw DecodeError("unrecognized block type");
+}
+
+std::vector<std::uint8_t> FrameDecoder::take_frame() {
+  if (!has_completed_) throw std::logic_error("FrameDecoder: no completed frame");
+  has_completed_ = false;
+  return std::move(completed_);
+}
+
+}  // namespace dtpsim::phy

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file pcs.hpp
+/// 64b/66b Physical Coding Sublayer: frame <-> block encode/decode.
+///
+/// The encoder maps a byte stream (one Ethernet frame, preamble included)
+/// onto /S/ + data + /T/ blocks exactly as clause 49 lays frames onto the
+/// 66-bit lattice; the decoder reverses it. Idle blocks fill the gaps
+/// between frames; DTP rides in those (see dtp/messages.hpp). Round-trip is
+/// exact and tested property-style over random frame sizes.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "phy/block.hpp"
+
+namespace dtpsim::phy {
+
+/// Encode one frame (wire bytes including preamble/SFD) into PCS blocks:
+/// one /S/ block, interior data blocks, one /T/ block.
+/// Requires at least 7 bytes (preamble alone is 8).
+std::vector<Block> encode_frame(const std::vector<std::uint8_t>& bytes);
+
+/// Decoder state machine for a block stream. Feed blocks in order; complete
+/// frames are appended to `frames`. Idle blocks between frames are ignored
+/// (their DTP content is handled a layer below). Malformed sequences (data
+/// before /S/, missing /T/) raise `DecodeError`.
+class FrameDecoder {
+ public:
+  struct DecodeError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+
+  /// Feed one block. Returns true when this block completed a frame; the
+  /// frame is then available via `take_frame()`.
+  bool feed(const Block& b);
+
+  /// Retrieve the most recently completed frame (moves it out).
+  std::vector<std::uint8_t> take_frame();
+
+  /// True while mid-frame (between /S/ and /T/).
+  bool in_frame() const { return in_frame_; }
+
+ private:
+  bool in_frame_ = false;
+  std::vector<std::uint8_t> current_;
+  std::vector<std::uint8_t> completed_;
+  bool has_completed_ = false;
+};
+
+}  // namespace dtpsim::phy

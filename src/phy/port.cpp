@@ -1,0 +1,162 @@
+#include "phy/port.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace dtpsim::phy {
+
+PhyPort::PhyPort(sim::Simulator& sim, Oscillator& osc, PortParams params, std::string name)
+    : sim_(sim),
+      osc_(osc),
+      params_(params),
+      name_(std::move(name)),
+      fifo_(params.fifo, sim.fork_rng(std::hash<std::string>{}(name_) | 1)) {}
+
+fs_t PhyPort::propagation_delay() const {
+  if (!cable_) throw std::logic_error("PhyPort: no cable attached");
+  return cable_->propagation_delay();
+}
+
+void PhyPort::link_established(Cable* cable, PhyPort* peer) {
+  if (cable_) throw std::logic_error("PhyPort: already connected");
+  cable_ = cable;
+  peer_ = peer;
+  line_free_ = std::max(line_free_, sim_.now());
+  frame_allowed_ = std::max(frame_allowed_, sim_.now());
+  if (on_link_up) on_link_up();
+  // Control requests queued while the link was down get slots now.
+  schedule_control_service();
+}
+
+void PhyPort::link_lost() {
+  cable_ = nullptr;
+  peer_ = nullptr;
+  if (on_link_down) on_link_down();
+}
+
+void PhyPort::request_control_slot(ControlFactory factory) {
+  if (!factory) throw std::invalid_argument("PhyPort: empty control factory");
+  control_queue_.push_back(std::move(factory));
+  schedule_control_service();
+}
+
+void PhyPort::schedule_control_service() {
+  if (control_service_scheduled_ || control_queue_.empty() || !link_up()) return;
+  control_service_scheduled_ = true;
+
+  const fs_t slot = osc_.next_edge_at_or_after(std::max(sim_.now(), line_free_));
+  sim_.schedule_at(slot, [this] {
+    control_service_scheduled_ = false;
+    if (control_queue_.empty() || !link_up()) return;
+    // The line may have been claimed by a frame since we picked this slot;
+    // if so, try again at the new free time.
+    if (line_free_ > sim_.now()) {
+      schedule_control_service();
+      return;
+    }
+    const fs_t tx_start = osc_.next_edge_at_or_after(sim_.now());
+    if (tx_start > sim_.now()) {
+      // Drifted off the edge lattice (period change); realign.
+      schedule_control_service();
+      return;
+    }
+    const std::int64_t tx_tick = osc_.tick_at(tx_start);
+    ControlFactory factory = std::move(control_queue_.front());
+    control_queue_.pop_front();
+    const std::uint64_t bits = factory(tx_start, tx_tick);
+    const fs_t tx_end = osc_.edge_of_tick(tx_tick + 1);
+    line_free_ = tx_end;
+    ++control_sent_;
+    cable_->transmit_control(*this, bits, tx_end);
+    schedule_control_service();
+  });
+}
+
+fs_t PhyPort::frame_clear_time() const {
+  return std::max(frame_allowed_, line_free_);
+}
+
+PhyPort::TxTiming PhyPort::send_frame(std::uint32_t wire_bytes,
+                                      std::shared_ptr<const void> payload) {
+  if (!link_up()) throw std::logic_error("PhyPort: send_frame with link down");
+  const fs_t start = osc_.next_edge_at_or_after(std::max(sim_.now(), frame_clear_time()));
+  const std::int64_t start_tick = osc_.tick_at(start);
+  const std::int64_t blocks = blocks_for_frame(wire_bytes);
+  const fs_t end = osc_.edge_of_tick(start_tick + blocks);
+  line_free_ = end;
+  frame_allowed_ = osc_.edge_of_tick(start_tick + blocks + params_.ipg_blocks);
+  ++frames_sent_;
+  cable_->transmit_frame(*this, wire_bytes, std::move(payload), end);
+  // A control request queued mid-frame gets the IPG slot right after `end`.
+  schedule_control_service();
+  return TxTiming{start, end, frame_allowed_};
+}
+
+void PhyPort::deliver_control(std::uint64_t bits56, fs_t tx_end, bool corrupted) {
+  const fs_t wire_arrival = tx_end;  // propagation already applied by cable
+  const CrossingResult crossing = fifo_.cross(osc_, wire_arrival);
+  sim_.schedule_at(crossing.visible_time, [this, bits56, wire_arrival, crossing, corrupted] {
+    if (on_control) on_control(ControlRx{bits56, wire_arrival, crossing, corrupted});
+  });
+}
+
+void PhyPort::deliver_frame(FrameRx rx) {
+  if (on_frame) on_frame(rx);
+}
+
+Cable::Cable(sim::Simulator& sim, PhyPort& a, PhyPort& b, Params params)
+    : sim_(sim), a_(a), b_(b), params_(params), rng_(sim.fork_rng(0xCAB1E)) {
+  if (&a == &b) throw std::invalid_argument("Cable: cannot connect a port to itself");
+  if (params_.propagation_delay < 0) throw std::invalid_argument("Cable: negative delay");
+  a_.link_established(this, &b_);
+  b_.link_established(this, &a_);
+}
+
+void Cable::disconnect() {
+  if (!connected_) return;
+  connected_ = false;
+  a_.link_lost();
+  b_.link_lost();
+}
+
+PhyPort& Cable::other_side(const PhyPort& from) { return &from == &a_ ? b_ : a_; }
+
+void Cable::transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end) {
+  bool corrupted = false;
+  if (params_.ber > 0.0) {
+    // One 66-bit block of exposure.
+    const double p_block = 1.0 - std::pow(1.0 - params_.ber, 66.0);
+    if (rng_.bernoulli(p_block)) {
+      corrupted = true;
+      ++corrupted_control_;
+      bits56 ^= (1ULL << rng_.uniform(56));  // flip one payload bit
+    }
+  }
+  PhyPort& to = other_side(from);
+  const fs_t arrival = tx_end + params_.propagation_delay;
+  sim_.schedule_at(arrival, [&to, bits56, arrival, corrupted] {
+    to.deliver_control(bits56, arrival, corrupted);
+  });
+}
+
+void Cable::transmit_frame(PhyPort& from, std::uint32_t wire_bytes,
+                           std::shared_ptr<const void> payload, fs_t tx_end) {
+  bool fcs_ok = true;
+  if (params_.ber > 0.0) {
+    const double bits = static_cast<double>(wire_bytes) * 8.0;
+    const double p_frame = 1.0 - std::pow(1.0 - params_.ber, bits);
+    if (rng_.bernoulli(p_frame)) {
+      fcs_ok = false;
+      ++corrupted_frames_;
+    }
+  }
+  PhyPort& to = other_side(from);
+  const fs_t arrival = tx_end + params_.propagation_delay;
+  sim_.schedule_at(arrival, [&to, payload = std::move(payload), wire_bytes, fcs_ok, arrival] {
+    to.deliver_frame(FrameRx{payload, wire_bytes, fcs_ok, arrival});
+  });
+}
+
+}  // namespace dtpsim::phy

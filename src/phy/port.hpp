@@ -1,0 +1,200 @@
+#pragma once
+
+/// \file port.hpp
+/// A DTP-capable physical port and the cable that joins two of them.
+///
+/// `PhyPort` models the TX/RX paths of one network port at block
+/// granularity without simulating every idle block as an event:
+///
+///   * Frame transmissions occupy the line for `blocks_for_frame` ticks of
+///     the local oscillator, followed by a minimum inter-packet gap (the
+///     standard's >= 12 idle characters), exactly the lattice the paper's
+///     Section 4.1 describes.
+///   * DTP control messages are 56-bit values carried in one idle (/E/)
+///     block. Upper layers do not hand the port a finished message; they
+///     hand it a *factory* that is invoked at the instant the block is
+///     serialized, because DTP hardware stamps the counter at transmission
+///     time (Section 4.2: the DTP sublayer and the TX PCS share one clock
+///     domain, so insertion costs zero delay).
+///   * The receive path delivers control messages through a SyncFifo
+///     crossing into the local clock domain — the paper's only source of
+///     nondeterminism — and frames after full reception (store-and-forward
+///     at the receiving MAC boundary).
+///
+/// A `Cable` couples two ports with a symmetric, constant propagation delay
+/// (Section 3.1's assumption) and an optional bit-error rate that corrupts
+/// control payloads and frames (Section 3.2 "Handling failures").
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/time_units.hpp"
+#include "phy/oscillator.hpp"
+#include "phy/rates.hpp"
+#include "phy/sync_fifo.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtpsim::phy {
+
+class Cable;
+
+/// A control message (one /E/ block) delivered to the local clock domain.
+struct ControlRx {
+  std::uint64_t bits56 = 0;    ///< 56-bit idle-field payload (possibly corrupted)
+  fs_t wire_arrival = 0;       ///< when the block finished arriving on the wire
+  CrossingResult crossing{};   ///< when/where it became visible locally
+  bool corrupted = false;      ///< ground truth: did the cable flip a bit?
+};
+
+/// A frame delivered to the MAC boundary.
+struct FrameRx {
+  std::shared_ptr<const void> payload;  ///< opaque upper-layer object
+  std::uint32_t wire_bytes = 0;         ///< size on the wire incl. preamble
+  bool fcs_ok = true;                   ///< false if the cable corrupted it
+  fs_t arrival_time = 0;                ///< last bit on the wire
+};
+
+/// Per-port configuration.
+struct PortParams {
+  LinkRate rate = LinkRate::k10G;
+  int ipg_blocks = 2;        ///< minimum idle blocks between frames (>= 12 /I/)
+  SyncFifoParams fifo{};     ///< CDC model parameters
+};
+
+/// One physical port: TX serialization, RX delivery, DTP idle-block slots.
+class PhyPort {
+ public:
+  /// Invoked when an idle-block slot is granted; returns the 56 bits to
+  /// send. `tx_time`/`tx_tick` identify the local tick whose block carries
+  /// the message.
+  using ControlFactory = std::function<std::uint64_t(fs_t tx_time, std::int64_t tx_tick)>;
+
+  /// \param sim  simulator (must outlive the port)
+  /// \param osc  local oscillator — the TX clock domain (must outlive)
+  PhyPort(sim::Simulator& sim, Oscillator& osc, PortParams params, std::string name);
+
+  PhyPort(const PhyPort&) = delete;
+  PhyPort& operator=(const PhyPort&) = delete;
+
+  const std::string& name() const { return name_; }
+  Oscillator& oscillator() { return osc_; }
+  const Oscillator& oscillator() const { return osc_; }
+  const RateSpec& rate() const { return rate_spec(params_.rate); }
+  const PortParams& params() const { return params_; }
+
+  bool link_up() const { return peer_ != nullptr; }
+  PhyPort* peer() { return peer_; }
+  /// One-way propagation delay of the attached cable; requires link_up().
+  fs_t propagation_delay() const;
+
+  /// Queue a control-message factory; it is granted the next idle block
+  /// (immediately if the line is idle, in the next inter-packet gap if not).
+  void request_control_slot(ControlFactory factory);
+
+  /// Number of factories waiting for an idle block.
+  std::size_t pending_control() const { return control_queue_.size(); }
+
+  /// Earliest time a new frame may start serializing (IPG respected).
+  fs_t frame_clear_time() const;
+
+  /// Timing of one frame transmission.
+  struct TxTiming {
+    fs_t start;               ///< first bit on the wire (hardware TX timestamp point)
+    fs_t end;                 ///< last bit on the wire
+    fs_t next_frame_allowed;  ///< end plus inter-packet gap
+  };
+
+  /// Serialize a frame starting at the first permissible tick edge at or
+  /// after now. Requires link_up().
+  TxTiming send_frame(std::uint32_t wire_bytes, std::shared_ptr<const void> payload);
+
+  /// Total frames / control blocks this port transmitted (diagnostics; the
+  /// zero-overhead claim is `frames_sent` unchanged by enabling DTP).
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t control_blocks_sent() const { return control_sent_; }
+
+  // Upper-layer hooks. All optional; unset hooks drop the event.
+  std::function<void()> on_link_up;                  ///< fired when cable attaches
+  std::function<void()> on_link_down;                ///< fired when cable detaches
+  std::function<void(const ControlRx&)> on_control;  ///< DTP sublayer input
+  std::function<void(const FrameRx&)> on_frame;      ///< MAC input
+
+ private:
+  friend class Cable;
+
+  void link_established(Cable* cable, PhyPort* peer);
+  void link_lost();
+  void deliver_control(std::uint64_t bits56, fs_t tx_end, bool corrupted);
+  void deliver_frame(FrameRx rx);
+  void schedule_control_service();
+
+  sim::Simulator& sim_;
+  Oscillator& osc_;
+  PortParams params_;
+  std::string name_;
+  Cable* cable_ = nullptr;
+  PhyPort* peer_ = nullptr;
+  SyncFifo fifo_;
+
+  fs_t line_free_ = 0;      ///< end of the last serialized block
+  fs_t frame_allowed_ = 0;  ///< line_free_ plus any outstanding IPG
+  std::deque<ControlFactory> control_queue_;
+  bool control_service_scheduled_ = false;
+
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t control_sent_ = 0;
+};
+
+/// Full-duplex point-to-point cable between two ports.
+class Cable {
+ public:
+  struct Params {
+    fs_t propagation_delay = from_ns(50);  ///< ~10 m of fiber/twinax
+    double ber = 0.0;                      ///< per-bit error probability
+  };
+
+  /// Connect `a` and `b`; both ports' `on_link_up` hooks fire immediately.
+  Cable(sim::Simulator& sim, PhyPort& a, PhyPort& b, Params params);
+
+  Cable(const Cable&) = delete;
+  Cable& operator=(const Cable&) = delete;
+
+  /// Unplug the cable: both ports go link-down (their `on_link_down` hooks
+  /// fire) and can later be re-connected with a fresh Cable. Messages and
+  /// frames already on the wire still arrive; nothing new can be sent.
+  /// Idempotent.
+  void disconnect();
+  bool connected() const { return connected_; }
+
+  fs_t propagation_delay() const { return params_.propagation_delay; }
+  double ber() const { return params_.ber; }
+
+  /// Cumulative corrupted transmissions (diagnostics).
+  std::uint64_t corrupted_control() const { return corrupted_control_; }
+  std::uint64_t corrupted_frames() const { return corrupted_frames_; }
+
+ private:
+  friend class PhyPort;
+
+  PhyPort& other_side(const PhyPort& from);
+  /// Move one control block across; applies BER and schedules delivery.
+  void transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end);
+  /// Move one frame across; applies BER and schedules delivery.
+  void transmit_frame(PhyPort& from, std::uint32_t wire_bytes,
+                      std::shared_ptr<const void> payload, fs_t tx_end);
+
+  sim::Simulator& sim_;
+  PhyPort& a_;
+  PhyPort& b_;
+  Params params_;
+  Rng rng_;
+  bool connected_ = true;
+  std::uint64_t corrupted_control_ = 0;
+  std::uint64_t corrupted_frames_ = 0;
+};
+
+}  // namespace dtpsim::phy

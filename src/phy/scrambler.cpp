@@ -1,0 +1,52 @@
+#include "phy/scrambler.hpp"
+
+namespace dtpsim::phy {
+
+namespace {
+constexpr std::uint64_t kStateMask = (1ULL << 58) - 1;
+}
+
+Scrambler::Scrambler(std::uint64_t seed) : state_(seed & kStateMask) {}
+
+std::uint64_t Scrambler::scramble(std::uint64_t payload) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t in_bit = (payload >> i) & 1;
+    // s_out = in ^ s38 ^ s57 (taps at x^39 and x^58 of the shift register).
+    const std::uint64_t s39 = (state_ >> 38) & 1;
+    const std::uint64_t s58 = (state_ >> 57) & 1;
+    const std::uint64_t out_bit = in_bit ^ s39 ^ s58;
+    out |= out_bit << i;
+    state_ = ((state_ << 1) | out_bit) & kStateMask;
+  }
+  return out;
+}
+
+Block Scrambler::scramble_block(Block b) {
+  b.payload = scramble(b.payload);
+  return b;
+}
+
+Descrambler::Descrambler(std::uint64_t seed) : state_(seed & kStateMask) {}
+
+std::uint64_t Descrambler::descramble(std::uint64_t payload) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t in_bit = (payload >> i) & 1;
+    const std::uint64_t s39 = (state_ >> 38) & 1;
+    const std::uint64_t s58 = (state_ >> 57) & 1;
+    const std::uint64_t out_bit = in_bit ^ s39 ^ s58;
+    out |= out_bit << i;
+    // Self-synchronizing: the shift register holds *received* (scrambled)
+    // bits, so any seed converges after 58 bits.
+    state_ = ((state_ << 1) | in_bit) & kStateMask;
+  }
+  return out;
+}
+
+Block Descrambler::descramble_block(Block b) {
+  b.payload = descramble(b.payload);
+  return b;
+}
+
+}  // namespace dtpsim::phy

@@ -1,0 +1,23 @@
+#include "phy/sync_fifo.hpp"
+
+namespace dtpsim::phy {
+
+CrossingResult SyncFifo::cross(const Oscillator& local, fs_t arrival) {
+  // Phase quantization: wait for the next local edge strictly after arrival
+  // (a bit landing exactly on an edge cannot be captured by that edge).
+  const fs_t first_edge = local.next_edge_after(arrival);
+  std::int64_t tick = local.tick_at(first_edge);
+
+  // The capture flop only behaves nondeterministically when the data
+  // transition lands within the metastability window of the edge; elsewhere
+  // the crossing is a pure function of phase.
+  const fs_t window =
+      static_cast<fs_t>(params_.metastability_window * static_cast<double>(local.period()));
+  const bool near_edge = (first_edge - arrival) <= window;
+  const int extra = (near_edge && rng_.bernoulli(params_.extra_cycle_prob)) ? 1 : 0;
+  tick += extra + params_.pipeline_cycles;
+
+  return CrossingResult{tick, local.edge_of_tick(tick), extra};
+}
+
+}  // namespace dtpsim::phy

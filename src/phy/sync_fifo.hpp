@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file sync_fifo.hpp
+/// Clock-domain-crossing (CDC) synchronization FIFO model.
+///
+/// A DTP message is recovered in the RX clock domain (the *sender's* clock,
+/// recovered from the bitstream) and must cross into the receiver's local TX
+/// clock domain where the DTP logic and counter live. The crossing costs:
+///
+///   * phase quantization — the message waits for the next local tick edge
+///     (0..T of delay, deterministic given the phase relation), and
+///   * metastability guard flops — with some probability the consumer
+///     samples one cycle later (the "one random delay" of Section 2.5), and
+///   * a fixed processing pipeline of a few cycles (deterministic; it is
+///     absorbed into the measured one-way delay during INIT).
+///
+/// This FIFO is the *only* nondeterminism in an otherwise deterministic DTP
+/// datapath; the paper's entire +-2-tick OWD error analysis (Section 3.3)
+/// and the alpha = 3 correction exist because of it.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time_units.hpp"
+#include "phy/oscillator.hpp"
+
+namespace dtpsim::phy {
+
+/// Tunables for the CDC model.
+struct SyncFifoParams {
+  /// Probability the guard flop adds a cycle *when the arrival lands inside
+  /// the metastability window*.
+  double extra_cycle_prob = 0.5;
+  int pipeline_cycles = 2;  ///< deterministic RX processing pipeline
+  /// Fraction of the local period around the capture edge within which the
+  /// sampled bit may resolve either way. Outside the window the crossing
+  /// delay is a *deterministic* function of the (slowly drifting) phase
+  /// relation between the two clock domains — which is why real DTP offsets
+  /// wander smoothly inside the bound rather than jittering per message
+  /// (Fig. 6a/6b), and why the paper speaks of "one random delay [that]
+  /// *could* be added".
+  double metastability_window = 0.08;
+};
+
+/// Result of a crossing: when the receiver's logic first sees the message.
+struct CrossingResult {
+  std::int64_t visible_tick;  ///< receiver-local tick index of visibility
+  fs_t visible_time;          ///< edge time of that tick
+  int random_extra;           ///< 0 or 1: the metastability cycle actually added
+};
+
+/// Models one synchronization FIFO between the recovered RX clock and a
+/// local oscillator's domain.
+class SyncFifo {
+ public:
+  SyncFifo(SyncFifoParams params, Rng rng) : params_(params), rng_(rng) {}
+
+  /// Compute when a message arriving on the wire at `arrival` becomes
+  /// visible to logic clocked by `local`.
+  CrossingResult cross(const Oscillator& local, fs_t arrival);
+
+  const SyncFifoParams& params() const { return params_; }
+
+ private:
+  SyncFifoParams params_;
+  Rng rng_;
+};
+
+}  // namespace dtpsim::phy

@@ -1,0 +1,25 @@
+#include "phy/syntonize.hpp"
+
+#include <cmath>
+
+namespace dtpsim::phy {
+
+Syntonizer::Syntonizer(sim::Simulator& sim, Oscillator& slave, const Oscillator& upstream,
+                       SyntonizeParams params, Rng rng)
+    : sim_(sim),
+      slave_(slave),
+      upstream_(upstream),
+      params_(params),
+      rng_(rng),
+      proc_(sim, params.update_interval, [this] { update(); }) {}
+
+void Syntonizer::update() {
+  // The recovered clock IS the upstream TX clock; the cleanup PLL adds a
+  // small multiplicative residual.
+  last_residual_ppb_ = rng_.normal(0.0, params_.residual_ppb);
+  const double period = static_cast<double>(upstream_.period()) *
+                        (1.0 + last_residual_ppb_ * 1e-9);
+  slave_.set_period_at(sim_.now(), static_cast<fs_t>(std::llround(period)));
+}
+
+}  // namespace dtpsim::phy

@@ -1,0 +1,99 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace dtpsim::sim {
+
+Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {}
+
+EventHandle Simulator::schedule_at(fs_t t, std::function<void()> fn) {
+  if (t < now_) throw std::logic_error("Simulator::schedule_at: time in the past");
+  if (!fn) throw std::invalid_argument("Simulator::schedule_at: empty callback");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  return EventHandle(id);
+}
+
+EventHandle Simulator::schedule_in(fs_t dt, std::function<void()> fn) {
+  if (dt < 0) throw std::logic_error("Simulator::schedule_in: negative delay");
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid() || h.id() >= next_id_) return false;
+  // Lazy cancellation: mark the id; the event is skipped when popped.
+  return cancelled_.insert(h.id()).second;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(fs_t t_end) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t_end) break;
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, fs_t period, std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  if (period_ <= 0) throw std::invalid_argument("PeriodicProcess: period must be > 0");
+  if (!fn_) throw std::invalid_argument("PeriodicProcess: empty callback");
+}
+
+PeriodicProcess::~PeriodicProcess() { stop(); }
+
+void PeriodicProcess::start() { start_with_phase(period_); }
+
+void PeriodicProcess::start_with_phase(fs_t phase) {
+  if (running_) return;
+  running_ = true;
+  arm(phase);
+}
+
+void PeriodicProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = EventHandle();
+}
+
+void PeriodicProcess::set_period(fs_t period) {
+  if (period <= 0) throw std::invalid_argument("PeriodicProcess: period must be > 0");
+  period_ = period;
+}
+
+void PeriodicProcess::arm(fs_t delay) {
+  pending_ = sim_.schedule_in(delay, [this] {
+    if (!running_) return;
+    fn_();
+    if (running_) arm(period_);
+  });
+}
+
+}  // namespace dtpsim::sim

@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Discrete-event simulation engine.
+///
+/// The whole reproduction runs on one sequential event loop: protocol
+/// actions, frame boundaries, oscillator drift updates, and measurement
+/// probes are events; clock counters are computed analytically between
+/// events (see phy::Oscillator). Determinism rules:
+///   * events at equal timestamps fire in scheduling order (FIFO tie-break),
+///   * all randomness flows from Rng streams forked off the simulator's root
+///     seed, so a (topology, seed) pair fully determines a run.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time_units.hpp"
+
+namespace dtpsim::sim {
+
+/// Handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if this handle refers to a scheduled (possibly already fired) event.
+  bool valid() const { return id_ != 0; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Sequential discrete-event simulator with femtosecond time.
+class Simulator {
+ public:
+  /// \param seed root seed; every component forks its RNG stream from here.
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  fs_t now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(fs_t t, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay of `dt` (must be >= 0).
+  EventHandle schedule_in(fs_t dt, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid handle is
+  /// a no-op; returns whether the event was actually pending.
+  bool cancel(EventHandle h);
+
+  /// Run until the queue is empty or `t_end` is reached; the simulation clock
+  /// lands exactly on `t_end` even if no event fires there.
+  void run_until(fs_t t_end);
+
+  /// Run until the event queue drains completely.
+  void run();
+
+  /// Fire exactly one event if any is pending; returns whether one fired.
+  bool step();
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  std::size_t events_pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Fork an independent RNG stream, tagged by purpose (component id etc.).
+  Rng fork_rng(std::uint64_t tag) { return root_rng_.fork(tag); }
+
+  /// Root seed the simulator was constructed with.
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Event {
+    fs_t time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  fs_t now_ = 0;
+  std::uint64_t seed_;
+  Rng root_rng_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Repeatedly runs a callback with a fixed period; the callback may stop the
+/// process. Periods may be changed between firings.
+class PeriodicProcess {
+ public:
+  /// \param sim      owning simulator (must outlive the process)
+  /// \param period   interval between invocations, > 0
+  /// \param fn       invoked once per period while running
+  PeriodicProcess(Simulator& sim, fs_t period, std::function<void()> fn);
+  ~PeriodicProcess();
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Begin firing; first invocation happens one period from now (or `phase`
+  /// from now if given).
+  void start();
+  void start_with_phase(fs_t phase);
+
+  /// Stop firing; safe to call from inside the callback.
+  void stop();
+
+  bool running() const { return running_; }
+  fs_t period() const { return period_; }
+
+  /// Change the period; takes effect from the next scheduling decision.
+  void set_period(fs_t period);
+
+ private:
+  void arm(fs_t delay);
+
+  Simulator& sim_;
+  fs_t period_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  EventHandle pending_;
+};
+
+}  // namespace dtpsim::sim

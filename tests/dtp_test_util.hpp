@@ -1,0 +1,55 @@
+#pragma once
+
+/// Shared fixtures for DTP protocol tests: small networks with explicit
+/// oscillator offsets, agents attached, ready to run.
+
+#include <memory>
+
+#include "dtp/agent.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtpsim::dtp::testutil {
+
+/// Two hosts joined by one cable, DTP on both.
+struct TwoNodes {
+  sim::Simulator sim;
+  net::Network net;
+  net::Host* a = nullptr;
+  net::Host* b = nullptr;
+  std::unique_ptr<Agent> agent_a;
+  std::unique_ptr<Agent> agent_b;
+
+  TwoNodes(std::uint64_t seed, double ppm_a, double ppm_b, DtpParams params = {},
+           net::NetworkParams net_params = {})
+      : sim(seed), net(sim, net_params) {
+    a = &net.add_host("a", ppm_a);
+    b = &net.add_host("b", ppm_b);
+    net.connect(*a, *b);
+    agent_a = std::make_unique<Agent>(*a, params);
+    agent_b = std::make_unique<Agent>(*b, params);
+  }
+
+  PortLogic& port_a() { return agent_a->port_logic(0); }
+  PortLogic& port_b() { return agent_b->port_logic(0); }
+
+  /// |gc_a - gc_b| in fractional ticks right now.
+  double abs_offset_ticks() const {
+    return std::abs(true_offset_fractional(*agent_a, *agent_b, sim.now())) /
+           static_cast<double>(agent_a->params().counter_delta);
+  }
+};
+
+/// Run the simulation in steps of `step`, calling `check` after each step.
+template <typename Fn>
+void run_sampled(sim::Simulator& sim, fs_t until, fs_t step, Fn&& check) {
+  while (sim.now() < until) {
+    fs_t next = sim.now() + step;
+    if (next > until) next = until;
+    sim.run_until(next);
+    check(sim.now());
+  }
+}
+
+}  // namespace dtpsim::dtp::testutil

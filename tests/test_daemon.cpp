@@ -1,0 +1,174 @@
+#include "dtp/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dtp/external.hpp"
+#include "dtp_test_util.hpp"
+
+namespace dtpsim::dtp {
+namespace {
+
+using namespace dtpsim::literals;
+using testutil::TwoNodes;
+
+DaemonParams fast_daemon() {
+  DaemonParams dp;
+  dp.poll_period = from_ms(20);
+  dp.sample_period = from_ms(2);
+  return dp;
+}
+
+TEST(Daemon, CalibratesAfterTwoPolls) {
+  TwoNodes n(91, 50.0, -50.0);
+  Daemon d(n.sim, *n.agent_a, fast_daemon(), 10.0);
+  d.start();
+  EXPECT_FALSE(d.calibrated());
+  EXPECT_THROW(d.get_dtp_counter(0), std::logic_error);
+  n.sim.run_until(100_ms);
+  EXPECT_TRUE(d.calibrated());
+  EXPECT_GE(d.polls(), 4u);
+}
+
+TEST(Daemon, EstimateTracksCounter) {
+  TwoNodes n(92, 50.0, -50.0);
+  Daemon d(n.sim, *n.agent_a, fast_daemon(), 10.0);
+  d.start();
+  n.sim.run_until(500_ms);
+  const fs_t now = n.sim.now();
+  const double est = d.get_dtp_counter(now);
+  const double truth = n.agent_a->global_fractional_at(now);
+  EXPECT_NEAR(est, truth, 120.0) << "within ~120 ticks even at a poll boundary";
+}
+
+TEST(Daemon, RawOffsetUsuallyWithin16Ticks) {
+  // Fig. 7a: offset_sw usually <= 16 ticks (~102.4 ns) with spikes.
+  TwoNodes n(93, 50.0, -50.0);
+  Daemon d(n.sim, *n.agent_a, fast_daemon(), 25.0);
+  d.start();
+  n.sim.run_until(2_sec);
+  const auto& pts = d.raw_series().points();
+  ASSERT_GT(pts.size(), 500u);
+  std::size_t within = 0;
+  for (const auto& p : pts) within += std::abs(p.value) <= 16.0;
+  EXPECT_GT(static_cast<double>(within) / static_cast<double>(pts.size()), 0.85)
+      << "usually within 16 ticks";
+}
+
+TEST(Daemon, SmoothingTightensToFourTicks) {
+  // Fig. 7b: window-10 moving average usually within 4 ticks.
+  TwoNodes n(94, 50.0, -50.0);
+  Daemon d(n.sim, *n.agent_a, fast_daemon(), 25.0);
+  d.start();
+  n.sim.run_until(2_sec);
+  const auto& raw = d.raw_series().points();
+  const auto& smooth = d.smoothed_series().points();
+  ASSERT_EQ(raw.size(), smooth.size());
+  std::size_t smooth_within = 0;
+  for (std::size_t i = 0; i < smooth.size(); ++i)
+    smooth_within += std::abs(smooth[i].value) <= 4.0;
+  EXPECT_GT(static_cast<double>(smooth_within) / static_cast<double>(smooth.size()), 0.8);
+  EXPECT_LE(d.smoothed_series().stats().stddev(), d.raw_series().stats().stddev())
+      << "smoothing must not widen the spread";
+}
+
+TEST(Daemon, SpikesAppearInRawSeries) {
+  DaemonParams dp = fast_daemon();
+  dp.pcie_spike_prob = 0.3;  // force spikes
+  dp.pcie_spike_mean = from_us(1);
+  TwoNodes n(95, 0.0, 0.0);
+  Daemon d(n.sim, *n.agent_a, dp, 0.0);
+  d.start();
+  n.sim.run_until(2_sec);
+  EXPECT_GT(d.raw_series().stats().max_abs(), 30.0)
+      << "PCIe spikes must show as large raw offsets";
+}
+
+TEST(Daemon, TimeInNsMatchesTickScale) {
+  TwoNodes n(96, 0.0, 0.0);
+  Daemon d(n.sim, *n.agent_a, fast_daemon(), 5.0);
+  d.start();
+  n.sim.run_until(1_sec);
+  const double t_ns = d.get_time_ns(n.sim.now());
+  // One second of 6.4 ns ticks ~ 1e9 ns on the counter.
+  EXPECT_NEAR(t_ns, 1e9, 2e6);
+}
+
+TEST(Daemon, TwoDaemonsAgreeAcrossTheWire) {
+  // The point of the whole system: software clocks on two hosts agree to
+  // tens of ns because the hardware counters agree to 4 ticks.
+  TwoNodes n(97, 100.0, -100.0);
+  Daemon da(n.sim, *n.agent_a, fast_daemon(), 30.0);
+  Daemon db(n.sim, *n.agent_b, fast_daemon(), -20.0);
+  da.start();
+  db.start();
+  n.sim.run_until(2_sec);
+  SampleSeries disagreement;
+  testutil::run_sampled(n.sim, 3_sec, 10_ms, [&](fs_t t) {
+    disagreement.add(da.get_dtp_counter(t) - db.get_dtp_counter(t));
+  });
+  // End-to-end: 4TD (hardware) + 8T (two software accesses) ~ 12 ticks for
+  // D = 1, *usually* (PCIe spikes break it occasionally, as in Fig. 7a).
+  EXPECT_LE(disagreement.percentile(90), 12.0);
+  EXPECT_GE(disagreement.percentile(10), -12.0);
+  EXPECT_LE(disagreement.max_abs(), 200.0);
+  EXPECT_LE(std::abs(disagreement.mean()), 10.0);
+}
+
+TEST(ExternalSync, ClientLearnsUtc) {
+  TwoNodes n(98, 50.0, -50.0);
+  Daemon da(n.sim, *n.agent_a, fast_daemon(), 10.0);
+  Daemon db(n.sim, *n.agent_b, fast_daemon(), -10.0);
+  da.start();
+  db.start();
+  UtcBroadcaster bc(n.sim, *n.a, da, from_ms(200));
+  UtcClient client(*n.b, db);
+  bc.start();
+  n.sim.run_until(3_sec);
+  ASSERT_TRUE(client.ready());
+  EXPECT_GT(client.pairs_received(), 5u);
+  const fs_t now = n.sim.now();
+  const double err_ns = (client.utc_at(now) - static_cast<double>(now)) /
+                        static_cast<double>(kFsPerNs);
+  EXPECT_LT(std::abs(err_ns), 1'000.0) << "UTC estimate within a microsecond";
+}
+
+TEST(ExternalSync, ErrorSeriesStaysSmall) {
+  TwoNodes n(99, 50.0, -50.0);
+  Daemon da(n.sim, *n.agent_a, fast_daemon(), 10.0);
+  Daemon db(n.sim, *n.agent_b, fast_daemon(), -10.0);
+  da.start();
+  db.start();
+  UtcBroadcaster bc(n.sim, *n.a, da, from_ms(200));
+  UtcClient client(*n.b, db);
+  bc.start();
+  n.sim.run_until(5_sec);
+  ASSERT_GT(client.error_series().points().size(), 10u);
+  // Skip the first ratio estimates; steady state should be sub-us.
+  const auto& pts = client.error_series().points();
+  double worst = 0;
+  for (std::size_t i = pts.size() / 2; i < pts.size(); ++i)
+    worst = std::max(worst, std::abs(pts[i].value));
+  EXPECT_LT(worst, 1'000.0) << "ns-scale UTC agreement in steady state";
+}
+
+TEST(ExternalSync, ServerUtcErrorPropagates) {
+  // A GPS-grade server error (~100 ns) bounds what clients can achieve.
+  TwoNodes n(100, 0.0, 0.0);
+  Daemon da(n.sim, *n.agent_a, fast_daemon(), 0.0);
+  Daemon db(n.sim, *n.agent_b, fast_daemon(), 0.0);
+  da.start();
+  db.start();
+  UtcBroadcaster bc(n.sim, *n.a, da, from_ms(200), /*utc_error_ns=*/100.0);
+  UtcClient client(*n.b, db);
+  bc.start();
+  n.sim.run_until(5_sec);
+  ASSERT_TRUE(client.ready());
+  const auto& pts = client.error_series().points();
+  StreamingStats tail;
+  for (std::size_t i = pts.size() / 2; i < pts.size(); ++i) tail.add(pts[i].value);
+  EXPECT_GT(tail.stddev(), 1.0) << "server noise must be visible";
+  EXPECT_LT(tail.max_abs(), 5'000.0);
+}
+
+}  // namespace
+}  // namespace dtpsim::dtp

@@ -1,0 +1,117 @@
+#include "dtp/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dtp/fault.hpp"
+
+namespace dtpsim::dtp {
+namespace {
+
+using namespace dtpsim::literals;
+
+TEST(TickCounter, AdvancesDeltaPerTick) {
+  TickCounter c(1, 0);
+  EXPECT_EQ(c.at_tick(0).low64(), 0u);
+  EXPECT_EQ(c.at_tick(100).low64(), 100u);
+}
+
+TEST(TickCounter, MultiRateDelta) {
+  TickCounter c(20, 0);  // 10G in 0.32 ns units
+  EXPECT_EQ(c.at_tick(5).low64(), 100u);
+}
+
+TEST(TickCounter, ZeroDeltaRejected) {
+  EXPECT_THROW(TickCounter(0, 0), std::invalid_argument);
+}
+
+TEST(TickCounter, QueryBeforeAnchorThrows) {
+  TickCounter c(1, 50);
+  EXPECT_THROW(c.at_tick(49), std::logic_error);
+  EXPECT_EQ(c.at_tick(50).low64(), 0u);
+}
+
+TEST(TickCounter, FastForwardMovesUp) {
+  TickCounter c(1, 0);
+  const auto jump = c.fast_forward(10, WideCounter(15));  // counter was 10
+  EXPECT_EQ(static_cast<std::uint64_t>(jump), 5u);
+  EXPECT_EQ(c.at_tick(10).low64(), 15u);
+  EXPECT_EQ(c.at_tick(12).low64(), 17u);
+}
+
+TEST(TickCounter, FastForwardNeverMovesDown) {
+  TickCounter c(1, 0);
+  const auto jump = c.fast_forward(10, WideCounter(3));  // counter was 10
+  EXPECT_EQ(static_cast<std::uint64_t>(jump), 0u);
+  EXPECT_EQ(c.at_tick(10).low64(), 10u) << "max() semantics: no regression";
+}
+
+TEST(TickCounter, FastForwardReanchors) {
+  TickCounter c(1, 0);
+  c.fast_forward(10, WideCounter(5));  // no-op value-wise
+  EXPECT_EQ(c.anchor_tick(), 10);
+  EXPECT_THROW(c.at_tick(9), std::logic_error);
+}
+
+TEST(TickCounter, MonotoneUnderMixedOperations) {
+  TickCounter c(1, 0);
+  std::uint64_t last = 0;
+  for (std::int64_t k = 1; k < 100; ++k) {
+    if (k % 7 == 0) c.fast_forward(k, c.at_tick(k).plus(2));
+    if (k % 11 == 0) c.fast_forward(k, WideCounter(1));  // stale small value
+    const auto v = c.at_tick(k).low64();
+    EXPECT_GE(v, last);
+    last = v;
+  }
+}
+
+TEST(TickCounter, SetOverridesValue) {
+  TickCounter c(1, 0);
+  c.set(5, WideCounter(1000));
+  EXPECT_EQ(c.at_tick(5).low64(), 1000u);
+  EXPECT_EQ(c.at_tick(7).low64(), 1002u);
+}
+
+TEST(TickCounter, LargeTickGapsDoNotOverflow) {
+  TickCounter c(20, 0);
+  // A simulated hour at 10G: 5.6e11 ticks * 20 units.
+  const std::int64_t k = 562'500'000'000LL;
+  EXPECT_EQ(static_cast<std::uint64_t>(c.at_tick(k).value() & ~0ULL),
+            static_cast<std::uint64_t>(k) * 20u);
+}
+
+TEST(JumpDetector, IgnoresSmallAdjustments) {
+  JumpDetector d(4, 3, from_ms(1));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(d.record(i * from_us(1), 2));
+  EXPECT_FALSE(d.tripped());
+  EXPECT_EQ(d.suspicious_in_window(), 0u);
+}
+
+TEST(JumpDetector, TripsOnBurstOfLargeJumps) {
+  JumpDetector d(4, 3, from_ms(1));
+  EXPECT_FALSE(d.record(from_us(1), 10));
+  EXPECT_FALSE(d.record(from_us(2), 10));
+  EXPECT_FALSE(d.record(from_us(3), 10));
+  EXPECT_TRUE(d.record(from_us(4), 10));  // 4th within 1 ms > max of 3
+  EXPECT_TRUE(d.tripped());
+}
+
+TEST(JumpDetector, WindowForgetsOldJumps) {
+  JumpDetector d(4, 2, from_ms(1));
+  EXPECT_FALSE(d.record(0, 10));
+  EXPECT_FALSE(d.record(from_us(1), 10));
+  // Two more, but far in the future: the first two have aged out.
+  EXPECT_FALSE(d.record(from_ms(10), 10));
+  EXPECT_FALSE(d.record(from_ms(10) + from_us(1), 10));
+  EXPECT_FALSE(d.tripped());
+}
+
+TEST(JumpDetector, StaysTrippedUntilReset) {
+  JumpDetector d(0, 0, from_ms(1));
+  EXPECT_TRUE(d.record(0, 1));
+  EXPECT_TRUE(d.record(from_sec(1), 0));  // even benign events report faulty
+  d.reset();
+  EXPECT_FALSE(d.tripped());
+}
+
+}  // namespace
+}  // namespace dtpsim::dtp

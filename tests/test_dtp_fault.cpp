@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "dtp_test_util.hpp"
+
+namespace dtpsim::dtp {
+namespace {
+
+using namespace dtpsim::literals;
+using testutil::TwoNodes;
+
+TEST(DtpBitErrors, RangeFilterDropsCorruptBeacons) {
+  // With a lossy cable, corrupted counters land far outside +-8 and must be
+  // filtered rather than applied.
+  net::NetworkParams np;
+  np.cable.ber = 1e-6;  // ~6.6e-5 per block: plenty of hits at beacon rate
+  TwoNodes n(41, 100.0, -100.0, {}, np);
+  n.sim.run_until(300_ms);
+  EXPECT_GT(n.port_b().stats().filtered_range + n.port_a().stats().filtered_range, 0u)
+      << "the filter must actually have fired";
+}
+
+TEST(DtpBitErrors, PrecisionSurvivesBer) {
+  net::NetworkParams np;
+  np.cable.ber = 1e-6;
+  TwoNodes n(42, 100.0, -100.0, {}, np);
+  n.sim.run_until(2_ms);
+  double worst = 0;
+  testutil::run_sampled(n.sim, 200_ms, 50_us, [&](fs_t) {
+    worst = std::max(worst, n.abs_offset_ticks());
+  });
+  // Bit errors in the low 3 bits can slip through the range filter and
+  // cause a bounded error spike; it must stay within the filter threshold.
+  EXPECT_LE(worst, 8.0);
+}
+
+TEST(DtpBitErrors, ParityCatchesLowBitFlips) {
+  DtpParams params;
+  params.parity = true;
+  net::NetworkParams np;
+  np.cable.ber = 1e-6;
+  TwoNodes n(43, 100.0, -100.0, params, np);
+  n.sim.run_until(300_ms);
+  // Some corrupted messages must have been dropped by parity.
+  EXPECT_GT(n.port_a().stats().filtered_parity + n.port_b().stats().filtered_parity, 0u);
+}
+
+TEST(DtpBitErrors, ParityModeKeepsFourTickBoundUnderBer) {
+  DtpParams params;
+  params.parity = true;
+  net::NetworkParams np;
+  np.cable.ber = 1e-6;
+  TwoNodes n(44, 100.0, -100.0, params, np);
+  n.sim.run_until(2_ms);
+  double worst = 0;
+  testutil::run_sampled(n.sim, 200_ms, 50_us, [&](fs_t) {
+    worst = std::max(worst, n.abs_offset_ticks());
+  });
+  // Parity closes the 3-LSB hole: only filtered messages remain, so the
+  // clean-link bound applies. Keep one tick of slack for the rare flip in
+  // bits [3..5] that lands within the +-8 window yet passes parity.
+  EXPECT_LE(worst, 6.0);
+}
+
+TEST(DtpFaulty, JumpDetectorQuarantinesMisbehavingPeer) {
+  // A "faulty" peer repeatedly announcing counters ~6 ticks ahead (inside
+  // the range filter, above the jump threshold) must be quarantined.
+  DtpParams params;
+  params.enable_jump_detector = true;
+  params.jump_threshold_ticks = 4;
+  params.max_jumps = 8;
+  params.jump_window = 10_ms;
+  TwoNodes n(45, 0.0, 0.0, params);
+  n.sim.run_until(2_ms);
+  ASSERT_EQ(n.port_b().state(), PortState::kSynced);
+
+  // Fault injection: keep bumping a's counter by 6 ticks so every beacon
+  // demands a suspicious jump from b.
+  sim::PeriodicProcess fault(n.sim, 100_us, [&] {
+    n.agent_a->force_global(n.sim.now(), n.agent_a->global_at(n.sim.now()).plus(6));
+  });
+  fault.start();
+  n.sim.run_until(100_ms);
+  EXPECT_EQ(n.port_b().state(), PortState::kFaulty);
+}
+
+TEST(DtpFaulty, QuarantinedPortStopsAdjusting) {
+  DtpParams params;
+  params.enable_jump_detector = true;
+  params.jump_threshold_ticks = 4;
+  params.max_jumps = 4;
+  params.jump_window = 10_ms;
+  TwoNodes n(46, 0.0, 0.0, params);
+  n.sim.run_until(2_ms);
+  sim::PeriodicProcess fault(n.sim, 100_us, [&] {
+    n.agent_a->force_global(n.sim.now(), n.agent_a->global_at(n.sim.now()).plus(6));
+  });
+  fault.start();
+  n.sim.run_until(50_ms);
+  ASSERT_EQ(n.port_b().state(), PortState::kFaulty);
+  const auto adjustments = n.port_b().stats().adjustments;
+  n.sim.run_until(150_ms);
+  EXPECT_EQ(n.port_b().stats().adjustments, adjustments)
+      << "no further adjustments from a quarantined peer";
+}
+
+TEST(DtpFaulty, HonestPeerNeverQuarantined) {
+  DtpParams params;
+  params.enable_jump_detector = true;
+  params.jump_threshold_ticks = 4;
+  params.max_jumps = 8;
+  params.jump_window = 10_ms;
+  TwoNodes n(47, 100.0, -100.0, params);  // worst legal skew
+  n.sim.run_until(500_ms);
+  EXPECT_EQ(n.port_a().state(), PortState::kSynced);
+  EXPECT_EQ(n.port_b().state(), PortState::kSynced);
+}
+
+TEST(DtpFaulty, OutOfSpecOscillatorStillTrackedWithoutDetector) {
+  // Section 5.4: an oscillator beyond +-100 ppm breaks the analysis bound
+  // but DTP still tracks it (with more jumps) when the detector is off.
+  TwoNodes n(48, 300.0, -100.0);  // 400 ppm relative skew
+  n.sim.run_until(2_ms);
+  double worst = 0;
+  testutil::run_sampled(n.sim, 100_ms, 50_us, [&](fs_t) {
+    worst = std::max(worst, n.abs_offset_ticks());
+  });
+  // Bound widens but stays small: beacons still arrive every 1.28 us.
+  EXPECT_LE(worst, 8.0);
+  EXPECT_GT(n.port_b().stats().adjustments, 0u);
+}
+
+TEST(DtpRobust, InitRetryRecoversFromLatePeer) {
+  // Agent on `a` starts alone; `b` gets DTP only later (incremental
+  // deployment). a's INIT retries must establish sync eventually.
+  sim::Simulator sim(49);
+  net::Network net(sim);
+  auto& a = net.add_host("a", 50.0);
+  auto& b = net.add_host("b", -50.0);
+  net.connect(a, b);
+  DtpParams params;
+  params.init_retry_ticks = 10'000;  // 64 us
+  Agent agent_a(a, params);
+  sim.run_until(1_ms);
+  EXPECT_EQ(agent_a.port_logic(0).state(), PortState::kInitWait);
+  Agent agent_b(b, params);  // DTP firmware arrives on b
+  sim.run_until(3_ms);
+  EXPECT_EQ(agent_a.port_logic(0).state(), PortState::kSynced);
+  EXPECT_EQ(agent_b.port_logic(0).state(), PortState::kSynced);
+  EXPECT_GT(agent_a.port_logic(0).stats().inits_sent, 1u) << "retries happened";
+}
+
+}  // namespace
+}  // namespace dtpsim::dtp

@@ -1,0 +1,255 @@
+#include "dtp/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dtp_test_util.hpp"
+#include "net/topology.hpp"
+
+namespace dtpsim::dtp {
+namespace {
+
+using namespace dtpsim::literals;
+
+double max_offset_over(DtpNetwork& dtp, sim::Simulator& sim, fs_t until, fs_t step) {
+  double worst = 0;
+  testutil::run_sampled(sim, until, step,
+                        [&](fs_t t) { worst = std::max(worst, dtp.max_pairwise_offset_ticks(t)); });
+  return worst;
+}
+
+TEST(DtpStar, AllPortsSync) {
+  sim::Simulator sim(21);
+  net::Network net(sim);
+  auto star = net::build_star(net, 8);
+  DtpNetwork dtp = enable_dtp(net);
+  sim.run_until(2_ms);
+  EXPECT_TRUE(dtp.all_synced());
+  EXPECT_EQ(dtp.size(), 9u);
+}
+
+TEST(DtpStar, TwoHopBound) {
+  // Any two hosts in a star are 2 hops apart: bound 4T * 2 = 8 ticks.
+  sim::Simulator sim(22);
+  net::Network net(sim);
+  net::build_star(net, 8);
+  DtpNetwork dtp = enable_dtp(net);
+  sim.run_until(2_ms);
+  EXPECT_LE(max_offset_over(dtp, sim, 100_ms, 50_us), 8.0);
+}
+
+TEST(DtpPaperTree, AllSyncedAndBounded) {
+  // Fig. 5: max hop distance between leaves is 4 -> bound 16 ticks
+  // (102.4 ns); the paper measured per-link offsets within 4 ticks.
+  sim::Simulator sim(23);
+  net::Network net(sim);
+  auto tree = net::build_paper_tree(net);
+  DtpNetwork dtp = enable_dtp(net);
+  sim.run_until(2_ms);
+  ASSERT_TRUE(dtp.all_synced());
+  EXPECT_LE(max_offset_over(dtp, sim, 100_ms, 50_us), 16.0);
+  EXPECT_EQ(tree.leaves.size(), 8u);
+}
+
+TEST(DtpPaperTree, PerLinkOffsetWithinFourTicks) {
+  sim::Simulator sim(24);
+  net::Network net(sim);
+  auto tree = net::build_paper_tree(net);
+  DtpNetwork dtp = enable_dtp(net);
+  sim.run_until(2_ms);
+  Agent* root = dtp.agent_of(tree.root);
+  Agent* agg0 = dtp.agent_of(tree.aggs[0]);
+  Agent* leaf0 = dtp.agent_of(tree.leaves[0]);
+  ASSERT_TRUE(root && agg0 && leaf0);
+  double worst_link = 0;
+  testutil::run_sampled(sim, 100_ms, 50_us, [&](fs_t t) {
+    worst_link = std::max(worst_link, std::abs(true_offset_fractional(*root, *agg0, t)));
+    worst_link = std::max(worst_link, std::abs(true_offset_fractional(*agg0, *leaf0, t)));
+  });
+  EXPECT_LE(worst_link, 4.0);
+}
+
+class ChainBound : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChainBound, FourTDHoldsPerHopCount) {
+  const std::size_t n_switches = GetParam();
+  const auto hops = static_cast<double>(n_switches + 1);
+  sim::Simulator sim(100 + n_switches);
+  net::Network net(sim);
+  auto chain = net::build_chain(net, n_switches);
+  DtpNetwork dtp = enable_dtp(net);
+  sim.run_until(2_ms);
+  ASSERT_TRUE(dtp.all_synced());
+  Agent* l = dtp.agent_of(chain.left);
+  Agent* r = dtp.agent_of(chain.right);
+  double worst = 0;
+  testutil::run_sampled(sim, 60_ms, 50_us, [&](fs_t t) {
+    worst = std::max(worst, std::abs(true_offset_fractional(*l, *r, t)));
+  });
+  EXPECT_LE(worst, 4.0 * hops) << n_switches << " switches";
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, ChainBound, ::testing::Values(1, 2, 3, 5));
+
+TEST(DtpFatTree, SixHopBoundHolds) {
+  // The abstract's datacenter-wide claim: 6 hops -> 24 ticks = 153.6 ns.
+  sim::Simulator sim(25);
+  net::Network net(sim);
+  auto ft = net::build_fat_tree(net, 4);
+  DtpNetwork dtp = enable_dtp(net);
+  sim.run_until(3_ms);
+  ASSERT_TRUE(dtp.all_synced());
+  EXPECT_EQ(ft.hosts.size(), 16u);
+  EXPECT_EQ(dtp.size(), 36u);
+  EXPECT_LE(max_offset_over(dtp, sim, 50_ms, 100_us), 24.0);
+}
+
+TEST(DtpUnderLoad, SaturatedLinksDoNotDegradePrecision) {
+  // Fig. 6a: network under heavy MTU load, beacon interval 200.
+  sim::Simulator sim(26);
+  net::Network net(sim);
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  net.connect(a, b);
+  DtpParams params;
+  params.beacon_interval_ticks = 200;
+  Agent agent_a(a, params), agent_b(b, params);
+  // INIT happens at link establishment, before applications saturate the
+  // link (as in any real deployment); load starts once the ports are synced.
+  net::TrafficParams tp;
+  tp.saturate = true;
+  tp.frame_bytes = net::kMtuFrameBytes;
+  auto& tg_a = net.add_traffic(a, b.addr(), tp);
+  auto& tg_b = net.add_traffic(b, a.addr(), tp);
+  sim.run_until(1_ms);
+  ASSERT_EQ(agent_b.port_logic(0).state(), PortState::kSynced);
+  tg_a.start();
+  tg_b.start();
+  sim.run_until(2_ms);
+  double worst = 0;
+  testutil::run_sampled(sim, 100_ms, 50_us, [&](fs_t t) {
+    worst = std::max(worst, std::abs(true_offset_fractional(agent_a, agent_b, t)));
+  });
+  EXPECT_LE(worst, 4.0);
+  EXPECT_GT(a.nic().stats().tx_frames, 10'000u) << "the link must actually be loaded";
+}
+
+TEST(DtpUnderLoad, JumboFramesWithInterval1200) {
+  // Fig. 6b: jumbo saturation forces the beacon interval to 1200 ticks.
+  sim::Simulator sim(27);
+  net::Network net(sim);
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  net.connect(a, b);
+  DtpParams params;
+  params.beacon_interval_ticks = 1200;
+  Agent agent_a(a, params), agent_b(b, params);
+  net::TrafficParams tp;
+  tp.saturate = true;
+  tp.frame_bytes = net::kJumboFrameBytes;
+  auto& tg_a = net.add_traffic(a, b.addr(), tp);
+  auto& tg_b = net.add_traffic(b, a.addr(), tp);
+  sim.run_until(1_ms);
+  ASSERT_EQ(agent_b.port_logic(0).state(), PortState::kSynced);
+  tg_a.start();
+  tg_b.start();
+  sim.run_until(2_ms);
+  double worst = 0;
+  testutil::run_sampled(sim, 100_ms, 50_us, [&](fs_t t) {
+    worst = std::max(worst, std::abs(true_offset_fractional(agent_a, agent_b, t)));
+  });
+  EXPECT_LE(worst, 4.0);
+}
+
+TEST(DtpJoin, LateJoinerAdoptsNetworkCounter) {
+  // A pre-aged pair (large counters) and a fresh device joining through a
+  // switch: BEACON-JOIN must propagate the max through the device.
+  sim::Simulator sim(28);
+  net::Network net(sim);
+  auto& sw = net.add_switch("sw");
+  auto& old1 = net.add_host("old1");
+  auto& old2 = net.add_host("old2");
+  auto& fresh = net.add_host("fresh");
+  net.connect(sw, old1);
+  net.connect(sw, old2);
+  net.connect(sw, fresh);
+  DtpNetwork dtp = enable_dtp(net);
+  Agent* a_old1 = dtp.agent_of(&old1);
+  // Pre-age one host by ~1 ms worth of ticks.
+  a_old1->force_global(sim.now(), WideCounter(150'000));
+  a_old1->port_logic(0).send_join();
+  sim.run_until(5_ms);
+  EXPECT_LE(dtp.max_pairwise_offset_ticks(sim.now()), 8.0)
+      << "everyone adopted the aged counter";
+  EXPECT_GE(static_cast<std::uint64_t>(
+                dtp.agent_of(&fresh)->global_at(sim.now()).low64()),
+            150'000u);
+}
+
+TEST(DtpJoin, PartitionHealAgreesOnMax) {
+  // Two independently synchronized pairs whose counters diverge, then a
+  // bridge appears: both sides must converge to the larger counter.
+  sim::Simulator sim(29);
+  net::Network net(sim);
+  auto& sw1 = net.add_switch("sw1");
+  auto& sw2 = net.add_switch("sw2");
+  auto& h1 = net.add_host("h1");
+  auto& h2 = net.add_host("h2");
+  net.connect(sw1, h1);
+  net.connect(sw2, h2);
+  // Bridge the two switches up front (links must exist before agents), but
+  // pre-age subnet 1 to emulate divergence.
+  net.connect(sw1, sw2);
+  DtpNetwork dtp = enable_dtp(net);
+  dtp.agent_of(&h1)->force_global(sim.now(), WideCounter(1'000'000));
+  dtp.agent_of(&h1)->port_logic(0).send_join();
+  sim.run_until(5_ms);
+  EXPECT_LE(dtp.max_pairwise_offset_ticks(sim.now()), 8.0);
+  EXPECT_GE(static_cast<std::uint64_t>(dtp.agent_of(&h2)->global_at(sim.now()).low64()),
+            1'000'000u);
+}
+
+class MultiRate : public ::testing::TestWithParam<phy::LinkRate> {};
+
+TEST_P(MultiRate, BoundScalesWithRate) {
+  // Table 2: at each rate, counters tick in 0.32 ns units with the rate's
+  // delta; the directly-connected bound is 4 ticks of that rate's period.
+  const phy::LinkRate rate = GetParam();
+  const auto& spec = phy::rate_spec(rate);
+  net::NetworkParams np;
+  np.rate = rate;
+  DtpParams params;
+  params.counter_delta = spec.counter_delta;
+  sim::Simulator sim(31 + static_cast<std::uint64_t>(rate));
+  net::Network net(sim, np);
+  auto& a = net.add_host("a", 100.0);
+  auto& b = net.add_host("b", -100.0);
+  net.connect(a, b);
+  Agent agent_a(a, params), agent_b(b, params);
+  sim.run_until(2_ms);
+  ASSERT_EQ(agent_b.port_logic(0).state(), PortState::kSynced);
+  double worst_units = 0;
+  testutil::run_sampled(sim, 50_ms, 20_us, [&](fs_t t) {
+    worst_units = std::max(worst_units, std::abs(true_offset_fractional(agent_a, agent_b, t)));
+  });
+  // 4 ticks * delta units per tick.
+  EXPECT_LE(worst_units, 4.0 * spec.counter_delta) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MultiRate,
+                         ::testing::Values(phy::LinkRate::k1G, phy::LinkRate::k10G,
+                                           phy::LinkRate::k40G, phy::LinkRate::k100G));
+
+TEST(DtpNetworkHelpers, AgentLookupAndMissingDevice) {
+  sim::Simulator sim(32);
+  net::Network net(sim);
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  net.connect(a, b);
+  DtpNetwork dtp = enable_dtp(net);
+  EXPECT_NE(dtp.agent_of(&a), nullptr);
+  net::Host outside(sim, "outside", net::MacAddr{99}, {});
+  EXPECT_EQ(dtp.agent_of(&outside), nullptr);
+}
+
+}  // namespace
+}  // namespace dtpsim::dtp

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "dtp/probe.hpp"
+#include "dtp_test_util.hpp"
+
+namespace dtpsim::dtp {
+namespace {
+
+using namespace dtpsim::literals;
+using testutil::TwoNodes;
+
+TEST(DtpInit, BothSidesReachSynced) {
+  TwoNodes n(1, 100.0, -100.0);
+  n.sim.run_until(1_ms);
+  EXPECT_EQ(n.port_a().state(), PortState::kSynced);
+  EXPECT_EQ(n.port_b().state(), PortState::kSynced);
+  EXPECT_GE(n.port_a().stats().inits_sent, 1u);
+  EXPECT_GE(n.port_a().stats().init_acks_sent, 1u);
+}
+
+TEST(DtpInit, MeasuredOwdNeverExceedsTrueOwd) {
+  // Section 3.3: with alpha = 3 the measured delay must not exceed the true
+  // one-way visible delay, otherwise the global counter would run fast.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    TwoNodes n(seed, 100.0, -100.0);
+    n.sim.run_until(1_ms);
+    const auto d = n.port_b().measured_owd();
+    ASSERT_TRUE(d.has_value()) << seed;
+    // True visible OWD: propagation (50 ns ~ 7.8T) + 1 serialization tick +
+    // crossing (quantization <1T + 0..1 random + 2 pipeline).
+    const double prop_ticks = 50.0 / 6.4;
+    const double max_true = prop_ticks + 1.0 + 1.0 + 1.0 + 2.0;
+    EXPECT_LE(static_cast<double>(*d), max_true) << seed;
+    EXPECT_GE(*d, 1) << seed;
+  }
+}
+
+TEST(DtpInit, OwdSymmetricWithinTwoTicks) {
+  TwoNodes n(3, 100.0, -100.0);
+  n.sim.run_until(1_ms);
+  const auto da = n.port_a().measured_owd();
+  const auto db = n.port_b().measured_owd();
+  ASSERT_TRUE(da && db);
+  EXPECT_LE(std::abs(*da - *db), 2);
+}
+
+TEST(DtpSync, OffsetBoundedByFourTicksWorstCaseSkew) {
+  // The paper's directly-connected bound: 4T = 25.6 ns.
+  TwoNodes n(4, 100.0, -100.0);
+  n.sim.run_until(1_ms);  // converge
+  double max_offset = 0;
+  testutil::run_sampled(n.sim, 200_ms, 10_us, [&](fs_t) {
+    max_offset = std::max(max_offset, n.abs_offset_ticks());
+  });
+  EXPECT_LE(max_offset, 4.0);
+  EXPECT_GT(max_offset, 0.0);
+}
+
+class DtpSyncSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DtpSyncSeeds, OffsetBoundHoldsAcrossSeedsAndSkews) {
+  const std::uint64_t seed = GetParam();
+  // Vary skew with the seed to sweep the (fp, fq) space.
+  const double ppm_a = static_cast<double>(seed % 7) * 30.0 - 90.0;
+  const double ppm_b = -ppm_a;
+  TwoNodes n(seed, ppm_a, ppm_b);
+  n.sim.run_until(1_ms);
+  double max_offset = 0;
+  testutil::run_sampled(n.sim, 100_ms, 20_us, [&](fs_t) {
+    max_offset = std::max(max_offset, n.abs_offset_ticks());
+  });
+  EXPECT_LE(max_offset, 4.0) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtpSyncSeeds, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(DtpSync, GlobalCounterIsMonotone) {
+  TwoNodes n(5, 100.0, -100.0);
+  unsigned __int128 last_a = 0, last_b = 0;
+  testutil::run_sampled(n.sim, 50_ms, 5_us, [&](fs_t t) {
+    const auto va = n.agent_a->global_at(t).value();
+    const auto vb = n.agent_b->global_at(t).value();
+    EXPECT_GE(va, last_a);
+    EXPECT_GE(vb, last_b);
+    last_a = va;
+    last_b = vb;
+  });
+}
+
+TEST(DtpSync, NetworkFollowsFastestClock) {
+  // gc advances at the fastest oscillator's rate: it must neither fall
+  // behind the fast node's free-running tick count nor outrun it.
+  TwoNodes n(6, 100.0, -100.0);  // a is fastest
+  n.sim.run_until(1_ms);
+  const fs_t t0 = n.sim.now();
+  const auto gc0 = n.agent_a->global_at(t0).value();
+  const auto tick0 = n.a->oscillator().tick_at(t0);
+  n.sim.run_until(t0 + 500_ms);
+  const fs_t t1 = n.sim.now();
+  const auto gc_gain = static_cast<std::int64_t>(n.agent_a->global_at(t1).value() - gc0);
+  const auto tick_gain = n.a->oscillator().tick_at(t1) - tick0;
+  EXPECT_GE(gc_gain, tick_gain - 1) << "gc must keep the fastest clock's pace";
+  EXPECT_LE(gc_gain, tick_gain + 1) << "gc must not run faster than the fastest clock";
+}
+
+TEST(DtpSync, SlowNodeAdjustsFastNodeDoesNot) {
+  TwoNodes n(7, 100.0, -100.0);
+  n.sim.run_until(500_ms);
+  // The slow node (b) keeps fast-forwarding toward the fast one.
+  EXPECT_GT(n.port_b().stats().adjustments, 100u);
+  // The fast node essentially never adjusts (allow a couple from startup).
+  EXPECT_LE(n.port_a().stats().adjustments, 4u);
+}
+
+TEST(DtpSync, AdjustmentsAreTiny) {
+  TwoNodes n(8, 100.0, -100.0);
+  n.sim.run_until(1_ms);  // past startup
+  n.port_b().stats();     // reset view: just check max over steady state
+  n.sim.run_until(500_ms);
+  EXPECT_LE(n.port_b().stats().max_adjustment, 3u)
+      << "steady-state fast-forwards are 1-2 ticks";
+}
+
+TEST(DtpSync, BeaconCadenceMatchesInterval) {
+  DtpParams params;
+  params.beacon_interval_ticks = 200;
+  TwoNodes n(9, 0.0, 0.0, params);
+  n.sim.run_until(1_ms);
+  const auto sent0 = n.port_a().stats().beacons_sent;
+  n.sim.run_until(1_ms + 128_us);  // 128 us / (200 * 6.4 ns) = 100 beacons
+  const auto sent = n.port_a().stats().beacons_sent - sent0;
+  EXPECT_NEAR(static_cast<double>(sent), 100.0, 3.0);
+}
+
+TEST(DtpSync, ZeroFramesOnTheWire) {
+  // The headline claim: synchronization adds zero Ethernet packets.
+  TwoNodes n(10, 100.0, -100.0);
+  n.sim.run_until(100_ms);
+  EXPECT_EQ(n.a->nic().stats().tx_frames, 0u);
+  EXPECT_EQ(n.b->nic().stats().tx_frames, 0u);
+  EXPECT_GT(n.a->nic_port().control_blocks_sent(), 10'000u);
+}
+
+TEST(DtpSync, ConvergesWithinTwoBeaconIntervals) {
+  // Section 6, takeaway 5. Start b's counter behind by pre-aging a, then
+  // watch how fast the offset collapses after both ports are synced.
+  TwoNodes n(11, 100.0, -100.0);
+  n.sim.run_until(1_ms);
+  ASSERT_EQ(n.port_b().state(), PortState::kSynced);
+  // Inject a 1000-tick lead on a (as if a just joined a much older subnet);
+  // announce via join on a's port.
+  n.agent_a->force_global(n.sim.now(), n.agent_a->global_at(n.sim.now()).plus(1000));
+  n.port_a().send_join();
+  const fs_t two_beacons = 2 * 200 * 6.4_ns;
+  n.sim.run_until(n.sim.now() + 4 * two_beacons);  // a little slack for the slot wait
+  EXPECT_LE(n.abs_offset_ticks(), 4.0);
+}
+
+TEST(DtpSync, OffsetProbeMatchesBound) {
+  TwoNodes n(12, 100.0, -100.0);
+  n.sim.run_until(1_ms);
+  OffsetProbe probe(n.sim, *n.agent_a, 0, *n.agent_b, 0, 10_us);
+  probe.start();
+  n.sim.run_until(200_ms);
+  ASSERT_GT(probe.samples(), 1000u);
+  // offset_hw includes FIFO nondeterminism; the paper observes it within
+  // +-4 ticks (Fig. 6a-c).
+  EXPECT_LE(probe.hw_series().stats().max_abs(), 4.0);
+  // Ground truth is tighter still.
+  EXPECT_LE(probe.true_series().stats().max_abs(), 4.0);
+}
+
+TEST(DtpSync, ProbeRequiresCabledPorts) {
+  TwoNodes n(13, 0.0, 0.0);
+  sim::Simulator other_sim(1);
+  net::Network other_net(other_sim);
+  auto& c = other_net.add_host("c", 0.0);
+  auto& d = other_net.add_host("d", 0.0);
+  other_net.connect(c, d);
+  Agent agent_c(c), agent_d(d);
+  EXPECT_THROW(OffsetProbe(n.sim, *n.agent_a, 0, agent_d, 0, 1_us),
+               std::invalid_argument);
+}
+
+TEST(DtpSync, SurvivesOscillatorDrift) {
+  net::NetworkParams np;
+  np.enable_drift = true;
+  np.drift.step_ppm = 1.0;
+  np.drift.update_interval = 1_ms;
+  TwoNodes n(14, 50.0, -50.0, {}, np);
+  n.sim.run_until(1_ms);
+  double max_offset = 0;
+  testutil::run_sampled(n.sim, 300_ms, 50_us, [&](fs_t) {
+    max_offset = std::max(max_offset, n.abs_offset_ticks());
+  });
+  EXPECT_LE(max_offset, 4.0) << "drift within 802.3 bounds must not break the bound";
+}
+
+TEST(DtpSync, LongerCableStillBounded) {
+  net::NetworkParams np;
+  np.cable.propagation_delay = 5_us;  // the paper's 1 km worst case
+  TwoNodes n(15, 100.0, -100.0, {}, np);
+  n.sim.run_until(2_ms);
+  ASSERT_EQ(n.port_b().state(), PortState::kSynced);
+  double max_offset = 0;
+  testutil::run_sampled(n.sim, 100_ms, 20_us, [&](fs_t) {
+    max_offset = std::max(max_offset, n.abs_offset_ticks());
+  });
+  EXPECT_LE(max_offset, 4.0);
+}
+
+TEST(DtpSync, BeaconInterval1200StillBounded) {
+  DtpParams params;
+  params.beacon_interval_ticks = 1200;
+  TwoNodes n(16, 100.0, -100.0, params);
+  n.sim.run_until(1_ms);
+  double max_offset = 0;
+  testutil::run_sampled(n.sim, 200_ms, 20_us, [&](fs_t) {
+    max_offset = std::max(max_offset, n.abs_offset_ticks());
+  });
+  EXPECT_LE(max_offset, 4.0);
+}
+
+TEST(DtpSync, MsbBeaconsFlow) {
+  DtpParams params;
+  params.msb_every_n_beacons = 10;
+  TwoNodes n(17, 0.0, 0.0, params);
+  n.sim.run_until(10_ms);
+  EXPECT_GT(n.port_a().stats().msbs_sent, 10u);
+  EXPECT_GT(n.port_b().stats().msbs_received, 10u);
+}
+
+TEST(DtpSync, ParityModeStillSynchronizes) {
+  DtpParams params;
+  params.parity = true;
+  TwoNodes n(18, 100.0, -100.0, params);
+  n.sim.run_until(1_ms);
+  ASSERT_EQ(n.port_b().state(), PortState::kSynced);
+  double max_offset = 0;
+  testutil::run_sampled(n.sim, 100_ms, 20_us, [&](fs_t) {
+    max_offset = std::max(max_offset, n.abs_offset_ticks());
+  });
+  EXPECT_LE(max_offset, 4.0);
+}
+
+}  // namespace
+}  // namespace dtpsim::dtp

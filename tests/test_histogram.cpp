@@ -1,0 +1,124 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace dtpsim {
+namespace {
+
+TEST(Histogram, BinsSamplesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.999);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5, 10);
+  EXPECT_EQ(h.count(1), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, PdfSumsToOneWithoutOverflow) {
+  Histogram h(0.0, 4.0, 4);
+  for (double x : {0.5, 1.5, 1.6, 2.5}) h.add(x);
+  double sum = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i) sum += h.pdf(i);
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, BadArgsThrow) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 5; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("5"), std::string::npos);
+}
+
+TEST(IntHistogram, OneBinPerInteger) {
+  IntHistogram h(-4, 4);
+  h.add(-4);
+  h.add(0);
+  h.add(0);
+  h.add(4);
+  EXPECT_EQ(h.count(-4), 1u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(IntHistogram, ClampsButTracksExtremes) {
+  IntHistogram h(-2, 2);
+  h.add(100);
+  h.add(-50);
+  EXPECT_EQ(h.count(2), 1u);    // clamped high
+  EXPECT_EQ(h.count(-2), 1u);   // clamped low
+  EXPECT_EQ(h.max_seen(), 100);
+  EXPECT_EQ(h.min_seen(), -50);
+}
+
+TEST(IntHistogram, PdfOfTickOffsets) {
+  // The Fig. 6c shape: offsets concentrated on {-1, 0, 1, 2}.
+  IntHistogram h(-4, 4);
+  for (int i = 0; i < 30; ++i) h.add(0);
+  for (int i = 0; i < 10; ++i) h.add(1);
+  for (int i = 0; i < 10; ++i) h.add(-1);
+  EXPECT_DOUBLE_EQ(h.pdf(0), 0.6);
+  EXPECT_DOUBLE_EQ(h.pdf(1), 0.2);
+  EXPECT_DOUBLE_EQ(h.pdf(3), 0.0);
+}
+
+TEST(IntHistogram, InvertedRangeThrows) {
+  EXPECT_THROW(IntHistogram(3, 2), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"proto", "precision"});
+  t.add_row({"NTP", "us"});
+  t.add_row({"DTP", "ns"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("proto"), std::string::npos);
+  EXPECT_NE(out.find("NTP"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CellFormats) {
+  EXPECT_EQ(Table::cell("%.1f ns", 25.6), "25.6 ns");
+  EXPECT_EQ(Table::cell("%d", 42), "42");
+}
+
+}  // namespace
+}  // namespace dtpsim

@@ -1,0 +1,113 @@
+/// Section 5.2, second variant: DTP + PTP-style hardware-stamped sync gives
+/// tighter external synchronization than daemon-level UTC broadcasts.
+
+#include <gtest/gtest.h>
+
+#include "dtp/daemon.hpp"
+#include "dtp/external.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+
+namespace dtpsim::dtp {
+namespace {
+
+using namespace dtpsim::literals;
+
+struct HybridFixture {
+  sim::Simulator sim;
+  net::Network net;
+  net::StarTopology star;
+  DtpNetwork dtp;
+
+  explicit HybridFixture(std::uint64_t seed)
+      : sim(seed), net(sim), star(net::build_star(net, 4)) {
+    dtp = enable_dtp(net);
+    sim.run_until(2_ms);
+  }
+};
+
+TEST(HybridUtc, ClientAcquiresFixFromOneSync) {
+  HybridFixture f(421);
+  HybridUtcServer server(f.sim, *f.star.hosts[0], *f.dtp.agent_of(f.star.hosts[0]),
+                         from_ms(100));
+  HybridUtcClient client(*f.star.hosts[1], *f.dtp.agent_of(f.star.hosts[1]));
+  server.start();
+  EXPECT_FALSE(client.ready());
+  EXPECT_THROW(client.utc_at(f.sim.now()), std::logic_error);
+  f.sim.run_until(f.sim.now() + 300_ms);
+  EXPECT_TRUE(client.ready());
+  EXPECT_GE(client.syncs_received(), 2u);
+}
+
+TEST(HybridUtc, UtcWithinTensOfNanoseconds) {
+  HybridFixture f(422);
+  HybridUtcServer server(f.sim, *f.star.hosts[0], *f.dtp.agent_of(f.star.hosts[0]),
+                         from_ms(100));
+  std::vector<std::unique_ptr<HybridUtcClient>> clients;
+  for (std::size_t i = 1; i < f.star.hosts.size(); ++i)
+    clients.push_back(std::make_unique<HybridUtcClient>(
+        *f.star.hosts[i], *f.dtp.agent_of(f.star.hosts[i])));
+  server.start();
+  f.sim.run_until(f.sim.now() + 2_sec);
+  for (auto& c : clients) {
+    ASSERT_TRUE(c->ready());
+    // Hardware DTP stamping: error = counter disagreement (4TD) + tick
+    // phase, with no daemon/PCIe in the loop.
+    EXPECT_LT(c->error_series().stats().max_abs(), 60.0);
+  }
+}
+
+TEST(HybridUtc, BeatsDaemonLevelBroadcast) {
+  // The same network, both §5.2 schemes side by side.
+  HybridFixture f(423);
+  Agent* server_agent = f.dtp.agent_of(f.star.hosts[0]);
+  DaemonParams dp;
+  dp.poll_period = from_ms(20);
+  dp.sample_period = 0;
+  Daemon server_daemon(f.sim, *server_agent, dp, 11.0);
+  Daemon client_daemon(f.sim, *f.dtp.agent_of(f.star.hosts[1]), dp, -8.0);
+  server_daemon.start();
+  client_daemon.start();
+  f.sim.run_until(f.sim.now() + 300_ms);
+
+  UtcBroadcaster soft_server(f.sim, *f.star.hosts[0], server_daemon, from_ms(100));
+  UtcClient soft_client(*f.star.hosts[1], client_daemon);
+  HybridUtcServer hw_server(f.sim, *f.star.hosts[2], *f.dtp.agent_of(f.star.hosts[2]),
+                            from_ms(100));
+  HybridUtcClient hw_client(*f.star.hosts[3], *f.dtp.agent_of(f.star.hosts[3]));
+  soft_server.start();
+  hw_server.start();
+  f.sim.run_until(f.sim.now() + 3_sec);
+
+  ASSERT_TRUE(soft_client.ready());
+  ASSERT_TRUE(hw_client.ready());
+  const auto tail_max = [](const TimeSeries& ts) {
+    const auto& pts = ts.points();
+    double worst = 0;
+    for (std::size_t i = pts.size() / 2; i < pts.size(); ++i)
+      worst = std::max(worst, std::abs(pts[i].value));
+    return worst;
+  };
+  const double soft = tail_max(soft_client.error_series());
+  const double hard = tail_max(hw_client.error_series());
+  EXPECT_LT(hard, soft) << "hardware stamping must beat the daemon path";
+  EXPECT_LT(hard, 60.0);
+}
+
+TEST(HybridUtc, ServerUtcErrorIsTheFloor) {
+  HybridFixture f(424);
+  HybridUtcServer server(f.sim, *f.star.hosts[0], *f.dtp.agent_of(f.star.hosts[0]),
+                         from_ms(100), /*utc_error_ns=*/100.0);
+  HybridUtcClient client(*f.star.hosts[1], *f.dtp.agent_of(f.star.hosts[1]));
+  server.start();
+  f.sim.run_until(f.sim.now() + 2_sec);
+  ASSERT_TRUE(client.ready());
+  StreamingStats tail;
+  const auto& pts = client.error_series().points();
+  for (std::size_t i = pts.size() / 2; i < pts.size(); ++i) tail.add(pts[i].value);
+  EXPECT_GT(tail.stddev(), 10.0) << "the GPS-grade server noise dominates";
+  EXPECT_LT(tail.max_abs(), 600.0);
+}
+
+}  // namespace
+}  // namespace dtpsim::dtp

@@ -1,0 +1,187 @@
+/// Section 5.4 extension — "Following The Fastest Clock" remedied: a
+/// master-rooted spanning tree where children follow (and stall against)
+/// their parent instead of the whole network chasing its fastest — possibly
+/// out-of-spec — oscillator.
+
+#include <gtest/gtest.h>
+
+#include "dtp_test_util.hpp"
+
+namespace dtpsim::dtp {
+namespace {
+
+using namespace dtpsim::literals;
+
+DtpParams tree_params() {
+  DtpParams p;
+  p.mode = SyncMode::kMasterTree;
+  return p;
+}
+
+struct MasterPair {
+  sim::Simulator sim;
+  net::Network net;
+  net::Host* master;
+  net::Host* child;
+  std::unique_ptr<Agent> agent_master;
+  std::unique_ptr<Agent> agent_child;
+
+  MasterPair(std::uint64_t seed, double master_ppm, double child_ppm)
+      : sim(seed), net(sim) {
+    master = &net.add_host("master", master_ppm);
+    child = &net.add_host("child", child_ppm);
+    net.connect(*master, *child);
+    agent_master = std::make_unique<Agent>(*master, tree_params());
+    agent_child = std::make_unique<Agent>(*child, tree_params());
+    agent_master->set_as_root();
+    agent_child->set_parent_port(0);
+  }
+};
+
+TEST(MasterTree, ChildFollowsSlowerMaster) {
+  // The case kPeerMax cannot express: the master is SLOWER than the child,
+  // and the network must follow the master anyway.
+  MasterPair m(301, -100.0, +100.0);
+  m.sim.run_until(2_ms);
+  ASSERT_EQ(m.agent_child->port_logic(0).state(), PortState::kSynced);
+
+  const fs_t t0 = m.sim.now();
+  const auto gc0 = m.agent_child->global_at(t0).low64();
+  const auto master_tick0 = m.master->oscillator().tick_at(t0);
+  m.sim.run_until(t0 + 500_ms);
+  const fs_t t1 = m.sim.now();
+  const auto gc_gain = static_cast<double>(m.agent_child->global_at(t1).low64() - gc0);
+  const auto master_gain =
+      static_cast<double>(m.master->oscillator().tick_at(t1) - master_tick0);
+  // The child's counter rate must match the *master's* oscillator (within
+  // a hair), even though the child's crystal runs 200 ppm faster.
+  EXPECT_NEAR(gc_gain / master_gain, 1.0, 2e-5);
+}
+
+TEST(MasterTree, CeilingStallsTheCounter) {
+  // The stall mechanism itself: a capped TickCounter holds at the ceiling.
+  TickCounter c(1, 0);
+  c.set_cap(WideCounter(10));
+  EXPECT_EQ(c.at_tick(5).low64(), 5u);
+  EXPECT_FALSE(c.capped_at(5));
+  EXPECT_EQ(c.at_tick(15).low64(), 10u) << "stalled at the ceiling";
+  EXPECT_TRUE(c.capped_at(15));
+  c.set_cap(WideCounter(20));  // parent advanced: ceiling raised
+  EXPECT_EQ(c.at_tick(15).low64(), 15u);
+  c.clear_cap();
+  EXPECT_EQ(c.at_tick(50).low64(), 50u);
+}
+
+TEST(MasterTree, FastChildNeverOutrunsCeilingBudget) {
+  // System-level stall evidence: over a long run the fast child's counter
+  // gain equals the slow master's tick gain (its own crystal would have
+  // produced ~200 ppm more) — only stalling can absorb the difference.
+  MasterPair m(302, -100.0, +100.0);
+  m.sim.run_until(2_ms);
+  const fs_t t0 = m.sim.now();
+  const auto child0 = m.agent_child->global_at(t0).low64();
+  const auto child_tick0 = m.child->oscillator().tick_at(t0);
+  m.sim.run_until(t0 + 500_ms);
+  const fs_t t1 = m.sim.now();
+  const auto counter_gain = static_cast<double>(m.agent_child->global_at(t1).low64() - child0);
+  const auto crystal_gain =
+      static_cast<double>(m.child->oscillator().tick_at(t1) - child_tick0);
+  EXPECT_LT(counter_gain, crystal_gain - 10'000)
+      << "the counter must have stalled away ~200 ppm worth of its own ticks";
+}
+
+TEST(MasterTree, OffsetBoundedLikePeerMax) {
+  MasterPair m(303, -100.0, +100.0);
+  m.sim.run_until(2_ms);
+  double worst = 0;
+  testutil::run_sampled(m.sim, 200_ms, 20_us, [&](fs_t t) {
+    worst = std::max(
+        worst, std::abs(true_offset_fractional(*m.agent_master, *m.agent_child, t)));
+  });
+  EXPECT_LE(worst, 6.0) << "parent-following keeps a comparable per-link bound";
+}
+
+TEST(MasterTree, MonotoneDespiteStalls) {
+  MasterPair m(304, -80.0, +80.0);
+  m.sim.run_until(2_ms);
+  unsigned long long last = 0;
+  testutil::run_sampled(m.sim, 100_ms, 5_us, [&](fs_t t) {
+    const auto v = static_cast<unsigned long long>(m.agent_child->global_at(t).low64());
+    EXPECT_GE(v, last);
+    last = v;
+  });
+}
+
+TEST(MasterTree, SurvivesOutOfSpecChildOscillator) {
+  // Section 5.4's motivation: a +400 ppm rogue crystal. In kPeerMax the
+  // whole network would follow it; in master-tree mode the rogue child
+  // stalls down to the master's rate.
+  MasterPair m(305, 0.0, +400.0);
+  m.sim.run_until(2_ms);
+  const fs_t t0 = m.sim.now();
+  const auto gc0 = m.agent_master->global_at(t0).low64();
+  const auto tick0 = m.master->oscillator().tick_at(t0);
+  m.sim.run_until(t0 + 300_ms);
+  const auto master_gain =
+      static_cast<double>(m.master->oscillator().tick_at(m.sim.now()) - tick0);
+  const auto gc_gain =
+      static_cast<double>(m.agent_master->global_at(m.sim.now()).low64() - gc0);
+  EXPECT_NEAR(gc_gain / master_gain, 1.0, 1e-6)
+      << "the master's counter is untouched by the rogue child";
+  double worst = 0;
+  testutil::run_sampled(m.sim, m.sim.now() + 100_ms, 20_us, [&](fs_t t) {
+    worst = std::max(
+        worst, std::abs(true_offset_fractional(*m.agent_master, *m.agent_child, t)));
+  });
+  EXPECT_LE(worst, 8.0) << "even the rogue stays within a couple ticks of the master";
+}
+
+TEST(MasterTree, PeerMaxFollowsRogueForContrast) {
+  // The same rogue under the default mode: the *network* speeds up.
+  testutil::TwoNodes n(306, 0.0, +400.0);
+  n.sim.run_until(2_ms);
+  const fs_t t0 = n.sim.now();
+  const auto gc0 = n.agent_a->global_at(t0).low64();
+  const auto tick0 = n.a->oscillator().tick_at(t0);
+  n.sim.run_until(t0 + 300_ms);
+  const auto nominal_gain =
+      static_cast<double>(n.a->oscillator().tick_at(n.sim.now()) - tick0);
+  const auto gc_gain = static_cast<double>(n.agent_a->global_at(n.sim.now()).low64() - gc0);
+  EXPECT_GT(gc_gain / nominal_gain, 1.0 + 300e-6)
+      << "kPeerMax drags the honest node up to the rogue's +400 ppm rate";
+}
+
+TEST(MasterTree, BfsBuilderCoversChain) {
+  sim::Simulator sim(307);
+  net::Network net(sim);
+  auto chain = net::build_chain(net, 3);
+  DtpNetwork dtp = enable_dtp(net, tree_params());
+  const std::size_t reached = configure_master_tree(dtp, *chain.left);
+  EXPECT_EQ(reached, dtp.size());
+  EXPECT_TRUE(dtp.agent_of(chain.left)->is_root());
+  EXPECT_TRUE(dtp.agent_of(chain.right)->parent_port().has_value());
+  sim.run_until(5_ms);
+  double worst = 0;
+  testutil::run_sampled(sim, 100_ms, 50_us, [&](fs_t t) {
+    worst = std::max(worst, dtp.max_pairwise_offset_ticks(t));
+  });
+  // 4 hops of parent-following; allow the same per-hop budget as peer-max.
+  EXPECT_LE(worst, 4.0 * 6.0);
+}
+
+TEST(MasterTree, ApiGuards) {
+  testutil::TwoNodes n(308, 0.0, 0.0);  // default kPeerMax agents
+  EXPECT_THROW(n.agent_a->set_parent_port(0), std::logic_error);
+  EXPECT_THROW(n.agent_a->set_as_root(), std::logic_error);
+
+  sim::Simulator sim(309);
+  net::Network net(sim);
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  net.connect(a, b);
+  Agent agent(a, tree_params());
+  EXPECT_THROW(agent.set_parent_port(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dtpsim::dtp

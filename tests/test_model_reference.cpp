@@ -1,0 +1,124 @@
+/// Model-reference property tests: the custom arithmetic types are checked
+/// against wide-integer reference models under long random operation
+/// sequences.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/wide_counter.hpp"
+#include "dtp/counter.hpp"
+#include "phy/oscillator.hpp"
+
+namespace dtpsim {
+namespace {
+
+class WideCounterModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WideCounterModel, MatchesInt128Reference) {
+  Rng rng(GetParam());
+  WideCounter c;
+  unsigned __int128 model = 0;
+  constexpr unsigned __int128 kMod = (static_cast<unsigned __int128>(1) << 106);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t delta = rng() >> (rng.uniform(40) + 8);
+    c.advance(delta);
+    model = (model + delta) % kMod;
+    ASSERT_EQ(c.value(), model);
+    ASSERT_EQ(c.lsb53(), static_cast<std::uint64_t>(model) & kDtpPayloadMask);
+    ASSERT_EQ(c.msb53(), static_cast<std::uint64_t>(model >> 53) & kDtpPayloadMask);
+  }
+}
+
+TEST_P(WideCounterModel, DiffMatchesSignedReference) {
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t base = rng() >> 12;
+    const std::int64_t delta = rng.uniform_range(-1'000'000, 1'000'000);
+    const WideCounter a(base);
+    WideCounter b(base);
+    if (delta >= 0)
+      b.advance(static_cast<std::uint64_t>(delta));
+    else
+      b = WideCounter(base - static_cast<std::uint64_t>(-delta));
+    ASSERT_EQ(static_cast<long long>(b.diff(a)), delta);
+    ASSERT_EQ(static_cast<long long>(a.diff(b)), -delta);
+    // Reconstruction from the 53-bit ring must agree.
+    ASSERT_EQ(a.reconstruct_from_lsb(b.lsb53()), b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WideCounterModel, ::testing::Values(1, 2, 3));
+
+TEST(TickCounterModel, RandomOpsAgainstReference) {
+  Rng rng(7);
+  dtp::TickCounter c(1, 0);
+  // Reference: value as u128, plus an optional cap.
+  unsigned __int128 ref_base = 0;
+  std::int64_t ref_tick = 0;
+  bool capped = false;
+  unsigned __int128 cap = 0;
+  std::int64_t k = 0;
+  auto ref_at = [&](std::int64_t tick) {
+    unsigned __int128 v = ref_base + static_cast<std::uint64_t>(tick - ref_tick);
+    if (capped && v > cap) v = cap;
+    return v;
+  };
+  for (int i = 0; i < 20'000; ++i) {
+    k += static_cast<std::int64_t>(rng.uniform(1000));
+    switch (rng.uniform(4)) {
+      case 0: {  // fast_forward to a nearby value
+        const unsigned __int128 target = ref_at(k) + rng.uniform(5) - 2;
+        c.fast_forward(k, WideCounter(static_cast<std::uint64_t>(target)));
+        const unsigned __int128 cur = ref_at(k);
+        ref_base = cur > target ? cur : target;
+        ref_tick = k;
+        break;
+      }
+      case 1: {  // set a cap slightly ahead
+        const unsigned __int128 new_cap = ref_at(k) + rng.uniform(2000);
+        c.set_cap(WideCounter(static_cast<std::uint64_t>(new_cap)));
+        capped = true;
+        cap = new_cap;
+        break;
+      }
+      case 2:  // clear cap
+        c.clear_cap();
+        capped = false;
+        break;
+      default:
+        break;  // plain advance via k
+    }
+    ASSERT_EQ(static_cast<std::uint64_t>(c.at_tick(k).value()),
+              static_cast<std::uint64_t>(ref_at(k)))
+        << "op " << i;
+  }
+}
+
+TEST(OscillatorModel, EdgesAreExactMultiples) {
+  // Property: edge_of_tick(k) - edge_of_tick(0) == k * period, and tick_at
+  // inverts edge_of_tick, across random period changes.
+  Rng rng(8);
+  phy::Oscillator osc(6'400'000, 0.0);
+  fs_t t = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    t += static_cast<fs_t>(rng.uniform(50'000'000));
+    const std::int64_t k = osc.tick_at(t);
+    const fs_t edge = osc.edge_of_tick(k);
+    ASSERT_LE(edge, t);
+    ASSERT_GT(edge + osc.period(), t);
+    ASSERT_EQ(osc.tick_at(edge), k) << "tick_at must invert edge_of_tick";
+    ASSERT_EQ(osc.next_edge_at_or_after(edge), edge);
+    if (i % 50 == 0) osc.set_ppm_at(t, rng.uniform_real(-100.0, 100.0));
+  }
+}
+
+TEST(OscillatorModel, TickCountMatchesElapsedOverConstantPeriod) {
+  phy::Oscillator osc(6'400'000, 0.0);
+  using namespace dtpsim::literals;
+  // Exactly 156,250,000 ticks per simulated second at nominal rate.
+  EXPECT_EQ(osc.tick_at(1_sec), 156'250'000);
+  EXPECT_EQ(osc.tick_at(2_sec) - osc.tick_at(1_sec), 156'250'000);
+}
+
+}  // namespace
+}  // namespace dtpsim

@@ -1,0 +1,171 @@
+#include "phy/oscillator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "phy/drift.hpp"
+#include "phy/rates.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtpsim::phy {
+namespace {
+
+using namespace dtpsim::literals;
+
+constexpr fs_t kT = 6'400'000;  // 10G period
+
+TEST(PeriodFromPpm, NominalIsExact) {
+  EXPECT_EQ(period_from_ppm(kT, 0.0), kT);
+}
+
+TEST(PeriodFromPpm, FastClockHasShorterPeriod) {
+  EXPECT_LT(period_from_ppm(kT, 100.0), kT);
+  EXPECT_GT(period_from_ppm(kT, -100.0), kT);
+}
+
+TEST(PeriodFromPpm, HundredPpmMagnitude) {
+  // 100 ppm of 6.4 ns is 640 fs.
+  EXPECT_NEAR(static_cast<double>(period_from_ppm(kT, 100.0)), kT - 640, 1.0);
+  EXPECT_NEAR(static_cast<double>(period_from_ppm(kT, -100.0)), kT + 640, 1.0);
+}
+
+TEST(Oscillator, TickGridFromZeroPhase) {
+  Oscillator osc(kT);
+  EXPECT_EQ(osc.tick_at(0), 0);
+  EXPECT_EQ(osc.tick_at(kT - 1), 0);
+  EXPECT_EQ(osc.tick_at(kT), 1);
+  EXPECT_EQ(osc.tick_at(10 * kT + 5), 10);
+}
+
+TEST(Oscillator, EdgeOfTick) {
+  Oscillator osc(kT);
+  EXPECT_EQ(osc.edge_of_tick(0), 0);
+  EXPECT_EQ(osc.edge_of_tick(7), 7 * kT);
+}
+
+TEST(Oscillator, NegativePhaseStaggersGrid) {
+  Oscillator osc(kT, 0.0, -1000);
+  EXPECT_EQ(osc.edge_of_tick(0), -1000);
+  EXPECT_EQ(osc.tick_at(0), 0);
+  EXPECT_EQ(osc.tick_at(kT - 1001), 0);
+  EXPECT_EQ(osc.tick_at(kT - 1000), 1);
+}
+
+TEST(Oscillator, NextEdgeAtOrAfter) {
+  Oscillator osc(kT);
+  EXPECT_EQ(osc.next_edge_at_or_after(0), 0);
+  EXPECT_EQ(osc.next_edge_at_or_after(1), kT);
+  EXPECT_EQ(osc.next_edge_at_or_after(kT), kT);
+}
+
+TEST(Oscillator, NextEdgeAfterIsStrict) {
+  Oscillator osc(kT);
+  EXPECT_EQ(osc.next_edge_after(0), kT);
+  EXPECT_EQ(osc.next_edge_after(kT - 1), kT);
+  EXPECT_EQ(osc.next_edge_after(kT), 2 * kT);
+}
+
+TEST(Oscillator, PpmRoundTrips) {
+  for (double ppm : {-100.0, -37.5, 0.0, 12.0, 100.0}) {
+    Oscillator osc(kT, ppm);
+    EXPECT_NEAR(osc.ppm(), ppm, 0.16) << ppm;  // period quantized to 1 fs = 0.156 ppm
+  }
+}
+
+TEST(Oscillator, QueriesBeforeAnchorThrow) {
+  Oscillator osc(kT, 0.0, 5000);
+  EXPECT_THROW(osc.tick_at(0), std::logic_error);
+  EXPECT_THROW(osc.next_edge_at_or_after(4999), std::logic_error);
+}
+
+TEST(Oscillator, SetPeriodPreservesPastEdges) {
+  Oscillator osc(kT);
+  const fs_t edge5 = osc.edge_of_tick(5);
+  osc.set_period_at(5 * kT + 100, kT + 640);
+  EXPECT_EQ(osc.edge_of_tick(5), edge5);
+  // Tick 6 now comes one (longer) period after tick 5.
+  EXPECT_EQ(osc.edge_of_tick(6), edge5 + kT + 640);
+}
+
+TEST(Oscillator, TickIndicesMonotoneAcrossPeriodChanges) {
+  Oscillator osc(kT);
+  fs_t t = 0;
+  std::int64_t last_tick = -1;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    t += static_cast<fs_t>(rng.uniform(3 * kT));
+    const std::int64_t k = osc.tick_at(t);
+    EXPECT_GE(k, last_tick);
+    last_tick = k;
+    if (i % 10 == 0) osc.set_ppm_at(t, rng.uniform_real(-100, 100));
+  }
+}
+
+TEST(Oscillator, FastAndSlowDivergeAsExpected) {
+  // +100 ppm vs -100 ppm: after 1 second the tick difference should be
+  // about 200 ppm of 156.25 M ticks = ~31250 ticks.
+  Oscillator fast(kT, 100.0), slow(kT, -100.0);
+  const auto diff = fast.tick_at(from_sec(1)) - slow.tick_at(from_sec(1));
+  EXPECT_NEAR(static_cast<double>(diff), 31250.0, 35.0);
+}
+
+TEST(Oscillator, InvalidConstructionThrows) {
+  EXPECT_THROW(Oscillator(0), std::invalid_argument);
+  Oscillator osc(kT);
+  EXPECT_THROW(osc.set_period_at(0, 0), std::invalid_argument);
+}
+
+TEST(RateTable, MatchesPaperTable2) {
+  EXPECT_EQ(rate_spec(LinkRate::k1G).period_fs, 8'000'000);
+  EXPECT_EQ(rate_spec(LinkRate::k1G).counter_delta, 25u);
+  EXPECT_EQ(rate_spec(LinkRate::k10G).period_fs, 6'400'000);
+  EXPECT_EQ(rate_spec(LinkRate::k10G).counter_delta, 20u);
+  EXPECT_EQ(rate_spec(LinkRate::k40G).period_fs, 1'600'000);
+  EXPECT_EQ(rate_spec(LinkRate::k40G).counter_delta, 5u);
+  EXPECT_EQ(rate_spec(LinkRate::k100G).period_fs, 640'000);
+  EXPECT_EQ(rate_spec(LinkRate::k100G).counter_delta, 2u);
+}
+
+TEST(RateTable, DeltaTimesUnitEqualsPeriod) {
+  // delta * 0.32 ns must equal the tick period at every rate (Section 7).
+  for (const auto& spec : kRateTable) {
+    EXPECT_EQ(static_cast<fs_t>(spec.counter_delta) * kCounterUnitFs, spec.period_fs)
+        << spec.name;
+  }
+}
+
+TEST(RateTable, BlocksForFrameMatchesPaperAccounting) {
+  // Paper: MTU (1522 B) ~ 191 blocks; jumbo (~9 kB) ~ 1129 blocks.
+  EXPECT_NEAR(static_cast<double>(blocks_for_frame(1522)), 191.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(blocks_for_frame(9018)), 1129.0, 4.0);
+}
+
+TEST(Drift, StaysWithinBound) {
+  sim::Simulator sim(5);
+  Oscillator osc(kT, 0.0);
+  DriftParams dp;
+  dp.bound_ppm = 50.0;
+  dp.step_ppm = 20.0;
+  dp.update_interval = 1_us;
+  DriftProcess drift(sim, osc, dp, sim.fork_rng(1));
+  drift.start();
+  for (int i = 0; i < 1000; ++i) {
+    sim.run_until(sim.now() + 1_us);
+    ASSERT_LE(std::abs(osc.ppm()), 50.5);
+  }
+}
+
+TEST(Drift, ActuallyMoves) {
+  sim::Simulator sim(6);
+  Oscillator osc(kT, 0.0);
+  DriftParams dp;
+  dp.step_ppm = 1.0;
+  dp.update_interval = 1_us;
+  DriftProcess drift(sim, osc, dp, sim.fork_rng(2));
+  drift.start();
+  sim.run_until(100_us);
+  EXPECT_NE(osc.ppm(), 0.0);
+}
+
+}  // namespace
+}  // namespace dtpsim::phy

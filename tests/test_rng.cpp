@@ -1,0 +1,137 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace dtpsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(37);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(41);
+  double sum = 0, sum2 = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(5);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1'000; ++i)
+    if (c1() == c2()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(99), p2(99);
+  Rng a = p1.fork(7);
+  Rng b = p2.fork(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitMix64KnownSequenceAdvances) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace dtpsim

@@ -1,0 +1,189 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dtpsim::sim {
+namespace {
+
+using namespace dtpsim::literals;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30_ns, [&] { order.push_back(3); });
+  sim.schedule_at(10_ns, [&] { order.push_back(1); });
+  sim.schedule_at(20_ns, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30_ns);
+}
+
+TEST(Simulator, TiesAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(5_ns, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  fs_t seen = -1;
+  sim.schedule_at(10_ns, [&] {
+    sim.schedule_in(5_ns, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 15_ns);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(10_ns, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5_ns, [] {}), std::logic_error);
+  EXPECT_THROW(sim.schedule_in(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, EmptyCallbackRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1_ns, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto h = sim.schedule_at(10_ns, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidHandleIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, RunUntilStopsOnTimeAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10_ns, [&] { ++fired; });
+  sim.schedule_at(30_ns, [&] { ++fired; });
+  sim.run_until(20_ns);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20_ns);
+  sim.run_until(40_ns);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 40_ns);
+}
+
+TEST(Simulator, RunUntilExecutesEventAtBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(10_ns, [&] { fired = true; });
+  sim.run_until(10_ns);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepOneAtATime) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1_ns, [&] { ++fired; });
+  sim.schedule_at(2_ns, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(1_ns, recurse);
+  };
+  sim.schedule_in(1_ns, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulator, ForkRngDeterministicAcrossRuns) {
+  Simulator a(77), b(77);
+  Rng ra = a.fork_rng(1), rb = b.fork_rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ra(), rb());
+}
+
+TEST(PeriodicProcess, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<fs_t> times;
+  PeriodicProcess p(sim, 10_ns, [&] { times.push_back(sim.now()); });
+  p.start();
+  sim.run_until(35_ns);
+  EXPECT_EQ(times, (std::vector<fs_t>{10_ns, 20_ns, 30_ns}));
+}
+
+TEST(PeriodicProcess, StartWithPhase) {
+  Simulator sim;
+  std::vector<fs_t> times;
+  PeriodicProcess p(sim, 10_ns, [&] { times.push_back(sim.now()); });
+  p.start_with_phase(3_ns);
+  sim.run_until(25_ns);
+  EXPECT_EQ(times, (std::vector<fs_t>{3_ns, 13_ns, 23_ns}));
+}
+
+TEST(PeriodicProcess, StopFromInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess p(sim, 1_ns, [&] {
+    if (++count == 3) p.stop();
+  });
+  p.start();
+  sim.run_until(100_ns);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(p.running());
+}
+
+TEST(PeriodicProcess, SetPeriodTakesEffectNextCycle) {
+  Simulator sim;
+  std::vector<fs_t> times;
+  PeriodicProcess p(sim, 10_ns, [&] {
+    times.push_back(sim.now());
+    p.set_period(20_ns);
+  });
+  p.start();
+  sim.run_until(60_ns);
+  EXPECT_EQ(times, (std::vector<fs_t>{10_ns, 30_ns, 50_ns}));
+}
+
+TEST(PeriodicProcess, InvalidArgsThrow) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicProcess(sim, 0, [] {}), std::invalid_argument);
+  EXPECT_THROW(PeriodicProcess(sim, 1_ns, nullptr), std::invalid_argument);
+}
+
+TEST(PeriodicProcess, StopThenRestart) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess p(sim, 10_ns, [&] { ++count; });
+  p.start();
+  sim.run_until(25_ns);
+  EXPECT_EQ(count, 2);
+  p.stop();
+  sim.run_until(50_ns);
+  EXPECT_EQ(count, 2);
+  p.start();
+  sim.run_until(65_ns);
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace dtpsim::sim

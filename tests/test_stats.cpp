@@ -1,0 +1,158 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dtpsim {
+namespace {
+
+TEST(StreamingStats, EmptyIsSane) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.max_abs(), 0.0);
+}
+
+TEST(StreamingStats, SingleSample) {
+  StreamingStats s;
+  s.add(-3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.min(), -3.5);
+  EXPECT_EQ(s.max(), -3.5);
+  EXPECT_EQ(s.mean(), -3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.max_abs(), 3.5);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+
+  StreamingStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(StreamingStats, SummaryMentionsCount) {
+  StreamingStats s;
+  s.add(1);
+  EXPECT_NE(s.summary().find("n=1"), std::string::npos);
+}
+
+TEST(SampleSeries, PercentilesOnKnownData) {
+  SampleSeries s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.5);
+}
+
+TEST(SampleSeries, MinMaxMeanStd) {
+  SampleSeries s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(s.max_abs(), 4.0);
+}
+
+TEST(SampleSeries, AddAfterPercentileStillWorks) {
+  SampleSeries s;
+  s.add(5);
+  EXPECT_EQ(s.percentile(50), 5.0);
+  s.add(1);
+  EXPECT_EQ(s.min(), 1.0);
+}
+
+TEST(SampleSeries, EmptyThrows) {
+  SampleSeries s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+}
+
+TEST(TimeSeries, RecordsPointsAndStats) {
+  TimeSeries ts;
+  ts.add(0.0, 1.0);
+  ts.add(1.0, -2.0);
+  EXPECT_EQ(ts.points().size(), 2u);
+  EXPECT_EQ(ts.stats().count(), 2u);
+  EXPECT_EQ(ts.stats().max_abs(), 2.0);
+}
+
+TEST(TimeSeries, CapsPointsButNotStats) {
+  TimeSeries ts(4);
+  for (int i = 0; i < 10; ++i) ts.add(i, i);
+  EXPECT_EQ(ts.points().size(), 4u);
+  EXPECT_EQ(ts.stats().count(), 10u);
+  EXPECT_EQ(ts.stats().max(), 9.0);
+}
+
+TEST(MovingAverage, WarmupAveragesWhatItHas) {
+  MovingAverage ma(4);
+  EXPECT_DOUBLE_EQ(ma.push(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(ma.push(8.0), 6.0);
+  EXPECT_DOUBLE_EQ(ma.push(0.0), 4.0);
+}
+
+TEST(MovingAverage, SlidesAfterFull) {
+  MovingAverage ma(2);
+  ma.push(1.0);
+  ma.push(3.0);
+  EXPECT_DOUBLE_EQ(ma.push(5.0), 4.0);   // (3+5)/2
+  EXPECT_DOUBLE_EQ(ma.push(-5.0), 0.0);  // (5-5)/2
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  MovingAverage ma(1);
+  EXPECT_DOUBLE_EQ(ma.push(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(ma.push(-1.0), -1.0);
+}
+
+TEST(MovingAverage, ZeroWindowRejected) {
+  EXPECT_THROW(MovingAverage(0), std::invalid_argument);
+}
+
+TEST(MovingAverage, SmoothsNoise) {
+  // Alternating +-1 noise around 0 must shrink by the window factor.
+  MovingAverage ma(10);
+  double last = 0;
+  for (int i = 0; i < 100; ++i) last = ma.push((i % 2) ? 1.0 : -1.0);
+  EXPECT_LE(std::fabs(last), 0.11);
+}
+
+}  // namespace
+}  // namespace dtpsim

@@ -1,0 +1,73 @@
+#include "common/time_units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtpsim {
+namespace {
+
+using namespace dtpsim::literals;
+
+TEST(TimeUnits, ConversionConstantsChain) {
+  EXPECT_EQ(kFsPerPs, 1'000);
+  EXPECT_EQ(kFsPerNs, kFsPerPs * 1'000);
+  EXPECT_EQ(kFsPerUs, kFsPerNs * 1'000);
+  EXPECT_EQ(kFsPerMs, kFsPerUs * 1'000);
+  EXPECT_EQ(kFsPerSec, kFsPerMs * 1'000);
+}
+
+TEST(TimeUnits, FromHelpers) {
+  EXPECT_EQ(from_ps(7), 7'000);
+  EXPECT_EQ(from_ns(3), 3'000'000);
+  EXPECT_EQ(from_us(2), 2'000'000'000);
+  EXPECT_EQ(from_ms(1), 1'000'000'000'000);
+  EXPECT_EQ(from_sec(1), 1'000'000'000'000'000);
+}
+
+TEST(TimeUnits, ToHelpers) {
+  EXPECT_EQ(to_ns(6'400'000), 6);
+  EXPECT_DOUBLE_EQ(to_ns_f(6'400'000), 6.4);
+  EXPECT_DOUBLE_EQ(to_us_f(from_us(25)), 25.0);
+  EXPECT_DOUBLE_EQ(to_sec_f(from_sec(2)), 2.0);
+}
+
+TEST(TimeUnits, IntegerLiterals) {
+  EXPECT_EQ(640_fs, 640);
+  EXPECT_EQ(5_ps, 5'000);
+  EXPECT_EQ(50_ns, from_ns(50));
+  EXPECT_EQ(32_us, from_us(32));
+  EXPECT_EQ(10_ms, from_ms(10));
+  EXPECT_EQ(1_sec, from_sec(1));
+}
+
+TEST(TimeUnits, FractionalLiterals) {
+  EXPECT_EQ(6.4_ns, 6'400'000);
+  EXPECT_EQ(25.6_ns, 25'600'000);
+  EXPECT_EQ(0.5_us, from_ns(500));
+  EXPECT_EQ(1.5_sec, from_ms(1500));
+}
+
+TEST(TimeUnits, TenGigTickIsExact) {
+  // The whole repo hinges on 6.4 ns being exactly representable.
+  EXPECT_EQ(6.4_ns * 10, 64_ns);
+  EXPECT_EQ(from_sec(1) % 6'400'000, 0) << "a second is a whole number of 10G ticks";
+}
+
+TEST(TimeUnits, FormatDurationPicksUnits) {
+  EXPECT_EQ(format_duration(640), "640fs");
+  EXPECT_EQ(format_duration(from_ns(26)), "26ns");
+  EXPECT_EQ(format_duration(from_us(13)), "13us");
+  EXPECT_EQ(format_duration(from_ms(7)), "7ms");
+  EXPECT_EQ(format_duration(from_sec(3)), "3s");
+}
+
+TEST(TimeUnits, FormatDurationNegative) {
+  EXPECT_EQ(format_duration(-from_ns(50)), "-50ns");
+}
+
+TEST(TimeUnits, FormatDurationFractional) {
+  EXPECT_EQ(format_duration(6'400'000), "6.4ns");
+  EXPECT_EQ(format_duration(25'600'000), "25.6ns");
+}
+
+}  // namespace
+}  // namespace dtpsim

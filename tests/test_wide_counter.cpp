@@ -1,0 +1,122 @@
+#include "common/wide_counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtpsim {
+namespace {
+
+TEST(WideCounter, DefaultIsZero) {
+  WideCounter c;
+  EXPECT_EQ(c.low64(), 0u);
+  EXPECT_EQ(c.lsb53(), 0u);
+  EXPECT_EQ(c.msb53(), 0u);
+}
+
+TEST(WideCounter, HalvesRoundTrip) {
+  const auto c = WideCounter::from_halves(0x1FFF'FFFF'FFFF'F1ULL, 0xABCDEFULL);
+  EXPECT_EQ(c.msb53(), 0x1FFF'FFFF'FFFF'F1ULL);
+  EXPECT_EQ(c.lsb53(), 0xABCDEFULL);
+}
+
+TEST(WideCounter, HalvesMaskExtraBits) {
+  // Feeding more than 53 bits must not leak into the other half.
+  const auto c = WideCounter::from_halves(~0ULL, ~0ULL);
+  EXPECT_EQ(c.msb53(), kDtpPayloadMask);
+  EXPECT_EQ(c.lsb53(), kDtpPayloadMask);
+}
+
+TEST(WideCounter, AdvanceCarriesIntoMsb) {
+  WideCounter c = WideCounter::from_halves(0, kDtpPayloadMask);
+  c.advance(1);
+  EXPECT_EQ(c.lsb53(), 0u);
+  EXPECT_EQ(c.msb53(), 1u);
+}
+
+TEST(WideCounter, AdvanceWrapsModulo106) {
+  WideCounter c = WideCounter::from_halves(kDtpPayloadMask, kDtpPayloadMask);
+  c.advance(1);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(WideCounter, PlusIsNonMutating) {
+  const WideCounter c(10);
+  const WideCounter d = c.plus(5);
+  EXPECT_EQ(c.low64(), 10u);
+  EXPECT_EQ(d.low64(), 15u);
+}
+
+TEST(WideCounter, DiffSmallValues) {
+  const WideCounter a(100), b(97);
+  EXPECT_EQ(static_cast<long long>(a.diff(b)), 3);
+  EXPECT_EQ(static_cast<long long>(b.diff(a)), -3);
+  EXPECT_EQ(static_cast<long long>(a.diff(a)), 0);
+}
+
+TEST(WideCounter, DiffAcross106BitWrap) {
+  WideCounter near_top = WideCounter::from_halves(kDtpPayloadMask, kDtpPayloadMask);
+  const WideCounter wrapped = near_top.plus(5);  // wraps to 4
+  EXPECT_EQ(static_cast<long long>(wrapped.diff(near_top)), 5);
+  EXPECT_EQ(static_cast<long long>(near_top.diff(wrapped)), -5);
+}
+
+TEST(WideCounter, Ordering) {
+  const WideCounter a(1), b(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(max(a, b), b);
+  EXPECT_EQ(max(b, a), b);
+}
+
+TEST(WideCounter, ReconstructNearbyPeer) {
+  const WideCounter local(1'000'000);
+  // Peer three ticks ahead, we only see its 53 LSBs.
+  const WideCounter peer(1'000'003);
+  EXPECT_EQ(local.reconstruct_from_lsb(peer.lsb53()), peer);
+}
+
+TEST(WideCounter, ReconstructPeerBehind) {
+  const WideCounter local(1'000'000);
+  const WideCounter peer(999'998);
+  EXPECT_EQ(local.reconstruct_from_lsb(peer.lsb53()), peer);
+}
+
+TEST(WideCounter, ReconstructAcross53BitWrap) {
+  // Our counter just crossed 2^53; the peer's LSBs wrapped to a tiny value
+  // while its true value is ahead of ours.
+  WideCounter local = WideCounter::from_halves(0, kDtpPayloadMask - 1);
+  WideCounter peer = local.plus(4);  // lsb = 2, msb = 1
+  EXPECT_EQ(peer.lsb53(), 2u);
+  EXPECT_EQ(peer.msb53(), 1u);
+  EXPECT_EQ(local.reconstruct_from_lsb(peer.lsb53()), peer);
+}
+
+TEST(WideCounter, ReconstructBehindAcrossWrap) {
+  WideCounter local = WideCounter::from_halves(1, 1);  // just past a wrap
+  WideCounter peer = WideCounter::from_halves(0, kDtpPayloadMask - 2);  // 4 behind
+  EXPECT_EQ(static_cast<long long>(local.diff(peer)), 4);
+  EXPECT_EQ(local.reconstruct_from_lsb(peer.lsb53()), peer);
+}
+
+TEST(WideCounter, ReconstructNarrowRing) {
+  // Parity mode uses 52-bit payloads.
+  const WideCounter local(5'000'000);
+  const WideCounter peer(5'000'007);
+  const std::uint64_t lsb52 = peer.low64() & ((1ULL << 52) - 1);
+  EXPECT_EQ(local.reconstruct_from_lsb(lsb52, 52), peer);
+}
+
+TEST(WideCounter, ReconstructIsExactWithinHalfRing) {
+  const WideCounter local(1'000'000'000);
+  for (long long delta : {-1000LL, -1LL, 0LL, 1LL, 1000LL, 123456789LL}) {
+    const WideCounter peer = WideCounter(
+        static_cast<std::uint64_t>(1'000'000'000LL + delta));
+    EXPECT_EQ(local.reconstruct_from_lsb(peer.lsb53()), peer) << delta;
+  }
+}
+
+TEST(WideCounter, ToStringFormat) {
+  const auto c = WideCounter::from_halves(0xABC, 0x123);
+  EXPECT_EQ(c.to_string(), "0x00000000000abc:00000000000123");
+}
+
+}  // namespace
+}  // namespace dtpsim

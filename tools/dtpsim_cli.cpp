@@ -1,0 +1,231 @@
+/// dtpsim — run a clock-synchronization experiment from the command line.
+///
+///   dtpsim [--topology=star|tree|chain|fattree] [--nodes=N] [--hops=D]
+///          [--protocol=dtp|dtp-master|ptp|ntp] [--seconds=S] [--seed=N]
+///          [--load=idle|heavy] [--beacon=TICKS] [--rate=1g|10g|40g|100g]
+///          [--drift] [--ber=P]
+///
+/// Prints a synchronization report: per-device clock state, worst pairwise
+/// offsets over the run, protocol message counts, and (for DTP) the 4TD
+/// bound verdict.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+#include "ntp/ntp.hpp"
+#include "ptp/client.hpp"
+#include "ptp/grandmaster.hpp"
+#include "ptp/transparent.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace dtpsim;
+
+struct Options {
+  std::string topology = "tree";
+  std::string protocol = "dtp";
+  std::string load = "idle";
+  std::size_t nodes = 8;
+  std::size_t hops = 4;
+  double seconds = 0.5;
+  std::uint64_t seed = 1;
+  std::int64_t beacon = 200;
+  std::string rate = "10g";
+  bool drift = false;
+  double ber = 0.0;
+};
+
+std::string flag_value(int argc, char** argv, const std::string& key, const std::string& dflt) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    if (a == "--" + key) return "true";
+  }
+  return dflt;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  o.topology = flag_value(argc, argv, "topology", o.topology);
+  o.protocol = flag_value(argc, argv, "protocol", o.protocol);
+  o.load = flag_value(argc, argv, "load", o.load);
+  o.nodes = std::stoul(flag_value(argc, argv, "nodes", std::to_string(o.nodes)));
+  o.hops = std::stoul(flag_value(argc, argv, "hops", std::to_string(o.hops)));
+  o.seconds = std::stod(flag_value(argc, argv, "seconds", std::to_string(o.seconds)));
+  o.seed = std::stoull(flag_value(argc, argv, "seed", std::to_string(o.seed)));
+  o.beacon = std::stoll(flag_value(argc, argv, "beacon", std::to_string(o.beacon)));
+  o.rate = flag_value(argc, argv, "rate", o.rate);
+  o.drift = flag_value(argc, argv, "drift", "false") == "true";
+  o.ber = std::stod(flag_value(argc, argv, "ber", "0"));
+  return o;
+}
+
+phy::LinkRate parse_rate(const std::string& s) {
+  if (s == "1g") return phy::LinkRate::k1G;
+  if (s == "40g") return phy::LinkRate::k40G;
+  if (s == "100g") return phy::LinkRate::k100G;
+  return phy::LinkRate::k10G;
+}
+
+int run(const Options& o) {
+  sim::Simulator sim(o.seed);
+  net::NetworkParams np;
+  np.rate = parse_rate(o.rate);
+  np.cable.ber = o.ber;
+  if (o.drift) {
+    np.enable_drift = true;
+    np.drift.step_ppm = 0.01;
+    np.drift.update_interval = from_ms(10);
+  }
+  net::Network net(sim, np);
+
+  // ---- Topology --------------------------------------------------------
+  std::vector<net::Host*> hosts;
+  net::Device* tree_root = nullptr;
+  std::size_t diameter = 2;
+  if (o.topology == "star") {
+    auto star = net::build_star(net, o.nodes);
+    hosts = star.hosts;
+    tree_root = star.hub;
+    diameter = 2;
+  } else if (o.topology == "chain") {
+    auto chain = net::build_chain(net, o.hops > 0 ? o.hops - 1 : 0);
+    hosts = {chain.left, chain.right};
+    tree_root = chain.left;
+    diameter = o.hops;
+  } else if (o.topology == "fattree") {
+    auto ft = net::build_fat_tree(net, 4);
+    hosts = ft.hosts;
+    tree_root = ft.core[0];
+    diameter = 6;
+  } else {  // tree (the paper's Fig. 5)
+    auto tree = net::build_paper_tree(net);
+    hosts = tree.leaves;
+    tree_root = tree.root;
+    diameter = 4;
+  }
+  std::printf("topology=%s devices=%zu hosts=%zu diameter=%zu hops rate=%s\n",
+              o.topology.c_str(), net.devices().size(), hosts.size(), diameter,
+              o.rate.c_str());
+
+  const fs_t settle =
+      (o.protocol == "ptp" || o.protocol == "ntp") ? from_sec(8) : from_ms(4);
+  const fs_t duration = static_cast<fs_t>(o.seconds * static_cast<double>(kFsPerSec));
+
+  // ---- Load ------------------------------------------------------------
+  auto start_load = [&] {
+    if (o.load != "heavy" || hosts.size() < 2) return;
+    net::TrafficParams tp;
+    tp.saturate = true;
+    for (std::size_t i = 0; i < hosts.size(); ++i)
+      net.add_traffic(*hosts[i], hosts[(i + 1) % hosts.size()]->addr(), tp).start();
+    std::printf("load: saturating MTU traffic between all hosts\n");
+  };
+
+  // ---- Protocol + measurement -------------------------------------------
+  if (o.protocol == "dtp" || o.protocol == "dtp-master") {
+    dtp::DtpParams params;
+    params.beacon_interval_ticks = o.beacon;
+    params.counter_delta = phy::rate_spec(np.rate).counter_delta;
+    if (o.protocol == "dtp-master") params.mode = dtp::SyncMode::kMasterTree;
+    dtp::DtpNetwork dtp = dtp::enable_dtp(net, params);
+    if (o.protocol == "dtp-master") dtp::configure_master_tree(dtp, *tree_root);
+    sim.run_until(settle);
+    start_load();
+    double worst_ticks = 0;
+    while (sim.now() < settle + duration) {
+      sim.run_until(sim.now() + from_us(100));
+      worst_ticks = std::max(worst_ticks, dtp.max_pairwise_offset_ticks(sim.now()));
+    }
+    const double tick_ns = to_ns_f(phy::nominal_period(np.rate));
+    const double bound_ticks = 4.0 * static_cast<double>(diameter);
+    std::printf("protocol=%s beacon=%lld ticks all-synced=%s\n", o.protocol.c_str(),
+                static_cast<long long>(o.beacon), dtp.all_synced() ? "yes" : "NO");
+    std::printf("worst pairwise offset: %.2f ticks = %.1f ns\n", worst_ticks,
+                worst_ticks * tick_ns);
+    std::printf("4TD bound (D=%zu):      %.1f ticks = %.1f ns -> %s\n", diameter,
+                bound_ticks, bound_ticks * tick_ns,
+                worst_ticks <= bound_ticks + 1 ? "HOLDS" : "VIOLATED");
+    std::uint64_t frames = 0;
+    for (auto* h : hosts) frames += h->nic().stats().tx_frames;
+    std::printf("protocol packet overhead: 0 (hosts sent %llu frames, all application)\n",
+                static_cast<unsigned long long>(frames));
+    return worst_ticks <= bound_ticks + 1 ? 0 : 1;
+  }
+
+  if (o.protocol == "ptp") {
+    ptp::GrandmasterParams gp;
+    gp.sync_interval = from_ms(250);
+    ptp::Grandmaster gm(sim, *hosts[0], gp);
+    ptp::TransparentClockParams tcp;
+    std::vector<std::unique_ptr<ptp::TransparentClockAdapter>> tcs;
+    for (auto* sw : net.switches())
+      tcs.push_back(std::make_unique<ptp::TransparentClockAdapter>(*sw, tcp));
+    std::vector<std::unique_ptr<ptp::PtpClient>> clients;
+    for (std::size_t i = 1; i < hosts.size(); ++i)
+      clients.push_back(std::make_unique<ptp::PtpClient>(sim, *hosts[i], gm.phc(),
+                                                         ptp::PtpClientParams{}));
+    gm.start();
+    for (auto& c : clients) c->start();
+    sim.run_until(settle);
+    start_load();
+    sim.run_until(settle + duration);
+    double worst = 0;
+    for (auto& c : clients) {
+      const auto& pts = c->true_series().points();
+      for (std::size_t i = pts.size() / 2; i < pts.size(); ++i)
+        worst = std::max(worst, std::abs(pts[i].value));
+    }
+    std::printf("protocol=ptp clients=%zu worst offset=%.1f ns packets=%llu\n",
+                clients.size(), worst,
+                static_cast<unsigned long long>(gm.packets_sent()));
+    return 0;
+  }
+
+  if (o.protocol == "ntp") {
+    ntp::NtpServer server(sim, *hosts[0]);
+    ntp::NtpClientParams cp;
+    cp.poll_interval = from_ms(250);
+    std::vector<std::unique_ptr<ntp::NtpClient>> clients;
+    for (std::size_t i = 1; i < hosts.size(); ++i) {
+      clients.push_back(std::make_unique<ntp::NtpClient>(sim, *hosts[i], hosts[0]->addr(),
+                                                         server.clock(), cp));
+      clients.back()->start();
+    }
+    sim.run_until(settle);
+    start_load();
+    sim.run_until(settle + duration);
+    double worst = 0;
+    for (auto& c : clients) {
+      const auto& pts = c->true_series().points();
+      for (std::size_t i = pts.size() / 2; i < pts.size(); ++i)
+        worst = std::max(worst, std::abs(pts[i].value));
+    }
+    std::printf("protocol=ntp clients=%zu worst offset=%.1f ns (%.2f us)\n",
+                clients.size(), worst, worst / 1000.0);
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown protocol '%s'\n", o.protocol.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (flag_value(argc, argv, "help", "false") == "true") {
+    std::printf(
+        "usage: dtpsim [--topology=star|tree|chain|fattree] [--nodes=N]\n"
+        "              [--hops=D] [--protocol=dtp|dtp-master|ptp|ntp]\n"
+        "              [--seconds=S] [--seed=N] [--load=idle|heavy]\n"
+        "              [--beacon=TICKS] [--rate=1g|10g|40g|100g] [--drift]\n"
+        "              [--ber=P]\n");
+    return 0;
+  }
+  return run(parse(argc, argv));
+}
