@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_beacon.dir/bench_ablation_beacon.cpp.o"
+  "CMakeFiles/bench_ablation_beacon.dir/bench_ablation_beacon.cpp.o.d"
+  "bench_ablation_beacon"
+  "bench_ablation_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

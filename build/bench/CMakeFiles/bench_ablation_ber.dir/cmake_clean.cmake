@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ber.dir/bench_ablation_ber.cpp.o"
+  "CMakeFiles/bench_ablation_ber.dir/bench_ablation_ber.cpp.o.d"
+  "bench_ablation_ber"
+  "bench_ablation_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fifo.dir/bench_ablation_fifo.cpp.o"
+  "CMakeFiles/bench_ablation_fifo.dir/bench_ablation_fifo.cpp.o.d"
+  "bench_ablation_fifo"
+  "bench_ablation_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bound_4td.dir/bench_bound_4td.cpp.o"
+  "CMakeFiles/bench_bound_4td.dir/bench_bound_4td.cpp.o.d"
+  "bench_bound_4td"
+  "bench_bound_4td.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bound_4td.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_synce.dir/bench_ext_synce.cpp.o"
+  "CMakeFiles/bench_ext_synce.dir/bench_ext_synce.cpp.o.d"
+  "bench_ext_synce"
+  "bench_ext_synce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_synce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_dtp_mtu.dir/bench_fig6a_dtp_mtu.cpp.o"
+  "CMakeFiles/bench_fig6a_dtp_mtu.dir/bench_fig6a_dtp_mtu.cpp.o.d"
+  "bench_fig6a_dtp_mtu"
+  "bench_fig6a_dtp_mtu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_dtp_mtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

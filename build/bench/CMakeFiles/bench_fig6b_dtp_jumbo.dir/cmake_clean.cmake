@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_dtp_jumbo.dir/bench_fig6b_dtp_jumbo.cpp.o"
+  "CMakeFiles/bench_fig6b_dtp_jumbo.dir/bench_fig6b_dtp_jumbo.cpp.o.d"
+  "bench_fig6b_dtp_jumbo"
+  "bench_fig6b_dtp_jumbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_dtp_jumbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6def_ptp_load.
+# This may be replaced when dependencies are built.

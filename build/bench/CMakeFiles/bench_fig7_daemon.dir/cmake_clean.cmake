@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_daemon.dir/bench_fig7_daemon.cpp.o"
+  "CMakeFiles/bench_fig7_daemon.dir/bench_fig7_daemon.cpp.o.d"
+  "bench_fig7_daemon"
+  "bench_fig7_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

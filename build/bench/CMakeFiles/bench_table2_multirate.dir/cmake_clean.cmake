@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_multirate.dir/bench_table2_multirate.cpp.o"
+  "CMakeFiles/bench_table2_multirate.dir/bench_table2_multirate.cpp.o.d"
+  "bench_table2_multirate"
+  "bench_table2_multirate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_multirate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

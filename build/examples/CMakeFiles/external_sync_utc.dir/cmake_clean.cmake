@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_sync_utc.dir/external_sync_utc.cpp.o"
+  "CMakeFiles/external_sync_utc.dir/external_sync_utc.cpp.o.d"
+  "external_sync_utc"
+  "external_sync_utc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_sync_utc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fattree_datacenter.dir/fattree_datacenter.cpp.o"
+  "CMakeFiles/fattree_datacenter.dir/fattree_datacenter.cpp.o.d"
+  "fattree_datacenter"
+  "fattree_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fattree_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owd_measurement.dir/owd_measurement.cpp.o"
+  "CMakeFiles/owd_measurement.dir/owd_measurement.cpp.o.d"
+  "owd_measurement"
+  "owd_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owd_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_scheduling.dir/packet_scheduling.cpp.o"
+  "CMakeFiles/packet_scheduling.dir/packet_scheduling.cpp.o.d"
+  "packet_scheduling"
+  "packet_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

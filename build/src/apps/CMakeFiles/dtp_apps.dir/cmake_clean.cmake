@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_apps.dir/owd.cpp.o"
+  "CMakeFiles/dtp_apps.dir/owd.cpp.o.d"
+  "CMakeFiles/dtp_apps.dir/scheduled_tx.cpp.o"
+  "CMakeFiles/dtp_apps.dir/scheduled_tx.cpp.o.d"
+  "libdtp_apps.a"
+  "libdtp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

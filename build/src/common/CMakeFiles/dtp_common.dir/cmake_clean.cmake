@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_common.dir/histogram.cpp.o"
+  "CMakeFiles/dtp_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/dtp_common.dir/rng.cpp.o"
+  "CMakeFiles/dtp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dtp_common.dir/stats.cpp.o"
+  "CMakeFiles/dtp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dtp_common.dir/table.cpp.o"
+  "CMakeFiles/dtp_common.dir/table.cpp.o.d"
+  "CMakeFiles/dtp_common.dir/time_units.cpp.o"
+  "CMakeFiles/dtp_common.dir/time_units.cpp.o.d"
+  "CMakeFiles/dtp_common.dir/wide_counter.cpp.o"
+  "CMakeFiles/dtp_common.dir/wide_counter.cpp.o.d"
+  "libdtp_common.a"
+  "libdtp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

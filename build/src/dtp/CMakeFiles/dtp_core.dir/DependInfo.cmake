@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtp/agent.cpp" "src/dtp/CMakeFiles/dtp_core.dir/agent.cpp.o" "gcc" "src/dtp/CMakeFiles/dtp_core.dir/agent.cpp.o.d"
+  "/root/repo/src/dtp/daemon.cpp" "src/dtp/CMakeFiles/dtp_core.dir/daemon.cpp.o" "gcc" "src/dtp/CMakeFiles/dtp_core.dir/daemon.cpp.o.d"
+  "/root/repo/src/dtp/external.cpp" "src/dtp/CMakeFiles/dtp_core.dir/external.cpp.o" "gcc" "src/dtp/CMakeFiles/dtp_core.dir/external.cpp.o.d"
+  "/root/repo/src/dtp/messages.cpp" "src/dtp/CMakeFiles/dtp_core.dir/messages.cpp.o" "gcc" "src/dtp/CMakeFiles/dtp_core.dir/messages.cpp.o.d"
+  "/root/repo/src/dtp/messages_1g.cpp" "src/dtp/CMakeFiles/dtp_core.dir/messages_1g.cpp.o" "gcc" "src/dtp/CMakeFiles/dtp_core.dir/messages_1g.cpp.o.d"
+  "/root/repo/src/dtp/network.cpp" "src/dtp/CMakeFiles/dtp_core.dir/network.cpp.o" "gcc" "src/dtp/CMakeFiles/dtp_core.dir/network.cpp.o.d"
+  "/root/repo/src/dtp/port.cpp" "src/dtp/CMakeFiles/dtp_core.dir/port.cpp.o" "gcc" "src/dtp/CMakeFiles/dtp_core.dir/port.cpp.o.d"
+  "/root/repo/src/dtp/probe.cpp" "src/dtp/CMakeFiles/dtp_core.dir/probe.cpp.o" "gcc" "src/dtp/CMakeFiles/dtp_core.dir/probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dtp_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

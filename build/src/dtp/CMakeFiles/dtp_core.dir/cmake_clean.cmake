@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_core.dir/agent.cpp.o"
+  "CMakeFiles/dtp_core.dir/agent.cpp.o.d"
+  "CMakeFiles/dtp_core.dir/daemon.cpp.o"
+  "CMakeFiles/dtp_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/dtp_core.dir/external.cpp.o"
+  "CMakeFiles/dtp_core.dir/external.cpp.o.d"
+  "CMakeFiles/dtp_core.dir/messages.cpp.o"
+  "CMakeFiles/dtp_core.dir/messages.cpp.o.d"
+  "CMakeFiles/dtp_core.dir/messages_1g.cpp.o"
+  "CMakeFiles/dtp_core.dir/messages_1g.cpp.o.d"
+  "CMakeFiles/dtp_core.dir/network.cpp.o"
+  "CMakeFiles/dtp_core.dir/network.cpp.o.d"
+  "CMakeFiles/dtp_core.dir/port.cpp.o"
+  "CMakeFiles/dtp_core.dir/port.cpp.o.d"
+  "CMakeFiles/dtp_core.dir/probe.cpp.o"
+  "CMakeFiles/dtp_core.dir/probe.cpp.o.d"
+  "libdtp_core.a"
+  "libdtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

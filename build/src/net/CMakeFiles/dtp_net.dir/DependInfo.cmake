@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/crc32.cpp" "src/net/CMakeFiles/dtp_net.dir/crc32.cpp.o" "gcc" "src/net/CMakeFiles/dtp_net.dir/crc32.cpp.o.d"
+  "/root/repo/src/net/device.cpp" "src/net/CMakeFiles/dtp_net.dir/device.cpp.o" "gcc" "src/net/CMakeFiles/dtp_net.dir/device.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/dtp_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/dtp_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/dtp_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/dtp_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/net/CMakeFiles/dtp_net.dir/mac.cpp.o" "gcc" "src/net/CMakeFiles/dtp_net.dir/mac.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/dtp_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/dtp_net.dir/switch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/dtp_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/dtp_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/dtp_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/dtp_net.dir/traffic.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/net/CMakeFiles/dtp_net.dir/wire.cpp.o" "gcc" "src/net/CMakeFiles/dtp_net.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dtp_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

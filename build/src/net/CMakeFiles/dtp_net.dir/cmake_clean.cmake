@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_net.dir/crc32.cpp.o"
+  "CMakeFiles/dtp_net.dir/crc32.cpp.o.d"
+  "CMakeFiles/dtp_net.dir/device.cpp.o"
+  "CMakeFiles/dtp_net.dir/device.cpp.o.d"
+  "CMakeFiles/dtp_net.dir/frame.cpp.o"
+  "CMakeFiles/dtp_net.dir/frame.cpp.o.d"
+  "CMakeFiles/dtp_net.dir/host.cpp.o"
+  "CMakeFiles/dtp_net.dir/host.cpp.o.d"
+  "CMakeFiles/dtp_net.dir/mac.cpp.o"
+  "CMakeFiles/dtp_net.dir/mac.cpp.o.d"
+  "CMakeFiles/dtp_net.dir/switch.cpp.o"
+  "CMakeFiles/dtp_net.dir/switch.cpp.o.d"
+  "CMakeFiles/dtp_net.dir/topology.cpp.o"
+  "CMakeFiles/dtp_net.dir/topology.cpp.o.d"
+  "CMakeFiles/dtp_net.dir/traffic.cpp.o"
+  "CMakeFiles/dtp_net.dir/traffic.cpp.o.d"
+  "CMakeFiles/dtp_net.dir/wire.cpp.o"
+  "CMakeFiles/dtp_net.dir/wire.cpp.o.d"
+  "libdtp_net.a"
+  "libdtp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

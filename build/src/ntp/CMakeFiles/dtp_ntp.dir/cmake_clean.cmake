@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_ntp.dir/ntp.cpp.o"
+  "CMakeFiles/dtp_ntp.dir/ntp.cpp.o.d"
+  "CMakeFiles/dtp_ntp.dir/wire.cpp.o"
+  "CMakeFiles/dtp_ntp.dir/wire.cpp.o.d"
+  "libdtp_ntp.a"
+  "libdtp_ntp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_ntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/adjustable_clock.cpp" "src/phy/CMakeFiles/dtp_phy.dir/adjustable_clock.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/adjustable_clock.cpp.o.d"
+  "/root/repo/src/phy/block.cpp" "src/phy/CMakeFiles/dtp_phy.dir/block.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/block.cpp.o.d"
+  "/root/repo/src/phy/drift.cpp" "src/phy/CMakeFiles/dtp_phy.dir/drift.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/drift.cpp.o.d"
+  "/root/repo/src/phy/encoding_8b10b.cpp" "src/phy/CMakeFiles/dtp_phy.dir/encoding_8b10b.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/encoding_8b10b.cpp.o.d"
+  "/root/repo/src/phy/oscillator.cpp" "src/phy/CMakeFiles/dtp_phy.dir/oscillator.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/oscillator.cpp.o.d"
+  "/root/repo/src/phy/pcs.cpp" "src/phy/CMakeFiles/dtp_phy.dir/pcs.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/pcs.cpp.o.d"
+  "/root/repo/src/phy/port.cpp" "src/phy/CMakeFiles/dtp_phy.dir/port.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/port.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/dtp_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy/sync_fifo.cpp" "src/phy/CMakeFiles/dtp_phy.dir/sync_fifo.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/sync_fifo.cpp.o.d"
+  "/root/repo/src/phy/syntonize.cpp" "src/phy/CMakeFiles/dtp_phy.dir/syntonize.cpp.o" "gcc" "src/phy/CMakeFiles/dtp_phy.dir/syntonize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

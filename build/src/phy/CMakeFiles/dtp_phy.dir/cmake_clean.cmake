@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_phy.dir/adjustable_clock.cpp.o"
+  "CMakeFiles/dtp_phy.dir/adjustable_clock.cpp.o.d"
+  "CMakeFiles/dtp_phy.dir/block.cpp.o"
+  "CMakeFiles/dtp_phy.dir/block.cpp.o.d"
+  "CMakeFiles/dtp_phy.dir/drift.cpp.o"
+  "CMakeFiles/dtp_phy.dir/drift.cpp.o.d"
+  "CMakeFiles/dtp_phy.dir/encoding_8b10b.cpp.o"
+  "CMakeFiles/dtp_phy.dir/encoding_8b10b.cpp.o.d"
+  "CMakeFiles/dtp_phy.dir/oscillator.cpp.o"
+  "CMakeFiles/dtp_phy.dir/oscillator.cpp.o.d"
+  "CMakeFiles/dtp_phy.dir/pcs.cpp.o"
+  "CMakeFiles/dtp_phy.dir/pcs.cpp.o.d"
+  "CMakeFiles/dtp_phy.dir/port.cpp.o"
+  "CMakeFiles/dtp_phy.dir/port.cpp.o.d"
+  "CMakeFiles/dtp_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/dtp_phy.dir/scrambler.cpp.o.d"
+  "CMakeFiles/dtp_phy.dir/sync_fifo.cpp.o"
+  "CMakeFiles/dtp_phy.dir/sync_fifo.cpp.o.d"
+  "CMakeFiles/dtp_phy.dir/syntonize.cpp.o"
+  "CMakeFiles/dtp_phy.dir/syntonize.cpp.o.d"
+  "libdtp_phy.a"
+  "libdtp_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

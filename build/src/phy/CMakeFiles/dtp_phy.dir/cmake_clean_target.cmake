@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtp_phy.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptp/client.cpp" "src/ptp/CMakeFiles/dtp_ptp.dir/client.cpp.o" "gcc" "src/ptp/CMakeFiles/dtp_ptp.dir/client.cpp.o.d"
+  "/root/repo/src/ptp/grandmaster.cpp" "src/ptp/CMakeFiles/dtp_ptp.dir/grandmaster.cpp.o" "gcc" "src/ptp/CMakeFiles/dtp_ptp.dir/grandmaster.cpp.o.d"
+  "/root/repo/src/ptp/messages.cpp" "src/ptp/CMakeFiles/dtp_ptp.dir/messages.cpp.o" "gcc" "src/ptp/CMakeFiles/dtp_ptp.dir/messages.cpp.o.d"
+  "/root/repo/src/ptp/servo.cpp" "src/ptp/CMakeFiles/dtp_ptp.dir/servo.cpp.o" "gcc" "src/ptp/CMakeFiles/dtp_ptp.dir/servo.cpp.o.d"
+  "/root/repo/src/ptp/transparent.cpp" "src/ptp/CMakeFiles/dtp_ptp.dir/transparent.cpp.o" "gcc" "src/ptp/CMakeFiles/dtp_ptp.dir/transparent.cpp.o.d"
+  "/root/repo/src/ptp/wire.cpp" "src/ptp/CMakeFiles/dtp_ptp.dir/wire.cpp.o" "gcc" "src/ptp/CMakeFiles/dtp_ptp.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dtp_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

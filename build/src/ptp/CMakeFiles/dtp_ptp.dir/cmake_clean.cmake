@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_ptp.dir/client.cpp.o"
+  "CMakeFiles/dtp_ptp.dir/client.cpp.o.d"
+  "CMakeFiles/dtp_ptp.dir/grandmaster.cpp.o"
+  "CMakeFiles/dtp_ptp.dir/grandmaster.cpp.o.d"
+  "CMakeFiles/dtp_ptp.dir/messages.cpp.o"
+  "CMakeFiles/dtp_ptp.dir/messages.cpp.o.d"
+  "CMakeFiles/dtp_ptp.dir/servo.cpp.o"
+  "CMakeFiles/dtp_ptp.dir/servo.cpp.o.d"
+  "CMakeFiles/dtp_ptp.dir/transparent.cpp.o"
+  "CMakeFiles/dtp_ptp.dir/transparent.cpp.o.d"
+  "CMakeFiles/dtp_ptp.dir/wire.cpp.o"
+  "CMakeFiles/dtp_ptp.dir/wire.cpp.o.d"
+  "libdtp_ptp.a"
+  "libdtp_ptp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_ptp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dtp_sim.dir/simulator.cpp.o.d"
+  "libdtp_sim.a"
+  "libdtp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_8b10b.dir/test_8b10b.cpp.o"
+  "CMakeFiles/test_8b10b.dir/test_8b10b.cpp.o.d"
+  "test_8b10b"
+  "test_8b10b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_8b10b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtp_counter.dir/test_dtp_counter.cpp.o"
+  "CMakeFiles/test_dtp_counter.dir/test_dtp_counter.cpp.o.d"
+  "test_dtp_counter"
+  "test_dtp_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtp_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

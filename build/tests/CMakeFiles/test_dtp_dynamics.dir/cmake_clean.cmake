@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtp_dynamics.dir/test_dtp_dynamics.cpp.o"
+  "CMakeFiles/test_dtp_dynamics.dir/test_dtp_dynamics.cpp.o.d"
+  "test_dtp_dynamics"
+  "test_dtp_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtp_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtp_fault.dir/test_dtp_fault.cpp.o"
+  "CMakeFiles/test_dtp_fault.dir/test_dtp_fault.cpp.o.d"
+  "test_dtp_fault"
+  "test_dtp_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtp_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

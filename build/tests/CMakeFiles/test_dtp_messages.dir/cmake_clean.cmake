@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtp_messages.dir/test_dtp_messages.cpp.o"
+  "CMakeFiles/test_dtp_messages.dir/test_dtp_messages.cpp.o.d"
+  "test_dtp_messages"
+  "test_dtp_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtp_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtp_network.dir/test_dtp_network.cpp.o"
+  "CMakeFiles/test_dtp_network.dir/test_dtp_network.cpp.o.d"
+  "test_dtp_network"
+  "test_dtp_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtp_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtp_sync.dir/test_dtp_sync.cpp.o"
+  "CMakeFiles/test_dtp_sync.dir/test_dtp_sync.cpp.o.d"
+  "test_dtp_sync"
+  "test_dtp_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtp_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

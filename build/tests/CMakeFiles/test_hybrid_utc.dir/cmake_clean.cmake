@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_utc.dir/test_hybrid_utc.cpp.o"
+  "CMakeFiles/test_hybrid_utc.dir/test_hybrid_utc.cpp.o.d"
+  "test_hybrid_utc"
+  "test_hybrid_utc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_utc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

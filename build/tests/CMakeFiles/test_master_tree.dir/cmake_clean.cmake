@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_master_tree.dir/test_master_tree.cpp.o"
+  "CMakeFiles/test_master_tree.dir/test_master_tree.cpp.o.d"
+  "test_master_tree"
+  "test_master_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_master_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

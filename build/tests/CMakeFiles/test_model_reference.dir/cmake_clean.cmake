@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_reference.dir/test_model_reference.cpp.o"
+  "CMakeFiles/test_model_reference.dir/test_model_reference.cpp.o.d"
+  "test_model_reference"
+  "test_model_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

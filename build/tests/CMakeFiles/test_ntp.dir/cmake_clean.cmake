@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntp.dir/test_ntp.cpp.o"
+  "CMakeFiles/test_ntp.dir/test_ntp.cpp.o.d"
+  "test_ntp"
+  "test_ntp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oscillator.dir/test_oscillator.cpp.o"
+  "CMakeFiles/test_oscillator.dir/test_oscillator.cpp.o.d"
+  "test_oscillator"
+  "test_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

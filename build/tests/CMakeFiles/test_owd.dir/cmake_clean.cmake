@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_owd.dir/test_owd.cpp.o"
+  "CMakeFiles/test_owd.dir/test_owd.cpp.o.d"
+  "test_owd"
+  "test_owd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_owd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_pipeline.dir/test_phy_pipeline.cpp.o"
+  "CMakeFiles/test_phy_pipeline.dir/test_phy_pipeline.cpp.o.d"
+  "test_phy_pipeline"
+  "test_phy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

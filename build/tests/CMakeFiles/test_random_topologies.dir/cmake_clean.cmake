@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_topologies.dir/test_random_topologies.cpp.o"
+  "CMakeFiles/test_random_topologies.dir/test_random_topologies.cpp.o.d"
+  "test_random_topologies"
+  "test_random_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduled_tx.dir/test_scheduled_tx.cpp.o"
+  "CMakeFiles/test_scheduled_tx.dir/test_scheduled_tx.cpp.o.d"
+  "test_scheduled_tx"
+  "test_scheduled_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduled_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_scheduled_tx.
+# This may be replaced when dependencies are built.

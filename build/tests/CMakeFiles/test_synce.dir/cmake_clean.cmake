@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synce.dir/test_synce.cpp.o"
+  "CMakeFiles/test_synce.dir/test_synce.cpp.o.d"
+  "test_synce"
+  "test_synce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

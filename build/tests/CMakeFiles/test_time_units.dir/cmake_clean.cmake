@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_units.dir/test_time_units.cpp.o"
+  "CMakeFiles/test_time_units.dir/test_time_units.cpp.o.d"
+  "test_time_units"
+  "test_time_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

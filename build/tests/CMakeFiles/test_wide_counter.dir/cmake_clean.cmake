@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wide_counter.dir/test_wide_counter.cpp.o"
+  "CMakeFiles/test_wide_counter.dir/test_wide_counter.cpp.o.d"
+  "test_wide_counter"
+  "test_wide_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wide_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtpsim_cli.dir/dtpsim_cli.cpp.o"
+  "CMakeFiles/dtpsim_cli.dir/dtpsim_cli.cpp.o.d"
+  "dtpsim"
+  "dtpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
