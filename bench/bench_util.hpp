@@ -13,6 +13,7 @@
 
 #include "common/stats.hpp"
 #include "common/time_units.hpp"
+#include "sim/simulator.hpp"
 
 namespace dtpsim::benchutil {
 
@@ -109,5 +110,69 @@ inline bool check(const char* what, bool ok) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
   return ok;
 }
+
+/// Print the event engine's instrumentation snapshot (one compact block:
+/// totals, per-category executed counts, queue depth, throughput).
+inline void print_sim_stats(const sim::Simulator& s) {
+  const sim::SimStats st = s.stats();
+  std::printf("  event loop: %llu executed / %llu scheduled / %llu cancelled, "
+              "pending=%zu peak=%zu\n",
+              static_cast<unsigned long long>(st.executed),
+              static_cast<unsigned long long>(st.scheduled),
+              static_cast<unsigned long long>(st.cancelled), st.pending,
+              st.peak_pending);
+  std::printf("  by category:");
+  for (std::size_t i = 0; i < sim::kEventCategoryCount; ++i) {
+    if (st.executed_by_category[i] == 0) continue;
+    std::printf(" %s=%llu", sim::category_name(static_cast<sim::EventCategory>(i)),
+                static_cast<unsigned long long>(st.executed_by_category[i]));
+  }
+  std::printf("\n");
+  if (st.events_per_sec > 0)
+    std::printf("  throughput: %.2f Mevents/s over %.3f s of run time\n",
+                st.events_per_sec / 1e6, st.run_wall_seconds);
+}
+
+/// Incremental flat-JSON writer for the BENCH_*.json perf artifacts.
+class BenchJson {
+ public:
+  void add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    fields_.push_back("\"" + key + "\": " + buf);
+  }
+  void add(const std::string& key, std::uint64_t v) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(v));
+  }
+  void add(const std::string& key, bool v) {
+    fields_.push_back("\"" + key + "\": " + (v ? "true" : "false"));
+  }
+  void add(const std::string& key, const std::string& v) {
+    fields_.push_back("\"" + key + "\": \"" + v + "\"");
+  }
+
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += (i ? ", " : "") + fields_[i];
+    }
+    return out + "}";
+  }
+
+  /// Write the object to `path` and echo it on stdout as a "BENCH " line so
+  /// transcripts capture the numbers even when the file is discarded.
+  bool write(const std::string& path) const {
+    const std::string body = str();
+    std::printf("BENCH %s\n", body.c_str());
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "%s\n", body.c_str());
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
 
 }  // namespace dtpsim::benchutil

@@ -21,7 +21,7 @@ OwdMeter::OwdMeter(sim::Simulator& sim, net::Host& src, net::Host& dst, ClockFn 
       dst_clock_(std::move(dst_clock)),
       payload_bytes_(payload_bytes),
       meter_id_(next_meter_id()),
-      proc_(sim, period, [this] { send_probe(); }) {
+      proc_(sim, period, [this] { send_probe(); }, sim::EventCategory::kApp) {
   // Stamp departures at the hardware TX instant (chained behind any
   // existing hook, e.g. a PTP client's timestamping).
   auto prev_tx = src_.nic().on_transmit;

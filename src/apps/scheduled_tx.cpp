@@ -36,7 +36,7 @@ void ScheduledSender::arm() {
   const double now_ns = clock_(sim_.now());
   const double delta_ns = queue_.front().target_ns - now_ns;
   const fs_t wake = sim_.now() + std::max<fs_t>(static_cast<fs_t>(delta_ns * 1e6), 0);
-  sim_.schedule_at(wake, [this] { fire(); });
+  sim_.schedule_at(wake, [this] { fire(); }, sim::EventCategory::kApp);
 }
 
 void ScheduledSender::fire() {

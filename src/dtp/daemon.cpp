@@ -13,9 +13,10 @@ Daemon::Daemon(sim::Simulator& sim, Agent& agent, DaemonParams params, double ts
       tsc_rate_hz_(static_cast<std::int64_t>(
           std::llround(params.tsc_hz * (1.0 + tsc_ppm * 1e-6)))),
       smoother_(params.smooth_window),
-      poller_(sim, params.poll_period, [this] { poll(); }),
+      poller_(sim, params.poll_period, [this] { poll(); },
+              sim::EventCategory::kProbe),
       sampler_(sim, params.sample_period > 0 ? params.sample_period : from_ms(1),
-               [this] { sample(); }) {
+               [this] { sample(); }, sim::EventCategory::kProbe) {
   if (params.poll_period <= 0) throw std::invalid_argument("Daemon: poll period");
 }
 

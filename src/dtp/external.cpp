@@ -9,7 +9,7 @@ UtcBroadcaster::UtcBroadcaster(sim::Simulator& sim, net::Host& host, Daemon& dae
       daemon_(daemon),
       utc_error_ns_(utc_error_ns),
       rng_(sim.fork_rng(0x07C ^ host.addr().value)),
-      proc_(sim, period, [this] { fire(); }) {}
+      proc_(sim, period, [this] { fire(); }, sim::EventCategory::kBeacon) {}
 
 void UtcBroadcaster::fire() {
   if (!daemon_.calibrated()) return;
@@ -71,7 +71,7 @@ HybridUtcServer::HybridUtcServer(sim::Simulator& sim, net::Host& host, Agent& ag
       agent_(agent),
       utc_error_ns_(utc_error_ns),
       rng_(sim.fork_rng(0x4B1D ^ host.addr().value)),
-      proc_(sim, period, [this] { fire(); }) {
+      proc_(sim, period, [this] { fire(); }, sim::EventCategory::kBeacon) {
   // Hardware-stamp the sync at the transmit instant, like a PTP one-step
   // clock but with the DTP counter.
   auto prev_tx = host_.nic().on_transmit;

@@ -76,9 +76,12 @@ void PortLogic::arm_init_retry() {
   sim.cancel(init_retry_);
   const auto& osc = agent_.device().oscillator();
   const std::int64_t due = osc.tick_at(sim.now()) + agent_.params().init_retry_ticks;
-  init_retry_ = sim.schedule_at(osc.edge_of_tick(due), [this] {
-    if (state_ == PortState::kInitWait) send_init();
-  });
+  init_retry_ = sim.schedule_at(
+      osc.edge_of_tick(due),
+      [this] {
+        if (state_ == PortState::kInitWait) send_init();
+      },
+      sim::EventCategory::kBeacon);
 }
 
 void PortLogic::handle_control(const phy::ControlRx& rx) {
@@ -151,7 +154,8 @@ void PortLogic::schedule_beacon() {
   auto& sim = agent_.simulator();
   const auto& osc = agent_.device().oscillator();
   const std::int64_t due = osc.tick_at(sim.now()) + agent_.params().beacon_interval_ticks;
-  beacon_timer_ = sim.schedule_at(osc.edge_of_tick(due), [this] { send_beacon(); });
+  beacon_timer_ = sim.schedule_at(osc.edge_of_tick(due), [this] { send_beacon(); },
+                                  sim::EventCategory::kBeacon);
 }
 
 void PortLogic::send_beacon() {

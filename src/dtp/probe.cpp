@@ -11,7 +11,7 @@ OffsetProbe::OffsetProbe(sim::Simulator& sim, Agent& sender, std::size_t sender_
       sender_port_(sender_port),
       receiver_(receiver),
       receiver_port_(receiver_port),
-      proc_(sim, period, [this] { fire(); }) {
+      proc_(sim, period, [this] { fire(); }, sim::EventCategory::kProbe) {
   auto& s_port = sender_.port_logic(sender_port_).phy_port();
   auto& r_port = receiver_.port_logic(receiver_port_).phy_port();
   if (s_port.peer() != &r_port)

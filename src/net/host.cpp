@@ -27,7 +27,8 @@ void Host::on_port_added(std::size_t index) {
 void Host::send_app(Frame frame) {
   frame.src = addr_;
   const fs_t delay = tx_stack_.sample();
-  sim_.schedule_in(delay, [this, frame] { nic().enqueue(frame); });
+  sim_.schedule_in(delay, [this, frame] { nic().enqueue(frame); },
+                   sim::EventCategory::kFrame);
 }
 
 void Host::handle_rx(const Frame& frame, fs_t rx_time) {
@@ -35,9 +36,9 @@ void Host::handle_rx(const Frame& frame, fs_t rx_time) {
   if (on_hw_receive) on_hw_receive(frame, rx_time);
   if (on_app_receive) {
     const fs_t delay = rx_stack_.sample();
-    sim_.schedule_in(delay, [this, frame, rx_time] {
-      on_app_receive(frame, rx_time, sim_.now());
-    });
+    sim_.schedule_in(
+        delay, [this, frame, rx_time] { on_app_receive(frame, rx_time, sim_.now()); },
+        sim::EventCategory::kFrame);
   }
 }
 

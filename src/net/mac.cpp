@@ -60,10 +60,13 @@ void Mac::pump() {
   const fs_t clear = port_.frame_clear_time();
   if (clear > sim_.now()) {
     pump_scheduled_ = true;
-    sim_.schedule_at(clear, [this] {
-      pump_scheduled_ = false;
-      pump();
-    });
+    sim_.schedule_at(
+        clear,
+        [this] {
+          pump_scheduled_ = false;
+          pump();
+        },
+        sim::EventCategory::kFrame);
     return;
   }
   Frame frame = std::move(queues_[cls].front());

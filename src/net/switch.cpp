@@ -67,9 +67,12 @@ void Switch::deliver(std::size_t out_port, const Frame& frame, fs_t eligible) {
     if (!mac(out_port).enqueue(frame)) ++stats_.egress_drops;
     return;
   }
-  sim_.schedule_at(eligible, [this, out_port, frame] {
-    if (!mac(out_port).enqueue(frame)) ++stats_.egress_drops;
-  });
+  sim_.schedule_at(
+      eligible,
+      [this, out_port, frame] {
+        if (!mac(out_port).enqueue(frame)) ++stats_.egress_drops;
+      },
+      sim::EventCategory::kFrame);
 }
 
 }  // namespace dtpsim::net

@@ -43,14 +43,17 @@ void TrafficGenerator::arm_next() {
     const fs_t frame_time = static_cast<fs_t>(
         static_cast<double>(params_.frame_bytes + kPreambleBytes) * 8.0 /
         src_.nic().port().rate().bits_per_second * 1e15);
-    sim_.schedule_in(frame_time, [this] { arm_next(); });
+    sim_.schedule_in(frame_time, [this] { arm_next(); }, sim::EventCategory::kApp);
     return;
   }
-  sim_.schedule_in(interarrival(), [this] {
-    for (std::size_t i = 0; i < std::max<std::size_t>(params_.burst_frames, 1); ++i)
-      offer();
-    arm_next();
-  });
+  sim_.schedule_in(
+      interarrival(),
+      [this] {
+        for (std::size_t i = 0; i < std::max<std::size_t>(params_.burst_frames, 1); ++i)
+          offer();
+        arm_next();
+      },
+      sim::EventCategory::kApp);
 }
 
 void TrafficGenerator::offer() {

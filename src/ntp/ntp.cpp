@@ -49,9 +49,10 @@ NtpClient::NtpClient(sim::Simulator& sim, net::Host& host, net::MacAddr server,
       reference_(reference),
       params_(params),
       clock_(host.oscillator(), from_ns(100)),
-      poll_proc_(sim, params.poll_interval, [this] { poll(); }),
+      poll_proc_(sim, params.poll_interval, [this] { poll(); },
+                 sim::EventCategory::kBeacon),
       sample_proc_(sim, params.sample_period > 0 ? params.sample_period : from_ms(100),
-                   [this] { sample_truth(); }) {
+                   [this] { sample_truth(); }, sim::EventCategory::kProbe) {
   auto previous = host_.on_app_receive;
   host_.on_app_receive = [this, previous](const net::Frame& f, fs_t hw, fs_t app) {
     if (f.ethertype == kEtherTypeNtp) {

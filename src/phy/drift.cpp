@@ -10,7 +10,8 @@ DriftProcess::DriftProcess(sim::Simulator& sim, Oscillator& osc, DriftParams par
       params_(params),
       rng_(rng),
       ppm_(osc.ppm()),
-      proc_(sim, params.update_interval, [this] { step(); }) {}
+      proc_(sim, params.update_interval, [this] { step(); },
+            sim::EventCategory::kDrift) {}
 
 void DriftProcess::step() {
   ppm_ += rng_.uniform_real(-params_.step_ppm, params_.step_ppm);

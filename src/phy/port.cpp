@@ -71,7 +71,7 @@ void PhyPort::schedule_control_service() {
     ++control_sent_;
     cable_->transmit_control(*this, bits, tx_end);
     schedule_control_service();
-  });
+  }, sim::EventCategory::kFrame);
 }
 
 fs_t PhyPort::frame_clear_time() const {
@@ -97,9 +97,12 @@ PhyPort::TxTiming PhyPort::send_frame(std::uint32_t wire_bytes,
 void PhyPort::deliver_control(std::uint64_t bits56, fs_t tx_end, bool corrupted) {
   const fs_t wire_arrival = tx_end;  // propagation already applied by cable
   const CrossingResult crossing = fifo_.cross(osc_, wire_arrival);
-  sim_.schedule_at(crossing.visible_time, [this, bits56, wire_arrival, crossing, corrupted] {
-    if (on_control) on_control(ControlRx{bits56, wire_arrival, crossing, corrupted});
-  });
+  sim_.schedule_at(
+      crossing.visible_time,
+      [this, bits56, wire_arrival, crossing, corrupted] {
+        if (on_control) on_control(ControlRx{bits56, wire_arrival, crossing, corrupted});
+      },
+      sim::EventCategory::kFrame);
 }
 
 void PhyPort::deliver_frame(FrameRx rx) {
@@ -136,9 +139,10 @@ void Cable::transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end) {
   }
   PhyPort& to = other_side(from);
   const fs_t arrival = tx_end + params_.propagation_delay;
-  sim_.schedule_at(arrival, [&to, bits56, arrival, corrupted] {
-    to.deliver_control(bits56, arrival, corrupted);
-  });
+  sim_.schedule_at(
+      arrival,
+      [&to, bits56, arrival, corrupted] { to.deliver_control(bits56, arrival, corrupted); },
+      sim::EventCategory::kFrame);
 }
 
 void Cable::transmit_frame(PhyPort& from, std::uint32_t wire_bytes,
@@ -154,9 +158,12 @@ void Cable::transmit_frame(PhyPort& from, std::uint32_t wire_bytes,
   }
   PhyPort& to = other_side(from);
   const fs_t arrival = tx_end + params_.propagation_delay;
-  sim_.schedule_at(arrival, [&to, payload = std::move(payload), wire_bytes, fcs_ok, arrival] {
-    to.deliver_frame(FrameRx{payload, wire_bytes, fcs_ok, arrival});
-  });
+  sim_.schedule_at(
+      arrival,
+      [&to, payload = std::move(payload), wire_bytes, fcs_ok, arrival] {
+        to.deliver_frame(FrameRx{payload, wire_bytes, fcs_ok, arrival});
+      },
+      sim::EventCategory::kFrame);
 }
 
 }  // namespace dtpsim::phy

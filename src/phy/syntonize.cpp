@@ -11,7 +11,8 @@ Syntonizer::Syntonizer(sim::Simulator& sim, Oscillator& slave, const Oscillator&
       upstream_(upstream),
       params_(params),
       rng_(rng),
-      proc_(sim, params.update_interval, [this] { update(); }) {}
+      proc_(sim, params.update_interval, [this] { update(); },
+            sim::EventCategory::kDrift) {}
 
 void Syntonizer::update() {
   // The recovered clock IS the upstream TX clock; the cleanup PLL adds a

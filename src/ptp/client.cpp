@@ -12,9 +12,10 @@ PtpClient::PtpClient(sim::Simulator& sim, net::Host& host, const HardwareClock& 
       params_(params),
       phc_(host.oscillator(), params.ts_resolution),
       servo_(params.servo),
-      dreq_proc_(sim, params.delay_req_interval, [this] { send_delay_req(); }),
+      dreq_proc_(sim, params.delay_req_interval, [this] { send_delay_req(); },
+                 sim::EventCategory::kBeacon),
       sample_proc_(sim, params.sample_period > 0 ? params.sample_period : from_ms(100),
-                   [this] { sample_truth(); }) {
+                   [this] { sample_truth(); }, sim::EventCategory::kProbe) {
   host_.on_hw_receive = [this](const net::Frame& f, fs_t t) { handle_hw_receive(f, t); };
   host_.nic().on_transmit = [this](net::Frame& f, fs_t t) { handle_transmit(f, t); };
 }

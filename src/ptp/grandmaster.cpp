@@ -7,8 +7,10 @@ Grandmaster::Grandmaster(sim::Simulator& sim, net::Host& host, GrandmasterParams
       host_(host),
       params_(params),
       phc_(host.oscillator(), params.ts_resolution, /*ideal=*/true),
-      sync_proc_(sim, params.sync_interval, [this] { send_sync(); }),
-      announce_proc_(sim, params.announce_interval, [this] { send_announce(); }) {
+      sync_proc_(sim, params.sync_interval, [this] { send_sync(); },
+                 sim::EventCategory::kBeacon),
+      announce_proc_(sim, params.announce_interval, [this] { send_announce(); },
+                     sim::EventCategory::kBeacon) {
   host_.on_hw_receive = [this](const net::Frame& f, fs_t t) { handle_hw_receive(f, t); };
   host_.nic().on_transmit = [this](net::Frame& f, fs_t t) { handle_transmit(f, t); };
 }

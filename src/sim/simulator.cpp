@@ -4,64 +4,174 @@
 
 namespace dtpsim::sim {
 
-Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {}
-
-EventHandle Simulator::schedule_at(fs_t t, std::function<void()> fn) {
-  if (t < now_) throw std::logic_error("Simulator::schedule_at: time in the past");
-  if (!fn) throw std::invalid_argument("Simulator::schedule_at: empty callback");
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
-  return EventHandle(id);
+const char* category_name(EventCategory cat) {
+  switch (cat) {
+    case EventCategory::kGeneric: return "generic";
+    case EventCategory::kBeacon: return "beacon";
+    case EventCategory::kFrame: return "frame";
+    case EventCategory::kDrift: return "drift";
+    case EventCategory::kProbe: return "probe";
+    case EventCategory::kApp: return "app";
+  }
+  return "?";
 }
 
-EventHandle Simulator::schedule_in(fs_t dt, std::function<void()> fn) {
+Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  ++s.gen;
+  if (s.gen == 0) ++s.gen;  // generation 0 is reserved for invalid handles
+  s.heap_pos = kNoHeapPos;
+  free_slots_.push_back(slot);
+}
+
+void Simulator::sift_up(std::size_t pos, HeapEntry e) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, e);
+}
+
+void Simulator::sift_down(std::size_t pos, HeapEntry e) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = pos * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], e)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, e);
+}
+
+void Simulator::heap_push(HeapEntry e) {
+  heap_.push_back(e);  // placeholder; sift_up overwrites along the path
+  sift_up(heap_.size() - 1, e);
+}
+
+Simulator::HeapEntry Simulator::heap_pop_top() {
+  const HeapEntry top = heap_.front();
+  slots_[top.slot].heap_pos = kNoHeapPos;
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0, last);
+  return top;
+}
+
+void Simulator::heap_remove(std::uint32_t pos) {
+  slots_[heap_[pos].slot].heap_pos = kNoHeapPos;
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry
+  // Re-seat `last` at `pos`: it may need to move either direction.
+  if (pos > 0 && earlier(last, heap_[(pos - 1) / kArity]))
+    sift_up(pos, last);
+  else
+    sift_down(pos, last);
+}
+
+EventHandle Simulator::schedule_at(fs_t t, Callback fn, EventCategory cat) {
+  if (t < now_) throw std::logic_error("Simulator::schedule_at: time in the past");
+  if (!fn) throw std::invalid_argument("Simulator::schedule_at: empty callback");
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.cat = cat;
+  heap_push(HeapEntry{t, next_seq_++, slot});
+  ++scheduled_;
+  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+  return EventHandle(slot, s.gen);
+}
+
+EventHandle Simulator::schedule_in(fs_t dt, Callback fn, EventCategory cat) {
   if (dt < 0) throw std::logic_error("Simulator::schedule_in: negative delay");
-  return schedule_at(now_ + dt, std::move(fn));
+  return schedule_at(now_ + dt, std::move(fn), cat);
 }
 
 bool Simulator::cancel(EventHandle h) {
-  if (!h.valid() || h.id() >= next_id_) return false;
-  // Lazy cancellation: mark the id; the event is skipped when popped.
-  return cancelled_.insert(h.id()).second;
+  if (!h.valid() || h.slot_ >= slots_.size()) return false;
+  Slot& s = slots_[h.slot_];
+  // Generation mismatch: the event already fired or was cancelled (and the
+  // slot possibly reused). Nothing to record — stale handles don't leak.
+  if (s.gen != h.gen_ || s.heap_pos == kNoHeapPos) return false;
+  heap_remove(s.heap_pos);
+  release_slot(h.slot_);
+  ++cancelled_count_;
+  return true;
+}
+
+void Simulator::fire_top() {
+  const HeapEntry top = heap_pop_top();
+  Slot& s = slots_[top.slot];
+  // Move the callback out and release the slot *before* invoking: the
+  // callback may schedule new events (growing the slab) or cancel its own
+  // handle (generation already advanced, so that is a clean no-op).
+  Callback fn = std::move(s.fn);
+  const auto cat = static_cast<std::size_t>(s.cat);
+  release_slot(top.slot);
+  now_ = top.time;
+  ++executed_;
+  ++executed_by_category_[cat];
+  fn();
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.time;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  fire_top();
+  return true;
 }
 
 void Simulator::run_until(fs_t t_end) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.time > t_end) break;
-    step();
-  }
+  const auto wall0 = std::chrono::steady_clock::now();
+  while (!heap_.empty() && heap_.front().time <= t_end) fire_top();
   if (now_ < t_end) now_ = t_end;
+  run_wall_ += std::chrono::steady_clock::now() - wall0;
 }
 
 void Simulator::run() {
-  while (step()) {
-  }
+  const auto wall0 = std::chrono::steady_clock::now();
+  while (!heap_.empty()) fire_top();
+  run_wall_ += std::chrono::steady_clock::now() - wall0;
 }
 
-PeriodicProcess::PeriodicProcess(Simulator& sim, fs_t period, std::function<void()> fn)
-    : sim_(sim), period_(period), fn_(std::move(fn)) {
+SimStats Simulator::stats() const {
+  SimStats st;
+  st.scheduled = scheduled_;
+  st.executed = executed_;
+  st.cancelled = cancelled_count_;
+  for (std::size_t i = 0; i < kEventCategoryCount; ++i)
+    st.executed_by_category[i] = executed_by_category_[i];
+  st.pending = heap_.size();
+  st.peak_pending = peak_pending_;
+  st.run_wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(run_wall_).count();
+  st.events_per_sec =
+      st.run_wall_seconds > 0 ? static_cast<double>(executed_) / st.run_wall_seconds : 0;
+  return st;
+}
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, fs_t period, Callback fn,
+                                 EventCategory cat)
+    : sim_(sim), period_(period), fn_(std::move(fn)), cat_(cat) {
   if (period_ <= 0) throw std::invalid_argument("PeriodicProcess: period must be > 0");
   if (!fn_) throw std::invalid_argument("PeriodicProcess: empty callback");
 }
@@ -89,11 +199,19 @@ void PeriodicProcess::set_period(fs_t period) {
 }
 
 void PeriodicProcess::arm(fs_t delay) {
-  pending_ = sim_.schedule_in(delay, [this] {
-    if (!running_) return;
-    fn_();
-    if (running_) arm(period_);
-  });
+  pending_ = sim_.schedule_in(
+      delay,
+      [this] {
+        // Clear the handle first: this event is firing, so a stop() from
+        // inside fn_ must not try to cancel it.
+        pending_ = EventHandle();
+        if (!running_) return;
+        fn_();
+        // Re-arm unless fn_ stopped us, or stopped-and-restarted (in which
+        // case start() already armed and pending_ is valid again).
+        if (running_ && !pending_.valid()) arm(period_);
+      },
+      cat_);
 }
 
 }  // namespace dtpsim::sim

@@ -10,33 +10,76 @@
 ///   * events at equal timestamps fire in scheduling order (FIFO tie-break),
 ///   * all randomness flows from Rng streams forked off the simulator's root
 ///     seed, so a (topology, seed) pair fully determines a run.
+///
+/// Internals (see DESIGN.md "Event-loop internals"): events live in a slab
+/// of generation-counted slots addressed by an indexed 4-ary min-heap, so
+/// cancellation is O(log n) direct removal, a stale handle (slot since
+/// reused or event already fired) is detected by generation mismatch, and
+/// `events_pending()` is the heap size — exact by construction. Callbacks
+/// use small-buffer storage (sim::Callback) so the common
+/// lambda-capturing-`this` event never touches the heap allocator.
 
+#include <chrono>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <limits>
-#include <queue>
-#include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/time_units.hpp"
+#include "sim/callback.hpp"
 
 namespace dtpsim::sim {
 
-/// Handle to a scheduled event; allows cancellation.
+/// What kind of work an event performs; drives the per-category counters in
+/// SimStats. Purely observational — scheduling semantics are identical for
+/// all categories.
+enum class EventCategory : std::uint8_t {
+  kGeneric = 0,  ///< untagged / miscellaneous
+  kBeacon,       ///< protocol sync traffic: DTP beacons/INIT, PTP sync, NTP polls
+  kFrame,        ///< frame & control-block transport through PHY/MAC/switch
+  kDrift,        ///< oscillator drift walks and syntonization updates
+  kProbe,        ///< measurement: offset probes, daemon polls, samplers
+  kApp,          ///< application load: traffic generators, OWD, scheduled tx
+};
+inline constexpr std::size_t kEventCategoryCount = 6;
+
+/// Human-readable name for a category ("beacon", "frame", ...).
+const char* category_name(EventCategory cat);
+
+/// Snapshot of the engine's instrumentation counters.
+struct SimStats {
+  std::uint64_t scheduled = 0;  ///< total schedule_at/schedule_in calls
+  std::uint64_t executed = 0;   ///< events fired
+  std::uint64_t cancelled = 0;  ///< events removed before firing
+  std::uint64_t executed_by_category[kEventCategoryCount] = {};
+  std::size_t pending = 0;       ///< events in the queue right now
+  std::size_t peak_pending = 0;  ///< high-water mark of the queue depth
+  double run_wall_seconds = 0;   ///< wall time spent inside run()/run_until()
+  double events_per_sec = 0;     ///< executed / run_wall_seconds (0 if unknown)
+};
+
+/// Handle to a scheduled event; allows cancellation. A handle is a (slot,
+/// generation) pair: once the event fires or is cancelled the slot's
+/// generation advances, so a retained handle can never cancel an unrelated
+/// later event that happens to reuse the slot.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// True if this handle refers to a scheduled (possibly already fired) event.
-  bool valid() const { return id_ != 0; }
-  std::uint64_t id() const { return id_; }
+  /// True if this handle was returned by a schedule call (it may refer to an
+  /// event that has since fired or been cancelled; cancel() detects that).
+  bool valid() const { return gen_ != 0; }
+
+  /// Debug identity: packs (slot, generation) into one word.
+  std::uint64_t id() const {
+    return (static_cast<std::uint64_t>(slot_) << 32) | gen_;
+  }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  EventHandle(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Sequential discrete-event simulator with femtosecond time.
@@ -52,13 +95,18 @@ class Simulator {
   fs_t now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must be >= now()).
-  EventHandle schedule_at(fs_t t, std::function<void()> fn);
+  EventHandle schedule_at(fs_t t, Callback fn,
+                          EventCategory cat = EventCategory::kGeneric);
 
   /// Schedule `fn` after a delay of `dt` (must be >= 0).
-  EventHandle schedule_in(fs_t dt, std::function<void()> fn);
+  EventHandle schedule_in(fs_t dt, Callback fn,
+                          EventCategory cat = EventCategory::kGeneric);
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid handle is
-  /// a no-op; returns whether the event was actually pending.
+  /// Cancel a pending event: O(log n) removal from the queue. Returns true
+  /// iff the event was actually pending. Cancelling a default-constructed
+  /// handle, an already-fired event, an already-cancelled event, or the
+  /// currently-executing event is a no-op returning false — a stale handle
+  /// is detected by generation mismatch and records nothing.
   bool cancel(EventHandle h);
 
   /// Run until the queue is empty or `t_end` is reached; the simulation clock
@@ -69,13 +117,19 @@ class Simulator {
   void run();
 
   /// Fire exactly one event if any is pending; returns whether one fired.
+  /// (Not counted toward SimStats::run_wall_seconds — kept lean for
+  /// single-step callers.)
   bool step();
 
   /// Number of events executed so far.
   std::uint64_t events_executed() const { return executed_; }
 
-  /// Number of events currently pending.
-  std::size_t events_pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events currently pending. Exact: cancelled events leave the
+  /// queue immediately, so this can never underflow.
+  std::size_t events_pending() const { return heap_.size(); }
+
+  /// Instrumentation snapshot (counters, queue depth, throughput).
+  SimStats stats() const;
 
   /// Fork an independent RNG stream, tagged by purpose (component id etc.).
   Rng fork_rng(std::uint64_t tag) { return root_rng_.fork(tag); }
@@ -84,27 +138,57 @@ class Simulator {
   std::uint64_t seed() const { return seed_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoHeapPos = 0xFFFFFFFFu;
+  static constexpr std::size_t kArity = 4;  // 4-ary heap: shallow, cache-friendly
+
+  /// One slab entry. The generation counter advances every time the slot is
+  /// released (event fired or cancelled), invalidating outstanding handles.
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 1;
+    std::uint32_t heap_pos = kNoHeapPos;
+    EventCategory cat = EventCategory::kGeneric;
+  };
+
+  /// Heap entries carry the full sort key so sift comparisons never chase a
+  /// pointer into the slab; they are trivially copyable (moves are memcpy).
+  struct HeapEntry {
     fs_t time;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint64_t id;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop_top();
+  void heap_remove(std::uint32_t pos);
+  void sift_up(std::size_t pos, HeapEntry e);
+  void sift_down(std::size_t pos, HeapEntry e);
+  void place(std::size_t pos, HeapEntry e) {
+    heap_[pos] = e;
+    slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+  void fire_top();
 
   fs_t now_ = 0;
   std::uint64_t seed_;
   Rng root_rng_;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_count_ = 0;
+  std::uint64_t executed_by_category_[kEventCategoryCount] = {};
+  std::size_t peak_pending_ = 0;
+  std::chrono::steady_clock::duration run_wall_{0};
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;
 };
 
 /// Repeatedly runs a callback with a fixed period; the callback may stop the
@@ -114,7 +198,9 @@ class PeriodicProcess {
   /// \param sim      owning simulator (must outlive the process)
   /// \param period   interval between invocations, > 0
   /// \param fn       invoked once per period while running
-  PeriodicProcess(Simulator& sim, fs_t period, std::function<void()> fn);
+  /// \param cat      event category the firings are counted under
+  PeriodicProcess(Simulator& sim, fs_t period, Callback fn,
+                  EventCategory cat = EventCategory::kGeneric);
   ~PeriodicProcess();
 
   PeriodicProcess(const PeriodicProcess&) = delete;
@@ -125,7 +211,9 @@ class PeriodicProcess {
   void start();
   void start_with_phase(fs_t phase);
 
-  /// Stop firing; safe to call from inside the callback.
+  /// Stop firing; safe to call from inside the callback (the in-flight
+  /// handle is cleared before the callback runs, so this never cancels the
+  /// currently-firing event).
   void stop();
 
   bool running() const { return running_; }
@@ -139,7 +227,8 @@ class PeriodicProcess {
 
   Simulator& sim_;
   fs_t period_;
-  std::function<void()> fn_;
+  Callback fn_;
+  EventCategory cat_;
   bool running_ = false;
   EventHandle pending_;
 };

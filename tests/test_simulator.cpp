@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 namespace dtpsim::sim {
@@ -69,6 +70,129 @@ TEST(Simulator, CancelPreventsExecution) {
 TEST(Simulator, CancelInvalidHandleIsNoop) {
   Simulator sim;
   EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+// Regression: the seed recorded any id < next_id_ as cancelled, so
+// cancelling a handle whose event already fired leaked a tombstone forever
+// and made events_pending() underflow its unsigned subtraction.
+TEST(Simulator, CancelAfterFireReturnsFalseAndRecordsNothing) {
+  Simulator sim;
+  auto h = sim.schedule_at(10_ns, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.stats().cancelled, 0u);
+  // A later event must be unaffected by the stale cancels above.
+  bool fired = false;
+  sim.schedule_in(1_ns, [&] { fired = true; });
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelTwiceSecondIsNoop) {
+  Simulator sim;
+  auto h = sim.schedule_at(10_ns, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.stats().cancelled, 1u);
+}
+
+// A handle must not be able to cancel an unrelated event that reuses its
+// slot: the generation counter detects the reuse.
+TEST(Simulator, StaleHandleCannotCancelReusedSlot) {
+  Simulator sim;
+  auto stale = sim.schedule_at(10_ns, [] {});
+  EXPECT_TRUE(sim.cancel(stale));
+  bool fired = false;
+  sim.schedule_at(10_ns, [&] { fired = true; });  // reuses the freed slot
+  EXPECT_FALSE(sim.cancel(stale));
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelOwnHandleInsideCallbackIsNoop) {
+  Simulator sim;
+  EventHandle self;
+  bool cancel_result = true;
+  self = sim.schedule_at(10_ns, [&] { cancel_result = sim.cancel(self); });
+  sim.run();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, EventsPendingIsExactUnderChurn) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i)
+    handles.push_back(sim.schedule_at((i + 1) * 1_ns, [] {}));
+  EXPECT_EQ(sim.events_pending(), 100u);
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(sim.cancel(handles[i]));
+  EXPECT_EQ(sim.events_pending(), 50u);
+  sim.run();
+  EXPECT_EQ(sim.events_pending(), 0u);
+  // The seed bug made this underflow to ~SIZE_MAX after stale cancels.
+  for (auto& h : handles) sim.cancel(h);
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 50u);
+}
+
+TEST(Simulator, CancelledEventNeverRunsEvenWhenInterleaved) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10_ns, [&] { order.push_back(1); });
+  auto h = sim.schedule_at(10_ns, [&] { order.push_back(2); });
+  sim.schedule_at(10_ns, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, StatsCountersAndCategories) {
+  Simulator sim;
+  sim.schedule_at(1_ns, [] {}, EventCategory::kBeacon);
+  sim.schedule_at(2_ns, [] {}, EventCategory::kFrame);
+  sim.schedule_at(3_ns, [] {}, EventCategory::kFrame);
+  auto h = sim.schedule_at(4_ns, [] {}, EventCategory::kProbe);
+  sim.cancel(h);
+  sim.run();
+  const SimStats st = sim.stats();
+  EXPECT_EQ(st.scheduled, 4u);
+  EXPECT_EQ(st.executed, 3u);
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.pending, 0u);
+  EXPECT_EQ(st.peak_pending, 4u);
+  EXPECT_EQ(st.executed_by_category[static_cast<int>(EventCategory::kBeacon)], 1u);
+  EXPECT_EQ(st.executed_by_category[static_cast<int>(EventCategory::kFrame)], 2u);
+  EXPECT_EQ(st.executed_by_category[static_cast<int>(EventCategory::kProbe)], 0u);
+}
+
+TEST(Simulator, LargeCallbackFallsBackToHeapAndStillRuns) {
+  Simulator sim;
+  // 128 bytes of capture: exceeds the inline buffer, exercises the heap path.
+  std::array<std::uint64_t, 16> big{};
+  big.fill(7);
+  std::uint64_t sum = 0;
+  sim.schedule_at(1_ns, [big, &sum] {
+    for (auto v : big) sum += v;
+  });
+  sim.run();
+  EXPECT_EQ(sum, 112u);
+}
+
+TEST(Callback, InlineForSmallCaptures) {
+  int x = 0;
+  Callback small([&x] { ++x; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(x, 1);
+  Callback moved(std::move(small));
+  EXPECT_FALSE(static_cast<bool>(small));
+  moved();
+  EXPECT_EQ(x, 2);
 }
 
 TEST(Simulator, RunUntilStopsOnTimeAndAdvancesClock) {
@@ -150,6 +274,38 @@ TEST(PeriodicProcess, StopFromInsideCallback) {
   sim.run_until(100_ns);
   EXPECT_EQ(count, 3);
   EXPECT_FALSE(p.running());
+}
+
+// Regression: stop() inside the callback used to cancel the id of the
+// *currently firing* event, corrupting the engine's pending accounting.
+// The in-flight handle is now cleared before the callback runs.
+TEST(PeriodicProcess, StopFromCallbackLeavesExactPendingCount) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess p(sim, 1_ns, [&] {
+    ++count;
+    p.stop();
+  });
+  p.start();
+  sim.run_until(100_ns);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.stats().cancelled, 0u);  // the no-op stop recorded nothing
+}
+
+TEST(PeriodicProcess, StopThenRestartInsideCallbackDoesNotDoubleArm) {
+  Simulator sim;
+  std::vector<fs_t> times;
+  PeriodicProcess p(sim, 10_ns, [&] {
+    times.push_back(sim.now());
+    if (times.size() == 1) {
+      p.stop();
+      p.start_with_phase(5_ns);  // re-arm with a new phase from inside fn
+    }
+  });
+  p.start();
+  sim.run_until(40_ns);
+  EXPECT_EQ(times, (std::vector<fs_t>{10_ns, 15_ns, 25_ns, 35_ns}));
 }
 
 TEST(PeriodicProcess, SetPeriodTakesEffectNextCycle) {

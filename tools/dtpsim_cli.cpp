@@ -117,6 +117,25 @@ int run(const Options& o) {
       (o.protocol == "ptp" || o.protocol == "ntp") ? from_sec(8) : from_ms(4);
   const fs_t duration = static_cast<fs_t>(o.seconds * static_cast<double>(kFsPerSec));
 
+  // ---- Event-loop report (printed after every protocol run) --------------
+  auto print_stats = [&sim] {
+    const sim::SimStats st = sim.stats();
+    std::printf("events: %llu executed (", static_cast<unsigned long long>(st.executed));
+    bool first = true;
+    for (std::size_t i = 0; i < sim::kEventCategoryCount; ++i) {
+      if (st.executed_by_category[i] == 0) continue;
+      std::printf("%s%s=%llu", first ? "" : " ",
+                  sim::category_name(static_cast<sim::EventCategory>(i)),
+                  static_cast<unsigned long long>(st.executed_by_category[i]));
+      first = false;
+    }
+    std::printf("), %llu cancelled, queue peak=%zu now=%zu",
+                static_cast<unsigned long long>(st.cancelled), st.peak_pending,
+                st.pending);
+    if (st.events_per_sec > 0) std::printf(", %.2f Mevents/s", st.events_per_sec / 1e6);
+    std::printf("\n");
+  };
+
   // ---- Load ------------------------------------------------------------
   auto start_load = [&] {
     if (o.load != "heavy" || hosts.size() < 2) return;
@@ -155,6 +174,7 @@ int run(const Options& o) {
     for (auto* h : hosts) frames += h->nic().stats().tx_frames;
     std::printf("protocol packet overhead: 0 (hosts sent %llu frames, all application)\n",
                 static_cast<unsigned long long>(frames));
+    print_stats();
     return worst_ticks <= bound_ticks + 1 ? 0 : 1;
   }
 
@@ -184,6 +204,7 @@ int run(const Options& o) {
     std::printf("protocol=ptp clients=%zu worst offset=%.1f ns packets=%llu\n",
                 clients.size(), worst,
                 static_cast<unsigned long long>(gm.packets_sent()));
+    print_stats();
     return 0;
   }
 
@@ -208,6 +229,7 @@ int run(const Options& o) {
     }
     std::printf("protocol=ntp clients=%zu worst offset=%.1f ns (%.2f us)\n",
                 clients.size(), worst, worst / 1000.0);
+    print_stats();
     return 0;
   }
 
