@@ -1,0 +1,352 @@
+#include "chaos/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "dtp/daemon.hpp"
+
+namespace dtpsim::chaos {
+
+ChaosEngine::ChaosEngine(net::Network& net, dtp::DtpNetwork& dtp, ChaosParams params)
+    : net_(net), dtp_(dtp), params_(params), sim_(net.simulator()) {
+  const auto devices = net_.devices();
+  if (devices.empty()) throw std::invalid_argument("ChaosEngine: empty network");
+  for (net::Device* dev : devices)
+    for (std::size_t p = 0; p < dev->port_count(); ++p) port_owner_[&dev->port(p)] = dev;
+  for (const auto& cable : net_.cables()) {
+    if (!cable->connected()) continue;
+    Link l;
+    l.a = &cable->port_a();
+    l.b = &cable->port_b();
+    l.dev_a = owner_of(l.a);
+    l.dev_b = owner_of(l.b);
+    l.cable = cable.get();
+    links_.push_back(l);
+  }
+  // The beacon interval in simulator time — the unit recovery is reported
+  // in. Ticks are nominal (every device's grid is within ±100 ppm of this).
+  beacon_interval_ = static_cast<fs_t>(params_.dtp.beacon_interval_ticks) *
+                     devices.front()->oscillator().nominal_period();
+}
+
+fs_t ChaosEngine::probe_sample_period() const {
+  return params_.sample_period > 0 ? params_.sample_period : beacon_interval_ / 8;
+}
+
+fs_t ChaosEngine::probe_timeout() const {
+  return params_.probe_timeout > 0 ? params_.probe_timeout : 50 * beacon_interval_;
+}
+
+net::Device* ChaosEngine::owner_of(const phy::PhyPort* port) const {
+  auto it = port_owner_.find(port);
+  return it == port_owner_.end() ? nullptr : it->second;
+}
+
+dtp::PortLogic* ChaosEngine::port_logic_at(phy::PhyPort* port) const {
+  net::Device* dev = owner_of(port);
+  dtp::Agent* a = dev ? dtp_.agent_of(dev) : nullptr;
+  if (!a) return nullptr;
+  for (std::size_t p = 0; p < a->port_count(); ++p)
+    if (&a->port_logic(p).phy_port() == port) return &a->port_logic(p);
+  return nullptr;
+}
+
+ChaosEngine::Link* ChaosEngine::link_between(const net::Device& a, const net::Device& b) {
+  for (Link& l : links_) {
+    if ((l.dev_a == &a && l.dev_b == &b) || (l.dev_a == &b && l.dev_b == &a)) return &l;
+  }
+  return nullptr;
+}
+
+void ChaosEngine::take_link_down(Link& link) {
+  if (!link.up) return;
+  link.cable->disconnect();
+  link.up = false;
+}
+
+void ChaosEngine::bring_link_up(Link& link) {
+  if (link.up) return;
+  // A replug is a fresh cable (Network-owned); transient impairments on the
+  // old one (BER bursts, control drops) do not survive the swap.
+  link.cable = &net_.connect_ports(*link.a, *link.b);
+  link.up = true;
+}
+
+void ChaosEngine::crash_node(net::Device& dev) {
+  // Agent first — an abrupt power-off does not gracefully observe its own
+  // links dying (no counter-reset bookkeeping on the corpse).
+  dtp_.remove_agent(dev);
+  for (Link& l : links_)
+    if (l.dev_a == &dev || l.dev_b == &dev) take_link_down(l);
+}
+
+void ChaosEngine::restart_node(net::Device& dev) {
+  for (Link& l : links_)
+    if ((l.dev_a == &dev || l.dev_b == &dev) && !l.up) bring_link_up(l);
+  // Fresh agent: counters at zero, INIT re-runs on every up link, and the
+  // network counter is re-learned through BEACON-JOIN (Section 3.2).
+  dtp_.attach_agent(dev, params_.dtp);
+}
+
+ProbeSample ChaosEngine::neighbor_offsets(const std::vector<net::Device*>& affected) const {
+  ProbeSample s;
+  const fs_t t = sim_.now();
+  const double delta = static_cast<double>(params_.dtp.counter_delta);
+  bool any = false;
+  bool missing = false;
+  for (net::Device* dev : affected) {
+    dtp::Agent* a = dtp_.agent_of(dev);
+    if (!a) {
+      missing = true;  // still powered off
+      continue;
+    }
+    for (std::size_t p = 0; p < a->port_count(); ++p) {
+      dtp::PortLogic& pl = a->port_logic(p);
+      if (!pl.phy_port().link_up()) continue;
+      // A port we quarantined does not count as a neighbor relation — its
+      // peer is the fault (rogue isolation is *correct* divergence).
+      if (pl.state() == dtp::PortState::kFaulty) continue;
+      net::Device* peer_dev = owner_of(pl.phy_port().peer());
+      dtp::Agent* b = peer_dev ? dtp_.agent_of(peer_dev) : nullptr;
+      if (!b) continue;
+      const double off = dtp::true_offset_fractional(*a, *b, t) / delta;
+      any = true;
+      s.worst_abs = std::max(s.worst_abs, std::abs(off));
+      // The stall-ceiling check (Section 5.4) only applies to an established
+      // relation: while a port is still in INIT a rejoiner's counter sits
+      // legitimately far below its peers and the peer reads as "ahead".
+      if (pl.state() == dtp::PortState::kSynced)
+        s.worst_ahead = std::max(s.worst_ahead, off);
+    }
+  }
+  s.valid = any && !missing;
+  return s;
+}
+
+ProbeResult ChaosEngine::make_seed(const FaultSpec& spec, fs_t recovery_start) const {
+  ProbeResult seed;
+  seed.fault_class = fault_class_name(spec.kind);
+  seed.label = spec.label;
+  seed.injected_at = spec.at;
+  seed.recovery_start = recovery_start;
+  return seed;
+}
+
+void ChaosEngine::start_probe(const FaultSpec& spec, ProbeResult seed,
+                              std::vector<net::Device*> affected) {
+  RecoveryProbe::Params pp;
+  pp.threshold_ticks = spec.probe_threshold_ticks > 0 ? spec.probe_threshold_ticks
+                                                      : params_.converge_threshold_ticks;
+  pp.consecutive_ok = params_.consecutive_ok;
+  pp.sample_period =
+      spec.probe_sample_period > 0 ? spec.probe_sample_period : probe_sample_period();
+  pp.timeout = spec.probe_timeout > 0 ? spec.probe_timeout : probe_timeout();
+  pp.beacon_interval = beacon_interval_;
+  // Section 5.4: a recovering device may lag arbitrarily (it fast-forwards)
+  // but must never run *ahead* of a neighbor past one beacon interval of
+  // drift plus the stall slack.
+  pp.stall_ceiling_ticks = static_cast<double>(params_.dtp.beacon_interval_ticks) + 4;
+  probes_.push_back(std::make_unique<RecoveryProbe>(
+      sim_, pp,
+      [this, affected = std::move(affected)] { return neighbor_offsets(affected); },
+      std::move(seed), [this](const ProbeResult& r) {
+        report_.add(r);
+        --faults_pending_;
+      }));
+  probes_.back()->start();
+}
+
+void ChaosEngine::start_daemon_probe(const FaultSpec& spec, ProbeResult seed) {
+  RecoveryProbe::Params pp;
+  pp.threshold_ticks = spec.probe_threshold_ticks > 0 ? spec.probe_threshold_ticks : 16;
+  pp.consecutive_ok = params_.consecutive_ok;
+  // The software clock only moves on daemon polls; sampling faster than the
+  // poll period would just re-read the same extrapolation.
+  pp.sample_period = spec.probe_sample_period > 0 ? spec.probe_sample_period
+                                                  : spec.daemon->params().poll_period;
+  pp.timeout = spec.probe_timeout > 0 ? spec.probe_timeout
+                                      : 40 * spec.daemon->params().poll_period;
+  pp.beacon_interval = beacon_interval_;
+  pp.stall_ceiling_ticks = 0;  // not a network-layer probe
+  dtp::Daemon* daemon = spec.daemon;
+  probes_.push_back(std::make_unique<RecoveryProbe>(
+      sim_, pp,
+      [this, daemon] {
+        ProbeSample s;
+        if (!daemon->calibrated()) return s;
+        s.worst_abs = daemon->current_error_ticks(sim_.now());
+        s.valid = true;
+        return s;
+      },
+      std::move(seed), [this](const ProbeResult& r) {
+        report_.add(r);
+        --faults_pending_;
+      }));
+  probes_.back()->start();
+}
+
+ChaosEngine::Link& ChaosEngine::require_link(const FaultSpec& spec) {
+  if (!spec.link_a || !spec.link_b)
+    throw std::invalid_argument("chaos: link fault without endpoints");
+  Link* l = link_between(*spec.link_a, *spec.link_b);
+  if (!l) throw std::invalid_argument("chaos: devices are not cabled together");
+  return *l;
+}
+
+void ChaosEngine::schedule(const FaultPlan& plan) {
+  for (const FaultSpec& spec : plan.faults) schedule_fault(spec);
+}
+
+void ChaosEngine::schedule_fault(const FaultSpec& spec) {
+  ++faults_pending_;
+  switch (spec.kind) {
+    case FaultKind::kLinkFlap:
+    case FaultKind::kPortFail: {
+      Link* l = &require_link(spec);
+      sim_.schedule_at(spec.at, [this, l] { take_link_down(*l); });
+      sim_.schedule_at(spec.at + spec.duration, [this, l, spec] {
+        bring_link_up(*l);
+        start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
+      });
+      break;
+    }
+    case FaultKind::kFlapStorm: {
+      Link* l = &require_link(spec);
+      const int flaps = std::max(1, spec.count);
+      for (int i = 0; i < flaps; ++i) {
+        const fs_t down_at = spec.at + i * spec.period;
+        sim_.schedule_at(down_at, [this, l] { take_link_down(*l); });
+        const bool last = i == flaps - 1;
+        sim_.schedule_at(down_at + spec.duration, [this, l, spec, last] {
+          bring_link_up(*l);
+          if (last)
+            start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
+        });
+      }
+      break;
+    }
+    case FaultKind::kBerBurst: {
+      Link* l = &require_link(spec);
+      sim_.schedule_at(spec.at, [l, ber = spec.magnitude] { l->cable->set_ber(ber); });
+      sim_.schedule_at(spec.at + spec.duration, [this, l, spec] {
+        l->cable->set_ber(net_.params().cable.ber);
+        start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
+      });
+      break;
+    }
+    case FaultKind::kBeaconLoss: {
+      Link* l = &require_link(spec);
+      sim_.schedule_at(spec.at,
+                       [l, drop = spec.magnitude] { l->cable->set_control_drop(drop); });
+      sim_.schedule_at(spec.at + spec.duration, [this, l, spec] {
+        l->cable->set_control_drop(0.0);
+        start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
+      });
+      break;
+    }
+    case FaultKind::kNodeCrash: {
+      if (!spec.device) throw std::invalid_argument("chaos: node_crash without device");
+      sim_.schedule_at(spec.at, [this, dev = spec.device] { crash_node(*dev); });
+      sim_.schedule_at(spec.at + spec.duration, [this, spec] {
+        restart_node(*spec.device);
+        start_probe(spec, make_seed(spec, sim_.now()), {spec.device});
+      });
+      break;
+    }
+    case FaultKind::kRogueOscillator: {
+      if (!spec.device) throw std::invalid_argument("chaos: rogue without device");
+      sim_.schedule_at(spec.at, [this, spec] {
+        // The thermal walk would pull the oscillator back toward its old
+        // frequency; a genuinely broken part stays broken.
+        spec.device->disable_drift();
+        spec.device->oscillator().set_ppm_at(sim_.now(), spec.magnitude);
+        watch_rogue(spec);
+      });
+      break;
+    }
+    case FaultKind::kPcieStorm: {
+      if (!spec.daemon) throw std::invalid_argument("chaos: pcie_storm without daemon");
+      sim_.schedule_at(spec.at, [spec] {
+        spec.daemon->set_pcie_stress(spec.pcie_extra_per_leg, spec.pcie_spike_prob,
+                                     spec.pcie_spike_mean);
+      });
+      sim_.schedule_at(spec.at + spec.duration, [this, spec] {
+        spec.daemon->clear_pcie_stress();
+        start_daemon_probe(spec, make_seed(spec, sim_.now()));
+      });
+      break;
+    }
+  }
+}
+
+bool ChaosEngine::rogue_isolated(const net::Device& rogue) const {
+  bool any = false;
+  for (const Link& l : links_) {
+    if (l.dev_a != &rogue && l.dev_b != &rogue) continue;
+    if (!l.up) continue;
+    phy::PhyPort* far = l.dev_a == &rogue ? l.b : l.a;
+    dtp::PortLogic* pl = port_logic_at(far);
+    if (!pl) continue;  // neighbor crashed; can't count it either way
+    if (pl->state() != dtp::PortState::kFaulty) return false;
+    any = true;
+  }
+  return any;
+}
+
+void ChaosEngine::watch_rogue(const FaultSpec& spec) {
+  const fs_t deadline = spec.at + spec.duration;
+  sim_.schedule_at(sim_.now() + probe_sample_period(),
+                   [this, spec, deadline] { rogue_poll(spec, deadline); },
+                   sim::EventCategory::kProbe);
+}
+
+void ChaosEngine::rogue_poll(const FaultSpec& spec, fs_t deadline) {
+  if (rogue_isolated(*spec.device)) {
+    // Quarantine observed. After the operator reaction delay, clear the
+    // collateral quarantines (ports that tripped on jumps the rogue's
+    // counter caused to *propagate*, before the direct neighbor cut it
+    // off) and measure the healthy remainder reconverging.
+    sim_.schedule_at(sim_.now() + spec.period, [this, spec] {
+      remediate_collateral(*spec.device);
+      ProbeResult seed = make_seed(spec, sim_.now());
+      seed.peer_isolated = true;
+      std::vector<net::Device*> affected;
+      for (net::Device* dev : net_.devices())
+        if (dev != spec.device) affected.push_back(dev);
+      start_probe(spec, std::move(seed), std::move(affected));
+    });
+    return;
+  }
+  if (sim_.now() >= deadline) {
+    // Detection failed — record the miss; nothing to recover toward.
+    ProbeResult r = make_seed(spec, deadline);
+    r.peer_isolated = false;
+    r.converged = false;
+    report_.add(r);
+    --faults_pending_;
+    return;
+  }
+  sim_.schedule_at(sim_.now() + probe_sample_period(),
+                   [this, spec, deadline] { rogue_poll(spec, deadline); },
+                   sim::EventCategory::kProbe);
+}
+
+void ChaosEngine::remediate_collateral(const net::Device& rogue) {
+  for (std::size_t i = 0; i < dtp_.size(); ++i) {
+    dtp::Agent& a = dtp_.agent(i);
+    if (&a.device() == &rogue) continue;
+    for (std::size_t p = 0; p < a.port_count(); ++p) {
+      dtp::PortLogic& pl = a.port_logic(p);
+      if (pl.state() != dtp::PortState::kFaulty) continue;
+      if (owner_of(pl.phy_port().peer()) == &rogue) continue;  // stays cut off
+      pl.clear_fault();
+    }
+  }
+}
+
+bool ChaosEngine::all_probes_done() const { return faults_pending_ == 0; }
+
+}  // namespace dtpsim::chaos

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file engine.hpp
+/// The chaos engine: deterministic execution of a `FaultPlan` against a
+/// live DTP network.
+///
+/// The engine is constructed over a finished topology (`net::Network`) and
+/// its DTP layer (`dtp::DtpNetwork`). `schedule()` translates each
+/// `FaultSpec` into simulator events — unplug/replug cables, tear down and
+/// re-attach agents, step oscillators, stress daemons — and attaches a
+/// `RecoveryProbe` to each fault measuring time-to-reconverge against the
+/// affected devices' direct neighbors. Everything runs on the simulator
+/// clock from seeded RNG streams, so a campaign is exactly reproducible.
+///
+/// Topology primitives (`take_link_down`, `crash_node`, ...) are public so
+/// tests can drive individual failures without writing a plan.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chaos/plan.hpp"
+#include "chaos/probe.hpp"
+#include "chaos/report.hpp"
+#include "dtp/config.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+
+namespace dtpsim::dtp {
+class Daemon;
+}
+
+namespace dtpsim::chaos {
+
+/// Campaign-wide knobs.
+struct ChaosParams {
+  /// Reconvergence criterion: worst neighbor offset back within this many
+  /// ticks (±4T is the paper's one-hop bound, Section 3.3).
+  double converge_threshold_ticks = 4;
+  int consecutive_ok = 3;   ///< samples in a row under the threshold
+  fs_t sample_period = 0;   ///< probe cadence; 0 = beacon interval / 8
+  fs_t probe_timeout = 0;   ///< per-fault give-up; 0 = 50 beacon intervals
+  /// The DtpParams the network's agents were built with. Used for the
+  /// beacon interval (the reporting unit), the Section 5.4 stall ceiling,
+  /// and for the fresh agents attached when a crashed node restarts.
+  dtp::DtpParams dtp{};
+};
+
+/// Executes fault plans and collects recovery results.
+class ChaosEngine {
+ public:
+  /// One cable endpoint pair, tracked across unplug/replug cycles (each
+  /// replug is a new `phy::Cable` owned by the Network).
+  struct Link {
+    phy::PhyPort* a = nullptr;
+    phy::PhyPort* b = nullptr;
+    net::Device* dev_a = nullptr;
+    net::Device* dev_b = nullptr;
+    phy::Cable* cable = nullptr;  ///< current cable; stale while down
+    bool up = true;
+  };
+
+  /// Snapshot the topology (all links must exist already; cables connected
+  /// afterwards are invisible to the engine).
+  ChaosEngine(net::Network& net, dtp::DtpNetwork& dtp, ChaosParams params);
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  /// Schedule every fault in the plan onto the simulator. May be called
+  /// before or during a run; injection times must be in the future.
+  void schedule(const FaultPlan& plan);
+
+  /// The link between two devices, or nullptr if they are not cabled.
+  Link* link_between(const net::Device& a, const net::Device& b);
+
+  // --- Topology primitives (also used directly by tests) -------------------
+  void take_link_down(Link& link);
+  void bring_link_up(Link& link);
+  /// Power the node off: its agent is destroyed (timers cancelled, PHY hooks
+  /// cleared) and every attached cable goes dark.
+  void crash_node(net::Device& dev);
+  /// Power the node back on: links re-lit, then a fresh zero-counter agent
+  /// attaches and rejoins through INIT + BEACON-JOIN.
+  void restart_node(net::Device& dev);
+
+  /// True once every scheduled fault's probe has reported.
+  bool all_probes_done() const;
+
+  CampaignReport& report() { return report_; }
+  const CampaignReport& report() const { return report_; }
+
+  fs_t beacon_interval() const { return beacon_interval_; }
+  fs_t probe_sample_period() const;
+  fs_t probe_timeout() const;
+
+ private:
+  void schedule_fault(const FaultSpec& spec);
+  Link& require_link(const FaultSpec& spec);
+  /// Kick off a probe measuring `affected` devices against their neighbors.
+  void start_probe(const FaultSpec& spec, ProbeResult seed,
+                   std::vector<net::Device*> affected);
+  void start_daemon_probe(const FaultSpec& spec, ProbeResult seed);
+  ProbeResult make_seed(const FaultSpec& spec, fs_t recovery_start) const;
+  /// Worst offset (ticks) between each affected device and its direct,
+  /// non-quarantined neighbors. Invalid while any affected device has no
+  /// agent (crashed) or no measurable neighbor.
+  ProbeSample neighbor_offsets(const std::vector<net::Device*>& affected) const;
+  net::Device* owner_of(const phy::PhyPort* port) const;
+  dtp::PortLogic* port_logic_at(phy::PhyPort* port) const;
+  /// Rogue watcher: has every live neighbor quarantined its port facing
+  /// `rogue`?
+  bool rogue_isolated(const net::Device& rogue) const;
+  void watch_rogue(const FaultSpec& spec);
+  void rogue_poll(const FaultSpec& spec, fs_t deadline);
+  /// Operator remediation: clear every kFaulty port in the network except
+  /// those facing the rogue device (which stays quarantined).
+  void remediate_collateral(const net::Device& rogue);
+
+  net::Network& net_;
+  dtp::DtpNetwork& dtp_;
+  ChaosParams params_;
+  sim::Simulator& sim_;
+  fs_t beacon_interval_ = 0;
+  std::vector<Link> links_;
+  std::unordered_map<const phy::PhyPort*, net::Device*> port_owner_;
+  std::vector<std::unique_ptr<RecoveryProbe>> probes_;
+  std::size_t faults_pending_ = 0;  ///< scheduled faults not yet reported
+  CampaignReport report_;
+};
+
+}  // namespace dtpsim::chaos

@@ -1,0 +1,114 @@
+#include "chaos/plan.hpp"
+
+namespace dtpsim::chaos {
+
+const char* fault_class_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkFlap: return "link_flap";
+    case FaultKind::kFlapStorm: return "flap_storm";
+    case FaultKind::kPortFail: return "port_fail";
+    case FaultKind::kBerBurst: return "ber_burst";
+    case FaultKind::kBeaconLoss: return "beacon_loss";
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kRogueOscillator: return "rogue_oscillator";
+    case FaultKind::kPcieStorm: return "pcie_storm";
+  }
+  return "?";
+}
+
+FaultSpec FaultSpec::link_flap(net::Device& a, net::Device& b, fs_t at,
+                               fs_t down_for) {
+  FaultSpec s;
+  s.kind = FaultKind::kLinkFlap;
+  s.at = at;
+  s.duration = down_for;
+  s.link_a = &a;
+  s.link_b = &b;
+  return s;
+}
+
+FaultSpec FaultSpec::flap_storm(net::Device& a, net::Device& b, fs_t at,
+                                int flaps, fs_t flap_period, fs_t down_for) {
+  FaultSpec s;
+  s.kind = FaultKind::kFlapStorm;
+  s.at = at;
+  s.duration = down_for;
+  s.count = flaps;
+  s.period = flap_period;
+  s.link_a = &a;
+  s.link_b = &b;
+  return s;
+}
+
+FaultSpec FaultSpec::port_fail(net::Device& a, net::Device& b, fs_t at,
+                               fs_t down_for) {
+  FaultSpec s;
+  s.kind = FaultKind::kPortFail;
+  s.at = at;
+  s.duration = down_for;
+  s.link_a = &a;
+  s.link_b = &b;
+  return s;
+}
+
+FaultSpec FaultSpec::ber_burst(net::Device& a, net::Device& b, fs_t at,
+                               fs_t window, double ber) {
+  FaultSpec s;
+  s.kind = FaultKind::kBerBurst;
+  s.at = at;
+  s.duration = window;
+  s.magnitude = ber;
+  s.link_a = &a;
+  s.link_b = &b;
+  return s;
+}
+
+FaultSpec FaultSpec::beacon_loss(net::Device& a, net::Device& b, fs_t at,
+                                 fs_t window, double drop) {
+  FaultSpec s;
+  s.kind = FaultKind::kBeaconLoss;
+  s.at = at;
+  s.duration = window;
+  s.magnitude = drop;
+  s.link_a = &a;
+  s.link_b = &b;
+  return s;
+}
+
+FaultSpec FaultSpec::node_crash(net::Device& dev, fs_t at, fs_t down_for) {
+  FaultSpec s;
+  s.kind = FaultKind::kNodeCrash;
+  s.at = at;
+  s.duration = down_for;
+  s.device = &dev;
+  return s;
+}
+
+FaultSpec FaultSpec::rogue_oscillator(net::Device& dev, fs_t at, double ppm,
+                                      fs_t detect_deadline, fs_t remediation_delay) {
+  FaultSpec s;
+  s.kind = FaultKind::kRogueOscillator;
+  s.at = at;
+  s.duration = detect_deadline;
+  s.period = remediation_delay;
+  s.magnitude = ppm;
+  s.device = &dev;
+  return s;
+}
+
+FaultSpec FaultSpec::pcie_storm(dtp::Daemon& daemon, fs_t at, fs_t window,
+                                fs_t extra_per_leg, double spike_prob,
+                                fs_t spike_mean, double threshold_ticks) {
+  FaultSpec s;
+  s.kind = FaultKind::kPcieStorm;
+  s.at = at;
+  s.duration = window;
+  s.daemon = &daemon;
+  s.pcie_extra_per_leg = extra_per_leg;
+  s.pcie_spike_prob = spike_prob;
+  s.pcie_spike_mean = spike_mean;
+  s.probe_threshold_ticks = threshold_ticks;
+  return s;
+}
+
+}  // namespace dtpsim::chaos

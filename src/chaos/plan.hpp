@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file plan.hpp
+/// Fault-injection vocabulary: typed fault specifications and the plan
+/// (schedule) a chaos campaign executes.
+///
+/// A `FaultSpec` is pure data — what to break, when, for how long — so a
+/// plan can be built declaratively, printed, and replayed deterministically
+/// (injection times are simulator times; all randomness inside a fault, e.g.
+/// which bits a BER burst flips, comes from the simulator's seeded RNG
+/// streams). The `ChaosEngine` turns specs into scheduled events and hangs a
+/// `RecoveryProbe` off each one.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_units.hpp"
+
+namespace dtpsim::net {
+class Device;
+}
+namespace dtpsim::dtp {
+class Daemon;
+}
+
+namespace dtpsim::chaos {
+
+/// Every failure class the engine knows how to inject.
+enum class FaultKind : std::uint8_t {
+  kLinkFlap,         ///< one link down briefly, then back up
+  kFlapStorm,        ///< repeated flaps of the same link
+  kPortFail,         ///< a port/cable outage long enough for INIT to restart
+  kBerBurst,         ///< bit-error rate spikes on a cable for a window
+  kBeaconLoss,       ///< control blocks silently dropped for a window
+  kNodeCrash,        ///< agent torn down + links dark, later restarted
+  kRogueOscillator,  ///< oscillator steps outside the 802.3 envelope
+  kPcieStorm,        ///< PCIe latency storm against a daemon's MMIO reads
+};
+
+/// Stable snake_case identifier per class (JSON keys, report rows).
+const char* fault_class_name(FaultKind kind);
+
+/// One planned fault. Only the fields relevant to `kind` are used; the
+/// named constructors below fill exactly those.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkFlap;
+  fs_t at = 0;        ///< injection time (simulator time)
+  fs_t duration = 0;  ///< outage/window length (per flap, for storms)
+
+  // Link faults: the cable between these two devices.
+  net::Device* link_a = nullptr;
+  net::Device* link_b = nullptr;
+
+  // Node faults (crash / rogue oscillator).
+  net::Device* device = nullptr;
+
+  // PCIe storms.
+  dtp::Daemon* daemon = nullptr;
+  fs_t pcie_extra_per_leg = 0;
+  double pcie_spike_prob = 0;
+  fs_t pcie_spike_mean = 0;
+
+  int count = 1;         ///< flaps in a storm
+  fs_t period = 0;       ///< storm flap cadence; rogue remediation delay
+  double magnitude = 0;  ///< BER / control-drop probability / rogue ppm
+
+  // Per-fault probe overrides (0 = engine default).
+  double probe_threshold_ticks = 0;
+  fs_t probe_sample_period = 0;
+  fs_t probe_timeout = 0;
+
+  std::string label;  ///< free-form tag carried into the report
+
+  // --- Named constructors ---------------------------------------------------
+
+  /// Unplug the `a`--`b` cable at `at`, replug after `down_for`.
+  static FaultSpec link_flap(net::Device& a, net::Device& b, fs_t at,
+                             fs_t down_for);
+
+  /// `flaps` consecutive flaps, one every `flap_period`, each `down_for` long.
+  static FaultSpec flap_storm(net::Device& a, net::Device& b, fs_t at,
+                              int flaps, fs_t flap_period, fs_t down_for);
+
+  /// A longer outage of one port/cable (switch port failure).
+  static FaultSpec port_fail(net::Device& a, net::Device& b, fs_t at,
+                             fs_t down_for);
+
+  /// Raise the cable's BER to `ber` for `window`, then restore it.
+  static FaultSpec ber_burst(net::Device& a, net::Device& b, fs_t at,
+                             fs_t window, double ber);
+
+  /// Silently drop control blocks with probability `drop` for `window`.
+  static FaultSpec beacon_loss(net::Device& a, net::Device& b, fs_t at,
+                               fs_t window, double drop);
+
+  /// Power the node off at `at` (agent destroyed, links dark), back on after
+  /// `down_for` (links re-lit, a fresh zero-counter agent rejoins).
+  static FaultSpec node_crash(net::Device& dev, fs_t at, fs_t down_for);
+
+  /// Step the device's oscillator to `ppm` at `at`. The network must
+  /// quarantine it within `detect_deadline`; `remediation_delay` after the
+  /// quarantine is observed, collateral-faulted ports (not facing the rogue)
+  /// are operator-cleared and the rest of the network must reconverge.
+  static FaultSpec rogue_oscillator(net::Device& dev, fs_t at, double ppm,
+                                    fs_t detect_deadline, fs_t remediation_delay);
+
+  /// Inflate the daemon's PCIe legs by `extra_per_leg` (+ spikes) for
+  /// `window`. `threshold_ticks` is the software-clock recovery criterion.
+  static FaultSpec pcie_storm(dtp::Daemon& daemon, fs_t at, fs_t window,
+                              fs_t extra_per_leg, double spike_prob,
+                              fs_t spike_mean, double threshold_ticks);
+};
+
+/// An ordered batch of faults. Order is cosmetic — each spec carries its own
+/// absolute injection time.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  FaultPlan& add(FaultSpec spec) {
+    faults.push_back(std::move(spec));
+    return *this;
+  }
+  std::size_t size() const { return faults.size(); }
+};
+
+}  // namespace dtpsim::chaos

@@ -1,0 +1,69 @@
+#include "chaos/probe.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dtpsim::chaos {
+
+RecoveryProbe::RecoveryProbe(sim::Simulator& sim, Params params, Measure measure,
+                             ProbeResult seed, Done done)
+    : sim_(sim),
+      params_(params),
+      measure_(std::move(measure)),
+      result_(std::move(seed)),
+      done_(std::move(done)) {
+  if (params_.sample_period <= 0) throw std::invalid_argument("RecoveryProbe: sample period");
+  if (params_.timeout <= 0) throw std::invalid_argument("RecoveryProbe: timeout");
+  if (params_.beacon_interval <= 0) throw std::invalid_argument("RecoveryProbe: beacon interval");
+}
+
+RecoveryProbe::~RecoveryProbe() { sim_.cancel(timer_); }
+
+void RecoveryProbe::start() {
+  const fs_t t0 = std::max(sim_.now(), result_.recovery_start);
+  timer_ = sim_.schedule_at(t0, [this] { tick(); }, sim::EventCategory::kProbe);
+}
+
+void RecoveryProbe::tick() {
+  const ProbeSample s = measure_();
+  if (s.valid) {
+    result_.residual_ticks = s.worst_abs;
+    // A genuine Section 5.4 violation persists (the behind side needs a
+    // join round-trip to catch up); a single over-ceiling sample can be the
+    // benign ACK-to-JOIN window where one side is synced but has not yet
+    // applied the peer's counter. Require it to hold across a full streak.
+    if (params_.stall_ceiling_ticks > 0 && s.worst_ahead > params_.stall_ceiling_ticks) {
+      if (++stall_streak_ >= params_.consecutive_ok) result_.stall_ok = false;
+    } else {
+      stall_streak_ = 0;
+    }
+  }
+  if (s.valid && s.worst_abs <= params_.threshold_ticks) {
+    if (ok_streak_ == 0) first_ok_ = sim_.now();
+    if (++ok_streak_ >= params_.consecutive_ok) {
+      result_.converged = true;
+      result_.reconverged_at = first_ok_;
+      result_.reconverge_beacons =
+          static_cast<double>(first_ok_ - result_.recovery_start) /
+          static_cast<double>(params_.beacon_interval);
+      finish();
+      return;
+    }
+  } else {
+    ok_streak_ = 0;
+  }
+  if (sim_.now() - result_.recovery_start >= params_.timeout) {
+    finish();
+    return;
+  }
+  timer_ = sim_.schedule_at(sim_.now() + params_.sample_period, [this] { tick(); },
+                            sim::EventCategory::kProbe);
+}
+
+void RecoveryProbe::finish() {
+  finished_ = true;
+  if (done_) done_(result_);
+}
+
+}  // namespace dtpsim::chaos

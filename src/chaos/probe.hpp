@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file probe.hpp
+/// Recovery measurement for one injected fault.
+///
+/// A `RecoveryProbe` starts sampling at the fault's *recovery start* (the
+/// moment the failure condition is lifted: cable replugged, node repowered,
+/// quarantine remediated) and watches a caller-supplied measurement — for
+/// network faults the worst offset between each affected device and its
+/// direct neighbors, in ticks. The network counts as reconverged at the
+/// first sample of a run of `consecutive_ok` samples within
+/// `threshold_ticks` (±4T is the paper's bound for one hop, Section 3.3);
+/// time-to-reconverge is reported in beacon intervals, the paper's natural
+/// unit for protocol reaction time. The probe also checks the Section 5.4
+/// stall ceiling on every sample: no affected device may run *ahead* of a
+/// neighbor by more than a beacon interval plus slack.
+
+#include <functional>
+#include <string>
+
+#include "common/time_units.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtpsim::chaos {
+
+/// One measurement of the affected devices against their neighbors.
+struct ProbeSample {
+  double worst_abs = 0;    ///< max |offset to any neighbor| in ticks
+  double worst_ahead = 0;  ///< max signed (affected - neighbor) in ticks
+  bool valid = false;      ///< false while the measurement is undefined
+                           ///< (e.g. node still powered off)
+};
+
+/// Outcome of one fault's recovery, as recorded in the campaign report.
+struct ProbeResult {
+  std::string fault_class;  ///< fault_class_name() of the injected fault
+  std::string label;        ///< free-form tag from the spec
+  fs_t injected_at = 0;
+  fs_t recovery_start = 0;       ///< when the failure condition lifted
+  bool converged = false;        ///< reconverged before the timeout
+  fs_t reconverged_at = 0;       ///< first sample of the converged run
+  double reconverge_beacons = 0; ///< (reconverged_at - recovery_start) / T
+  bool stall_ok = true;          ///< Section 5.4 ceiling held on every sample
+  bool peer_isolated = false;    ///< rogue campaigns: quarantine happened
+  double residual_ticks = 0;     ///< last |offset| seen (diagnosis on timeout)
+};
+
+/// Samples a measurement until convergence or timeout, then reports once.
+class RecoveryProbe {
+ public:
+  struct Params {
+    double threshold_ticks = 4;    ///< reconvergence criterion (±4T, one hop)
+    int consecutive_ok = 3;        ///< samples in a row required
+    fs_t sample_period = 0;        ///< measurement cadence
+    fs_t timeout = 0;              ///< give up this long after recovery_start
+    fs_t beacon_interval = 0;      ///< T in simulator time (for reporting)
+    double stall_ceiling_ticks = 0;///< worst_ahead limit; 0 disables the check
+  };
+
+  using Measure = std::function<ProbeSample()>;
+  using Done = std::function<void(const ProbeResult&)>;
+
+  /// \param seed  partially filled result (fault_class, label, injected_at,
+  ///              recovery_start); the probe fills in the rest.
+  RecoveryProbe(sim::Simulator& sim, Params params, Measure measure,
+                ProbeResult seed, Done done);
+  ~RecoveryProbe();
+
+  RecoveryProbe(const RecoveryProbe&) = delete;
+  RecoveryProbe& operator=(const RecoveryProbe&) = delete;
+
+  /// Begin sampling at max(now, recovery_start).
+  void start();
+
+  bool finished() const { return finished_; }
+  const ProbeResult& result() const { return result_; }
+
+ private:
+  void tick();
+  void finish();
+
+  sim::Simulator& sim_;
+  Params params_;
+  Measure measure_;
+  ProbeResult result_;
+  Done done_;
+  int ok_streak_ = 0;
+  int stall_streak_ = 0;
+  fs_t first_ok_ = 0;
+  bool finished_ = false;
+  sim::EventHandle timer_;
+};
+
+}  // namespace dtpsim::chaos

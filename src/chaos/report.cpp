@@ -1,0 +1,61 @@
+#include "chaos/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/stats.hpp"
+
+namespace dtpsim::chaos {
+
+std::map<std::string, ClassSummary> CampaignReport::by_class() const {
+  std::map<std::string, SampleSeries> times;
+  std::map<std::string, ClassSummary> out;
+  for (const ProbeResult& r : results_) {
+    ClassSummary& c = out[r.fault_class];
+    ++c.n;
+    if (r.converged) {
+      ++c.converged;
+      times[r.fault_class].add(r.reconverge_beacons);
+    }
+    c.stall_ok = c.stall_ok && r.stall_ok;
+    c.isolated = c.isolated || r.peer_isolated;
+  }
+  for (auto& [name, c] : out) {
+    auto it = times.find(name);
+    if (it == times.end()) continue;
+    c.p50_bi = it->second.percentile(0.50);
+    c.p99_bi = it->second.percentile(0.99);
+    c.worst_bi = it->second.max();
+  }
+  return out;
+}
+
+ClassSummary CampaignReport::summary(const std::string& fault_class) const {
+  auto all = by_class();
+  auto it = all.find(fault_class);
+  return it == all.end() ? ClassSummary{} : it->second;
+}
+
+void CampaignReport::print(std::ostream& os) const {
+  os << "chaos campaign: " << results_.size() << " fault(s)\n";
+  os << std::left << std::setw(18) << "  class" << std::right << std::setw(6) << "n"
+     << std::setw(10) << "conv" << std::setw(10) << "p50[T]" << std::setw(10)
+     << "p99[T]" << std::setw(8) << "stall" << std::setw(10) << "isolated" << "\n";
+  for (const auto& [name, c] : by_class()) {
+    os << "  " << std::left << std::setw(16) << name << std::right << std::setw(6)
+       << c.n << std::setw(7) << c.converged << "/" << std::left << std::setw(2)
+       << c.n << std::right << std::fixed << std::setprecision(2) << std::setw(10)
+       << c.p50_bi << std::setw(10) << c.p99_bi << std::setw(8)
+       << (c.stall_ok ? "ok" : "FAIL") << std::setw(10) << (c.isolated ? "yes" : "-")
+       << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+  for (const ProbeResult& r : results_) {
+    if (!r.converged) {
+      os << "  !! " << r.fault_class << (r.label.empty() ? "" : " (" + r.label + ")")
+         << " did not reconverge (residual " << r.residual_ticks << " ticks)\n";
+    }
+  }
+}
+
+}  // namespace dtpsim::chaos

@@ -71,6 +71,13 @@ struct DtpParams {
   int max_jumps = 16;
   fs_t jump_window = from_ms(10);
   bool enable_jump_detector = false;
+
+  /// Quarantine re-enable path: a port that tripped the jump detector
+  /// (kFaulty) is allowed back when its link goes down and comes up again
+  /// ("bounce the port") *after* spending at least this long quarantined.
+  /// A re-up inside the cooldown stays kFaulty. See also
+  /// PortLogic::clear_fault() for the explicit operator override.
+  fs_t fault_cooldown = from_ms(50);
 };
 
 }  // namespace dtpsim::dtp

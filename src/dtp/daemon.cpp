@@ -47,6 +47,10 @@ void Daemon::poll() {
       d += static_cast<fs_t>(rng_.exponential(static_cast<double>(params_.pcie_jitter_mean)));
     if (params_.pcie_spike_prob > 0 && rng_.bernoulli(params_.pcie_spike_prob))
       d += static_cast<fs_t>(rng_.exponential(static_cast<double>(params_.pcie_spike_mean)));
+    // Injected PCIe storm: constant extra latency per leg plus bursty spikes.
+    d += stress_extra_;
+    if (stress_spike_prob_ > 0 && rng_.bernoulli(stress_spike_prob_))
+      d += static_cast<fs_t>(rng_.exponential(static_cast<double>(stress_spike_mean_)));
     return d;
   };
   const fs_t t_issue = sim_.now();
@@ -115,6 +119,24 @@ double Daemon::get_time_ns(fs_t now) const {
       to_ns_f(agent_.device().oscillator().nominal_period()) /
       static_cast<double>(agent_.params().counter_delta);
   return units * ns_per_unit;
+}
+
+void Daemon::set_pcie_stress(fs_t extra_per_leg, double spike_prob, fs_t spike_mean) {
+  stress_extra_ = extra_per_leg;
+  stress_spike_prob_ = spike_prob;
+  stress_spike_mean_ = spike_mean;
+}
+
+void Daemon::clear_pcie_stress() {
+  stress_extra_ = 0;
+  stress_spike_prob_ = 0;
+  stress_spike_mean_ = 0;
+}
+
+double Daemon::current_error_ticks(fs_t now) const {
+  const double est = get_dtp_counter(now);
+  const double truth = agent_.global_fractional_at(now);
+  return std::abs(est - truth) / static_cast<double>(agent_.params().counter_delta);
 }
 
 void Daemon::sample() {

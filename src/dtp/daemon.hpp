@@ -82,6 +82,18 @@ class Daemon {
   const TimeSeries& raw_series() const { return raw_series_; }
   const TimeSeries& smoothed_series() const { return smoothed_series_; }
 
+  /// Fault injection: a PCIe latency storm (bus contention / power event)
+  /// adds `extra_per_leg` to every MMIO leg plus extra spikes. The RTT
+  /// quality filter is expected to reject most reads for the duration and
+  /// the clock to coast on its rate estimate.
+  void set_pcie_stress(fs_t extra_per_leg, double spike_prob, fs_t spike_mean);
+  void clear_pcie_stress();
+  bool pcie_stressed() const { return stress_extra_ > 0 || stress_spike_prob_ > 0; }
+
+  /// Current |estimate - hardware counter| in ticks (chaos probes; requires
+  /// calibrated()).
+  double current_error_ticks(fs_t now) const;
+
   const DaemonParams& params() const { return params_; }
   Agent& agent() { return agent_; }
 
@@ -107,6 +119,11 @@ class Daemon {
   std::size_t checkpoint_next_ = 0;
   fs_t best_rtt_ = 0;
   std::uint64_t rejected_ = 0;
+
+  // Active PCIe-storm stress (chaos injection); zero when healthy.
+  fs_t stress_extra_ = 0;
+  double stress_spike_prob_ = 0;
+  fs_t stress_spike_mean_ = 0;
 
   TimeSeries raw_series_;
   TimeSeries smoothed_series_;

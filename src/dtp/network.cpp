@@ -1,6 +1,7 @@
 #include "dtp/network.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace dtpsim::dtp {
 
@@ -41,6 +42,24 @@ bool DtpNetwork::all_synced() const {
     }
   }
   return true;
+}
+
+bool DtpNetwork::remove_agent(const net::Device& dev) {
+  auto it = by_device_.find(&dev);
+  if (it == by_device_.end()) return false;
+  Agent* doomed = it->second;
+  by_device_.erase(it);
+  std::erase_if(agents_,
+                [doomed](const std::unique_ptr<Agent>& a) { return a.get() == doomed; });
+  return true;
+}
+
+Agent& DtpNetwork::attach_agent(net::Device& dev, DtpParams params) {
+  if (by_device_.count(&dev))
+    throw std::logic_error("DtpNetwork: device already has an agent");
+  agents_.push_back(std::make_unique<Agent>(dev, params));
+  by_device_[&dev] = agents_.back().get();
+  return *agents_.back();
 }
 
 std::size_t configure_master_tree(DtpNetwork& dtp, net::Device& root) {

@@ -39,6 +39,18 @@ class DtpNetwork {
   /// True iff every port of every agent reached the SYNCED state.
   bool all_synced() const;
 
+  /// Tear down the agent on `dev` (node crash / power-off): protocol state,
+  /// timers and PHY hooks disappear; the device and its cables stay. Peers
+  /// keep running — their beacons to this device go unanswered. Returns true
+  /// if an agent was removed.
+  bool remove_agent(const net::Device& dev);
+
+  /// DTP-enable `dev` (again) after a crash: a fresh agent with zeroed
+  /// counters comes up and re-runs INIT on every up link, re-learning the
+  /// network counter through BEACON-JOIN (Section 3.2). `dev` must not
+  /// already have an agent.
+  Agent& attach_agent(net::Device& dev, DtpParams params);
+
  private:
   friend DtpNetwork enable_dtp(net::Network& net, DtpParams params);
 

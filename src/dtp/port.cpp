@@ -36,10 +36,58 @@ PortLogic::PortLogic(Agent& agent, phy::PhyPort& port, std::size_t index)
   port_.on_link_down = [this] { handle_link_down(); };
 }
 
+PortLogic::~PortLogic() {
+  auto& sim = agent_.simulator();
+  sim.cancel(beacon_timer_);
+  sim.cancel(init_retry_);
+  // Every one of these captures `this`; the PHY port outlives us (it belongs
+  // to the device, we belong to the agent), so they must go.
+  port_.on_control = nullptr;
+  port_.on_link_up = nullptr;
+  port_.on_link_down = nullptr;
+  port_.clear_pending_control();
+}
+
 void PortLogic::start() {
   // Persistent hook: every (re)connection restarts the INIT phase (T0).
-  port_.on_link_up = [this] { send_init(); };
-  if (port_.link_up()) send_init();
+  port_.on_link_up = [this] { handle_link_up(); };
+  if (port_.link_up()) handle_link_up();
+}
+
+void PortLogic::handle_link_up() {
+  if (jump_detector_.tripped()) {
+    // The quarantine survives a link bounce inside the cooldown — otherwise
+    // a flapping cable would launder a faulty peer back in every few ms.
+    if (agent_.simulator().now() - faulted_at_ < agent_.params().fault_cooldown) {
+      state_ = PortState::kFaulty;
+      return;
+    }
+    jump_detector_.reset();
+  }
+  send_init();
+}
+
+void PortLogic::clear_fault() {
+  if (state_ != PortState::kFaulty) return;
+  jump_detector_.reset();
+  if (!port_.link_up()) {
+    state_ = PortState::kDown;
+    return;
+  }
+  if (owd_units_) {
+    // The cable never moved while the port sat quarantined, so the measured
+    // delay is still valid. Re-running INIT here would re-measure d on a
+    // live, possibly saturated link, where the ACK can sit behind an MTU
+    // frame and inflate d by dozens of ticks — a wrong d that no amount of
+    // beaconing repairs. Announce our counter instead: if we fell behind
+    // while quarantined, the peer answers a far-behind join with its own
+    // and we adopt the network maximum in one exchange.
+    state_ = PortState::kSynced;
+    send_join();
+    schedule_beacon();
+    return;
+  }
+  send_init();
 }
 
 void PortLogic::handle_link_down() {
@@ -125,6 +173,12 @@ void PortLogic::handle_init(const Message& m, std::int64_t) {
     ++stats_.init_acks_sent;
     return encode_bits({MessageType::kInitAck, c}, agent_.params().parity);
   });
+  // An INIT means the peer just (re)started its protocol — a rejoining node
+  // whose counter was reset (Section 3.2, "network dynamics"). Announce our
+  // counter right behind the ACK so it adopts the network maximum as soon as
+  // its delay measurement completes, instead of waiting a further join
+  // round-trip. At cold start both sides announce near-zero: harmless.
+  send_join();
 }
 
 // T2: d <- (lc - c - alpha) / 2.
@@ -260,7 +314,14 @@ void PortLogic::handle_beacon(const Message& m, std::int64_t rx_tick, bool join)
 
   if (p.enable_jump_detector &&
       jump_detector_.record(agent_.simulator().now(), jump)) {
+    // Quarantine the peer. Note the tripping adjustment was applied to lc
+    // but is NOT folded into gc (no local_updated below): the suspicious
+    // value stops here instead of propagating device- and network-wide —
+    // which is also what keeps a quarantine cascade from racing down the
+    // tree, because a downstream detector only ever counts jumps an
+    // upstream port actually forwarded.
     state_ = PortState::kFaulty;
+    faulted_at_ = agent_.simulator().now();
     return;
   }
   agent_.local_updated(index_, rx_tick, join);

@@ -70,6 +70,11 @@ class PortLogic {
   /// \param port   the PHY port to speak through; must outlive this
   PortLogic(Agent& agent, phy::PhyPort& port, std::size_t index);
 
+  /// Detaches cleanly from the PHY port: clears the hooks and queued control
+  /// factories that capture `this` and cancels pending timers, so an agent
+  /// can be destroyed mid-run (node crash) while peers keep transmitting.
+  ~PortLogic();
+
   PortLogic(const PortLogic&) = delete;
   PortLogic& operator=(const PortLogic&) = delete;
 
@@ -106,10 +111,20 @@ class PortLogic {
   /// used by the Agent when another port learned a much larger counter.
   void send_join();
 
+  /// Operator override for a quarantined port (kFaulty): reset the jump
+  /// detector and re-run INIT (Section 3.2's "considered faulty" state is
+  /// left by explicit intervention or by a post-cooldown link bounce — see
+  /// DtpParams::fault_cooldown). No-op unless the port is kFaulty.
+  void clear_fault();
+
+  /// Inspection: the sliding-window fault detector for this port's peer.
+  const JumpDetector& jump_detector() const { return jump_detector_; }
+
  private:
   friend class Agent;
 
   void handle_control(const phy::ControlRx& rx);
+  void handle_link_up();
   void handle_link_down();
   void handle_init(const Message& m, std::int64_t rx_tick);
   void handle_init_ack(const Message& m, std::int64_t rx_tick);
@@ -135,6 +150,7 @@ class PortLogic {
   std::int64_t last_join_reply_tick_ = 0;
   std::int64_t consecutive_filtered_ = 0;
   JumpDetector jump_detector_;
+  fs_t faulted_at_ = 0;  ///< when the detector last tripped (cooldown anchor)
   PortStats stats_;
   sim::EventHandle beacon_timer_;
   sim::EventHandle init_retry_;

@@ -57,6 +57,12 @@ class Device {
   void enable_drift(phy::DriftParams dp);
   bool drift_enabled() const { return drift_.has_value(); }
 
+  /// Stop the drift walk (fault injection: an oscillator forced out of the
+  /// 802.3 envelope must not be pulled back by the thermal model).
+  void disable_drift() {
+    if (drift_) drift_->stop();
+  }
+
  protected:
   /// Invoked after add_port wires the MAC; subclasses hook receive paths.
   virtual void on_port_added(std::size_t /*index*/) {}

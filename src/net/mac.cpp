@@ -57,6 +57,18 @@ void Mac::pump() {
   }
   if (cls == queues_.size()) return;
 
+  const fs_t ready = port_.last_link_up_at() + params_.data_holdoff;
+  if (ready > sim_.now()) {
+    pump_scheduled_ = true;
+    sim_.schedule_at(
+        ready,
+        [this] {
+          pump_scheduled_ = false;
+          pump();
+        },
+        sim::EventCategory::kFrame);
+    return;
+  }
   const fs_t clear = port_.frame_clear_time();
   if (clear > sim_.now()) {
     pump_scheduled_ = true;

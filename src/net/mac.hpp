@@ -32,6 +32,14 @@ struct MacParams {
   /// bulk queues, as the PFC-capable switches in the paper's PTP testbed
   /// references do. Capacity is divided evenly across queues.
   std::size_t priority_queues = 1;
+  /// Quiet period after link-up before data frames may serialize, modeling
+  /// link training plus forwarding re-convergence (real 10GBASE links carry
+  /// no traffic for milliseconds after a replug). PHY control blocks are
+  /// exempt — they live below the MAC. DTP depends on this window: the
+  /// one-way delay is measured by the INIT exchange at link initialization
+  /// (Section 3.2), and an ACK stuck behind an in-flight MTU frame would
+  /// inflate d by up to half a frame time (~95 ticks at 10G).
+  fs_t data_holdoff = 0;
 };
 
 /// Counters exposed for tests and experiment harnesses.
@@ -60,6 +68,12 @@ class Mac {
   /// Bytes currently waiting across all egress queues.
   std::size_t queue_bytes() const;
   std::size_t queue_frames() const;
+
+  /// Restart the transmit pump. Needed after a link bounce: enqueue() is the
+  /// normal trigger, but a saturate-mode source stops enqueueing once its
+  /// backlog target is met, so a full queue would otherwise sit dead on a
+  /// freshly re-established link.
+  void kick() { pump(); }
 
   const MacStats& stats() const { return stats_; }
   phy::PhyPort& port() { return port_; }

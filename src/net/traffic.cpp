@@ -58,7 +58,12 @@ void TrafficGenerator::arm_next() {
 
 void TrafficGenerator::offer() {
   if (!running_) return;
-  if (params_.saturate && src_.nic().queue_frames() >= params_.backlog_frames) return;
+  if (params_.saturate && src_.nic().queue_frames() >= params_.backlog_frames) {
+    // Backlog target met: nothing to enqueue, but re-arm the pump in case
+    // the NIC's link bounced while the queue was already full.
+    src_.nic().kick();
+    return;
+  }
   Frame f;
   f.dst = dst_;
   f.src = src_.addr();

@@ -25,6 +25,7 @@ void PhyPort::link_established(Cable* cable, PhyPort* peer) {
   peer_ = peer;
   line_free_ = std::max(line_free_, sim_.now());
   frame_allowed_ = std::max(frame_allowed_, sim_.now());
+  last_link_up_at_ = sim_.now();
   if (on_link_up) on_link_up();
   // Control requests queued while the link was down get slots now.
   schedule_control_service();
@@ -120,13 +121,35 @@ Cable::Cable(sim::Simulator& sim, PhyPort& a, PhyPort& b, Params params)
 void Cable::disconnect() {
   if (!connected_) return;
   connected_ = false;
+  // Kill everything still on the wire: an unplug extinguishes the light, so
+  // a block that has not finished arriving never reaches the far PCS. Without
+  // this, delivery events scheduled before the unplug would fire into a
+  // link-down port (upper layers have already torn down their expectations).
+  for (const sim::EventHandle h : in_flight_) sim_.cancel(h);
+  in_flight_.clear();
   a_.link_lost();
   b_.link_lost();
+}
+
+void Cable::track(sim::EventHandle h) {
+  // Opportunistically prune handles of deliveries that already fired so the
+  // vector stays at the natural in-flight depth (propagation delay divided
+  // by block time — single digits) instead of growing with traffic.
+  if (in_flight_.size() >= 64) {
+    std::erase_if(in_flight_, [this](sim::EventHandle e) { return !sim_.pending(e); });
+  }
+  in_flight_.push_back(h);
 }
 
 PhyPort& Cable::other_side(const PhyPort& from) { return &from == &a_ ? b_ : a_; }
 
 void Cable::transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end) {
+  if (control_drop_ > 0.0 && rng_.bernoulli(control_drop_)) {
+    // Swallowed whole (loss-of-block-lock window): the receiver never sees
+    // a block at all, as opposed to the BER path's corrupted-but-present.
+    ++dropped_control_;
+    return;
+  }
   bool corrupted = false;
   if (params_.ber > 0.0) {
     // One 66-bit block of exposure.
@@ -139,10 +162,10 @@ void Cable::transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end) {
   }
   PhyPort& to = other_side(from);
   const fs_t arrival = tx_end + params_.propagation_delay;
-  sim_.schedule_at(
+  track(sim_.schedule_at(
       arrival,
       [&to, bits56, arrival, corrupted] { to.deliver_control(bits56, arrival, corrupted); },
-      sim::EventCategory::kFrame);
+      sim::EventCategory::kFrame));
 }
 
 void Cable::transmit_frame(PhyPort& from, std::uint32_t wire_bytes,
@@ -158,12 +181,12 @@ void Cable::transmit_frame(PhyPort& from, std::uint32_t wire_bytes,
   }
   PhyPort& to = other_side(from);
   const fs_t arrival = tx_end + params_.propagation_delay;
-  sim_.schedule_at(
+  track(sim_.schedule_at(
       arrival,
       [&to, payload = std::move(payload), wire_bytes, fcs_ok, arrival] {
         to.deliver_frame(FrameRx{payload, wire_bytes, fcs_ok, arrival});
       },
-      sim::EventCategory::kFrame);
+      sim::EventCategory::kFrame));
 }
 
 }  // namespace dtpsim::phy

@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/time_units.hpp"
@@ -98,6 +99,12 @@ class PhyPort {
   /// Number of factories waiting for an idle block.
   std::size_t pending_control() const { return control_queue_.size(); }
 
+  /// Discard every queued control factory. Required when the layer that
+  /// queued them is being destroyed (the factories capture it): an agent
+  /// torn down mid-run (node crash) must not leave callbacks into freed
+  /// protocol state waiting for an idle block.
+  void clear_pending_control() { control_queue_.clear(); }
+
   /// Earliest time a new frame may start serializing (IPG respected).
   fs_t frame_clear_time() const;
 
@@ -116,6 +123,10 @@ class PhyPort {
   /// zero-overhead claim is `frames_sent` unchanged by enabling DTP).
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t control_blocks_sent() const { return control_sent_; }
+
+  /// When the current (or most recent) cable attached — the anchor for the
+  /// MAC's post-link-training data hold-off.
+  fs_t last_link_up_at() const { return last_link_up_at_; }
 
   // Upper-layer hooks. All optional; unset hooks drop the event.
   std::function<void()> on_link_up;                  ///< fired when cable attaches
@@ -142,6 +153,7 @@ class PhyPort {
 
   fs_t line_free_ = 0;      ///< end of the last serialized block
   fs_t frame_allowed_ = 0;  ///< line_free_ plus any outstanding IPG
+  fs_t last_link_up_at_ = 0;
   std::deque<ControlFactory> control_queue_;
   bool control_service_scheduled_ = false;
 
@@ -164,18 +176,32 @@ class Cable {
   Cable& operator=(const Cable&) = delete;
 
   /// Unplug the cable: both ports go link-down (their `on_link_down` hooks
-  /// fire) and can later be re-connected with a fresh Cable. Messages and
-  /// frames already on the wire still arrive; nothing new can be sent.
+  /// fire) and can later be re-connected with a fresh Cable. Blocks and
+  /// frames already in flight are lost — pulling the cable kills the light
+  /// in the fiber, so nothing is ever delivered to a link-down port.
   /// Idempotent.
   void disconnect();
   bool connected() const { return connected_; }
 
+  PhyPort& port_a() { return a_; }
+  PhyPort& port_b() { return b_; }
+
   fs_t propagation_delay() const { return params_.propagation_delay; }
   double ber() const { return params_.ber; }
 
-  /// Cumulative corrupted transmissions (diagnostics).
+  /// Change the bit-error rate mid-run (fault injection: BER bursts).
+  void set_ber(double ber) { params_.ber = ber; }
+
+  /// Probability that a control block is silently swallowed (fault
+  /// injection: beacon-loss windows — models momentary loss of block lock
+  /// where the receiver PCS discards /E/ blocks without seeing bit flips).
+  void set_control_drop(double p) { control_drop_ = p; }
+  double control_drop() const { return control_drop_; }
+
+  /// Cumulative corrupted / dropped transmissions (diagnostics).
   std::uint64_t corrupted_control() const { return corrupted_control_; }
   std::uint64_t corrupted_frames() const { return corrupted_frames_; }
+  std::uint64_t dropped_control() const { return dropped_control_; }
 
  private:
   friend class PhyPort;
@@ -187,14 +213,20 @@ class Cable {
   void transmit_frame(PhyPort& from, std::uint32_t wire_bytes,
                       std::shared_ptr<const void> payload, fs_t tx_end);
 
+  /// Remember a scheduled delivery so disconnect() can cancel it.
+  void track(sim::EventHandle h);
+
   sim::Simulator& sim_;
   PhyPort& a_;
   PhyPort& b_;
   Params params_;
   Rng rng_;
   bool connected_ = true;
+  double control_drop_ = 0.0;
+  std::vector<sim::EventHandle> in_flight_;  ///< deliveries not yet fired
   std::uint64_t corrupted_control_ = 0;
   std::uint64_t corrupted_frames_ = 0;
+  std::uint64_t dropped_control_ = 0;
 };
 
 }  // namespace dtpsim::phy

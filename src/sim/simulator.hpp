@@ -109,6 +109,15 @@ class Simulator {
   /// is detected by generation mismatch and records nothing.
   bool cancel(EventHandle h);
 
+  /// True iff `h` refers to an event still waiting in the queue (i.e. a
+  /// cancel(h) right now would succeed). Lets holders of handle collections
+  /// (e.g. a cable tracking its in-flight deliveries) prune fired entries
+  /// without cancelling anything.
+  bool pending(EventHandle h) const {
+    return h.valid() && h.slot_ < slots_.size() && slots_[h.slot_].gen == h.gen_ &&
+           slots_[h.slot_].heap_pos != kNoHeapPos;
+  }
+
   /// Run until the queue is empty or `t_end` is reached; the simulation clock
   /// lands exactly on `t_end` even if no event fires there.
   void run_until(fs_t t_end);

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+#include "chaos/campaign.hpp"
+#include "chaos/engine.hpp"
+#include "net/frame.hpp"
+
+/// The canonical chaos campaign (chaos/campaign.hpp) on the paper's Fig. 5
+/// tree under MTU-saturated load — the acceptance gate for the recovery
+/// story: every fault class except the rogue oscillator reconverges within
+/// two beacon intervals; the rogue is quarantined by its direct neighbor and
+/// the healthy remainder reconverges after collateral remediation.
+
+namespace dtpsim {
+namespace {
+
+using namespace dtpsim::literals;
+
+struct CampaignRun {
+  sim::Simulator sim;
+  net::Network net;
+  net::PaperTreeTopology tree;
+  dtp::DtpNetwork dtp;
+
+  explicit CampaignRun(std::uint64_t seed)
+      : sim(seed),
+        net(sim, chaos::CanonicalCampaign::net_params()),
+        tree(net::build_paper_tree(net)) {
+    dtp = dtp::enable_dtp(net, chaos::CanonicalCampaign::dtp_params());
+    chaos::CanonicalCampaign::start_heavy_load(net, tree, net::kMtuFrameBytes);
+  }
+};
+
+TEST(ChaosCampaign, CanonicalCampaignRecoversWithinTwoBeacons) {
+  CampaignRun run(77);
+  chaos::ChaosEngine engine(run.net, run.dtp,
+                            chaos::CanonicalCampaign::chaos_params());
+  const fs_t t0 = chaos::CanonicalCampaign::settle_time();
+  engine.schedule(chaos::CanonicalCampaign::plan(run.tree, t0));
+  run.sim.run_until(chaos::CanonicalCampaign::end_time(t0));
+  ASSERT_TRUE(engine.all_probes_done()) << "a probe never reported";
+
+  const chaos::CampaignReport& report = engine.report();
+  for (const char* cls : {"link_flap", "flap_storm", "port_fail", "ber_burst",
+                          "beacon_loss", "node_crash"}) {
+    const chaos::ClassSummary c = report.summary(cls);
+    EXPECT_EQ(c.n, 1) << cls;
+    EXPECT_EQ(c.converged, c.n) << cls << " did not reconverge";
+    EXPECT_LE(c.p99_bi, 2.0) << cls << " recovery exceeded two beacon intervals";
+    EXPECT_TRUE(c.stall_ok) << cls << " violated the stall ceiling";
+  }
+
+  // The rogue must be quarantined — its neighbor's port facing it ends up
+  // kFaulty — and must NOT itself reconverge; the rest of the network must.
+  const chaos::ClassSummary rogue = report.summary("rogue_oscillator");
+  EXPECT_EQ(rogue.n, 1);
+  EXPECT_TRUE(rogue.isolated) << "the +500 ppm oscillator was never quarantined";
+  EXPECT_EQ(rogue.converged, 1) << "the healthy remainder did not reconverge";
+
+  dtp::Agent* s3 = run.dtp.agent_of(run.tree.aggs[2]);
+  ASSERT_NE(s3, nullptr);
+  const phy::PhyPort* rogue_port = &run.tree.leaves[7]->nic_port();
+  bool found = false;
+  for (std::size_t p = 0; p < s3->port_count(); ++p) {
+    dtp::PortLogic& pl = s3->port_logic(p);
+    if (pl.phy_port().peer() != rogue_port) continue;
+    found = true;
+    EXPECT_EQ(pl.state(), dtp::PortState::kFaulty)
+        << "the port facing the rogue must stay quarantined";
+  }
+  EXPECT_TRUE(found);
+
+  // After remediation, the rogue is the only divergence left: the healthy
+  // eleven devices sit within the tree's 4TD envelope of each other.
+  double healthy_worst = 0;
+  for (std::size_t i = 0; i < run.dtp.size(); ++i) {
+    dtp::Agent& a = run.dtp.agent(i);
+    if (&a.device() == run.tree.leaves[7]) continue;
+    for (std::size_t j = 0; j < run.dtp.size(); ++j) {
+      dtp::Agent& b = run.dtp.agent(j);
+      if (&b.device() == run.tree.leaves[7]) continue;
+      healthy_worst = std::max(
+          healthy_worst, std::abs(dtp::true_offset_fractional(a, b, run.sim.now())));
+    }
+  }
+  EXPECT_LE(healthy_worst, 16.0) << "healthy devices diverged post-remediation";
+
+  if (HasFailure()) {  // dump the campaign state for the postmortem
+    engine.report().print(std::cerr);
+    for (std::size_t i = 0; i < run.dtp.size(); ++i) {
+      dtp::Agent& a = run.dtp.agent(i);
+      std::cerr << a.device().name() << ":";
+      for (std::size_t p = 0; p < a.port_count(); ++p) {
+        const dtp::PortLogic& pl = a.port_logic(p);
+        std::cerr << "  [" << p << "] " << dtp::to_string(pl.state())
+                  << " rx=" << pl.stats().beacons_received
+                  << " filt=" << pl.stats().filtered_range
+                  << " joins=" << pl.stats().joins_received << "/"
+                  << pl.stats().joins_sent;
+      }
+      std::cerr << "\n";
+    }
+  }
+}
+
+TEST(ChaosCampaign, CampaignIsDeterministic) {
+  // Same seed, same plan — byte-identical recovery numbers. Chaos results
+  // are only debuggable if a failing campaign can be replayed exactly.
+  auto reconverge_times = [](std::uint64_t seed) {
+    CampaignRun run(seed);
+    chaos::ChaosEngine engine(run.net, run.dtp,
+                              chaos::CanonicalCampaign::chaos_params());
+    const fs_t t0 = chaos::CanonicalCampaign::settle_time();
+    // A two-fault sub-plan keeps the runtime modest.
+    chaos::FaultPlan plan;
+    plan.add(chaos::FaultSpec::link_flap(*run.tree.leaves[0], *run.tree.aggs[0], t0,
+                                         50_us))
+        .add(chaos::FaultSpec::node_crash(*run.tree.leaves[4], t0 + 1_ms, 400_us));
+    engine.schedule(plan);
+    run.sim.run_until(t0 + 3_ms);
+    std::vector<double> out;
+    for (const auto& r : engine.report().results()) out.push_back(r.reconverge_beacons);
+    return out;
+  };
+  EXPECT_EQ(reconverge_times(99), reconverge_times(99));
+}
+
+}  // namespace
+}  // namespace dtpsim

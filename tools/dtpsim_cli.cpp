@@ -3,17 +3,29 @@
 ///   dtpsim [--topology=star|tree|chain|fattree] [--nodes=N] [--hops=D]
 ///          [--protocol=dtp|dtp-master|ptp|ntp] [--seconds=S] [--seed=N]
 ///          [--load=idle|heavy] [--beacon=TICKS] [--rate=1g|10g|40g|100g]
-///          [--drift] [--ber=P]
+///          [--drift] [--ber=P] [--chaos=flap|storm|crash|ber|rogue|canonical]
 ///
 /// Prints a synchronization report: per-device clock state, worst pairwise
 /// offsets over the run, protocol message counts, and (for DTP) the 4TD
-/// bound verdict.
+/// bound verdict. With --chaos, runs a fault-injection plan on the paper's
+/// Fig. 5 tree under MTU-saturated load and prints the recovery report.
+///
+/// Unknown or malformed flags are an error: the tool prints usage and exits
+/// with status 2 rather than silently running a different experiment.
 
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "chaos/campaign.hpp"
+#include "chaos/engine.hpp"
 #include "dtp/network.hpp"
+#include "net/frame.hpp"
 #include "net/topology.hpp"
 #include "ntp/ntp.hpp"
 #include "ptp/client.hpp"
@@ -25,10 +37,18 @@ namespace {
 
 using namespace dtpsim;
 
+constexpr const char* kUsage =
+    "usage: dtpsim [--topology=star|tree|chain|fattree] [--nodes=N]\n"
+    "              [--hops=D] [--protocol=dtp|dtp-master|ptp|ntp]\n"
+    "              [--seconds=S] [--seed=N] [--load=idle|heavy]\n"
+    "              [--beacon=TICKS] [--rate=1g|10g|40g|100g] [--drift]\n"
+    "              [--ber=P] [--chaos=flap|storm|crash|ber|rogue|canonical]\n";
+
 struct Options {
   std::string topology = "tree";
   std::string protocol = "dtp";
   std::string load = "idle";
+  std::string chaos;  ///< empty = normal experiment
   std::size_t nodes = 8;
   std::size_t hops = 4;
   double seconds = 0.5;
@@ -39,29 +59,102 @@ struct Options {
   double ber = 0.0;
 };
 
-std::string flag_value(int argc, char** argv, const std::string& key, const std::string& dflt) {
-  const std::string prefix = "--" + key + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
-    if (a == "--" + key) return "true";
-  }
-  return dflt;
+/// Thrown for anything the user got wrong on the command line; main() turns
+/// it into a message + usage + exit 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+bool one_of(const std::string& v, std::initializer_list<const char*> allowed) {
+  for (const char* a : allowed)
+    if (v == a) return true;
+  return false;
+}
+
+long long parse_int(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end == nullptr || *end != '\0')
+    throw UsageError("--" + key + "=" + v + " is not an integer");
+  return out;
+}
+
+double parse_double(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  if (v.empty() || end == nullptr || *end != '\0')
+    throw UsageError("--" + key + "=" + v + " is not a number");
+  return out;
 }
 
 Options parse(int argc, char** argv) {
   Options o;
-  o.topology = flag_value(argc, argv, "topology", o.topology);
-  o.protocol = flag_value(argc, argv, "protocol", o.protocol);
-  o.load = flag_value(argc, argv, "load", o.load);
-  o.nodes = std::stoul(flag_value(argc, argv, "nodes", std::to_string(o.nodes)));
-  o.hops = std::stoul(flag_value(argc, argv, "hops", std::to_string(o.hops)));
-  o.seconds = std::stod(flag_value(argc, argv, "seconds", std::to_string(o.seconds)));
-  o.seed = std::stoull(flag_value(argc, argv, "seed", std::to_string(o.seed)));
-  o.beacon = std::stoll(flag_value(argc, argv, "beacon", std::to_string(o.beacon)));
-  o.rate = flag_value(argc, argv, "rate", o.rate);
-  o.drift = flag_value(argc, argv, "drift", "false") == "true";
-  o.ber = std::stod(flag_value(argc, argv, "ber", "0"));
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw UsageError("unexpected argument '" + arg + "' (flags are --key=value)");
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(2, eq == std::string::npos ? arg.npos : eq - 2);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    const bool has_value = eq != std::string::npos;
+
+    if (!one_of(key, {"help", "drift", "topology", "protocol", "load", "chaos",
+                      "nodes", "hops", "seconds", "seed", "beacon", "rate", "ber"}))
+      throw UsageError("unknown flag '--" + key + "'");
+    if (key == "help") continue;  // handled in main() before parsing
+    if (key == "drift") {
+      if (has_value && value != "true" && value != "false")
+        throw UsageError("--drift takes no value (or true/false)");
+      o.drift = !has_value || value == "true";
+      continue;
+    }
+    if (!has_value || value.empty())
+      throw UsageError("--" + key + " needs a value");
+
+    if (key == "topology") {
+      if (!one_of(value, {"star", "tree", "chain", "fattree"}))
+        throw UsageError("--topology must be star|tree|chain|fattree, got '" + value + "'");
+      o.topology = value;
+    } else if (key == "protocol") {
+      if (!one_of(value, {"dtp", "dtp-master", "ptp", "ntp"}))
+        throw UsageError("--protocol must be dtp|dtp-master|ptp|ntp, got '" + value + "'");
+      o.protocol = value;
+    } else if (key == "load") {
+      if (!one_of(value, {"idle", "heavy"}))
+        throw UsageError("--load must be idle|heavy, got '" + value + "'");
+      o.load = value;
+    } else if (key == "chaos") {
+      if (!one_of(value, {"flap", "storm", "crash", "ber", "rogue", "canonical"}))
+        throw UsageError(
+            "--chaos must be flap|storm|crash|ber|rogue|canonical, got '" + value + "'");
+      o.chaos = value;
+    } else if (key == "nodes") {
+      const long long n = parse_int(key, value);
+      if (n < 2) throw UsageError("--nodes must be >= 2");
+      o.nodes = static_cast<std::size_t>(n);
+    } else if (key == "hops") {
+      const long long n = parse_int(key, value);
+      if (n < 1) throw UsageError("--hops must be >= 1");
+      o.hops = static_cast<std::size_t>(n);
+    } else if (key == "seconds") {
+      o.seconds = parse_double(key, value);
+      if (o.seconds <= 0) throw UsageError("--seconds must be positive");
+    } else if (key == "seed") {
+      o.seed = static_cast<std::uint64_t>(parse_int(key, value));
+    } else if (key == "beacon") {
+      o.beacon = parse_int(key, value);
+      if (o.beacon < 8) throw UsageError("--beacon must be >= 8 ticks");
+    } else if (key == "rate") {
+      if (!one_of(value, {"1g", "10g", "40g", "100g"}))
+        throw UsageError("--rate must be 1g|10g|40g|100g, got '" + value + "'");
+      o.rate = value;
+    } else {  // ber — the whitelist above rules out everything else
+      o.ber = parse_double(key, value);
+      if (o.ber < 0 || o.ber >= 1) throw UsageError("--ber must be in [0, 1)");
+    }
+  }
+  if (!o.chaos.empty() && o.protocol != "dtp")
+    throw UsageError("--chaos drives the DTP protocol; drop --protocol=" + o.protocol);
   return o;
 }
 
@@ -72,7 +165,67 @@ phy::LinkRate parse_rate(const std::string& s) {
   return phy::LinkRate::k10G;
 }
 
+/// --chaos: a fault-injection plan on the Fig. 5 tree under saturating MTU
+/// load, with the canonical campaign's DTP/chaos parameters. Returns 0 when
+/// every probe reported and recovery matched the class's contract.
+int run_chaos(const Options& o) {
+  sim::Simulator sim(o.seed);
+  net::Network net(sim, chaos::CanonicalCampaign::net_params());
+  auto tree = net::build_paper_tree(net);
+  auto dtp = dtp::enable_dtp(net, chaos::CanonicalCampaign::dtp_params());
+  chaos::CanonicalCampaign::start_heavy_load(net, tree, net::kMtuFrameBytes);
+  chaos::ChaosEngine engine(net, dtp, chaos::CanonicalCampaign::chaos_params());
+
+  const fs_t t0 = chaos::CanonicalCampaign::settle_time();
+  chaos::FaultPlan plan;
+  fs_t until = 0;
+  if (o.chaos == "canonical") {
+    plan = chaos::CanonicalCampaign::plan(tree, t0);
+    until = chaos::CanonicalCampaign::end_time(t0);
+  } else if (o.chaos == "flap") {
+    plan.add(chaos::FaultSpec::link_flap(*tree.leaves[0], *tree.aggs[0], t0, from_us(50)));
+    until = t0 + from_ms(2);
+  } else if (o.chaos == "storm") {
+    plan.add(chaos::FaultSpec::flap_storm(*tree.leaves[1], *tree.aggs[0], t0, 6,
+                                          from_us(150), from_us(60)));
+    until = t0 + from_ms(3);
+  } else if (o.chaos == "crash") {
+    plan.add(chaos::FaultSpec::node_crash(*tree.leaves[4], t0, from_us(400)));
+    until = t0 + from_ms(2);
+  } else if (o.chaos == "ber") {
+    plan.add(chaos::FaultSpec::ber_burst(*tree.leaves[3], *tree.aggs[1], t0,
+                                         from_ms(1) + from_us(500), 1e-5));
+    until = t0 + from_ms(3);
+  } else {  // rogue
+    plan.add(chaos::FaultSpec::rogue_oscillator(*tree.leaves[7], t0, 500.0, from_ms(6),
+                                                from_ms(2)));
+    until = t0 + from_ms(12);
+  }
+  std::printf("chaos plan=%s on the Fig. 5 tree, MTU-saturated, seed=%llu\n",
+              o.chaos.c_str(), static_cast<unsigned long long>(o.seed));
+  engine.schedule(plan);
+  sim.run_until(until);
+
+  const chaos::CampaignReport& report = engine.report();
+  report.print(std::cout);
+  if (!engine.all_probes_done()) {
+    std::printf("verdict: FAIL (a probe never reported)\n");
+    return 1;
+  }
+  bool ok = true;
+  for (const auto& [cls, s] : report.by_class()) {
+    if (cls == "rogue_oscillator")
+      ok &= s.isolated && s.converged == s.n;
+    else
+      ok &= s.converged == s.n && s.stall_ok;
+  }
+  std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 int run(const Options& o) {
+  if (!o.chaos.empty()) return run_chaos(o);
+
   sim::Simulator sim(o.seed);
   net::NetworkParams np;
   np.rate = parse_rate(o.rate);
@@ -208,46 +361,45 @@ int run(const Options& o) {
     return 0;
   }
 
-  if (o.protocol == "ntp") {
-    ntp::NtpServer server(sim, *hosts[0]);
-    ntp::NtpClientParams cp;
-    cp.poll_interval = from_ms(250);
-    std::vector<std::unique_ptr<ntp::NtpClient>> clients;
-    for (std::size_t i = 1; i < hosts.size(); ++i) {
-      clients.push_back(std::make_unique<ntp::NtpClient>(sim, *hosts[i], hosts[0]->addr(),
-                                                         server.clock(), cp));
-      clients.back()->start();
-    }
-    sim.run_until(settle);
-    start_load();
-    sim.run_until(settle + duration);
-    double worst = 0;
-    for (auto& c : clients) {
-      const auto& pts = c->true_series().points();
-      for (std::size_t i = pts.size() / 2; i < pts.size(); ++i)
-        worst = std::max(worst, std::abs(pts[i].value));
-    }
-    std::printf("protocol=ntp clients=%zu worst offset=%.1f ns (%.2f us)\n",
-                clients.size(), worst, worst / 1000.0);
-    print_stats();
-    return 0;
+  // parse() restricts protocol values, so this is ntp.
+  ntp::NtpServer server(sim, *hosts[0]);
+  ntp::NtpClientParams cp;
+  cp.poll_interval = from_ms(250);
+  std::vector<std::unique_ptr<ntp::NtpClient>> clients;
+  for (std::size_t i = 1; i < hosts.size(); ++i) {
+    clients.push_back(std::make_unique<ntp::NtpClient>(sim, *hosts[i], hosts[0]->addr(),
+                                                       server.clock(), cp));
+    clients.back()->start();
   }
-
-  std::fprintf(stderr, "unknown protocol '%s'\n", o.protocol.c_str());
-  return 2;
+  sim.run_until(settle);
+  start_load();
+  sim.run_until(settle + duration);
+  double worst = 0;
+  for (auto& c : clients) {
+    const auto& pts = c->true_series().points();
+    for (std::size_t i = pts.size() / 2; i < pts.size(); ++i)
+      worst = std::max(worst, std::abs(pts[i].value));
+  }
+  std::printf("protocol=ntp clients=%zu worst offset=%.1f ns (%.2f us)\n",
+              clients.size(), worst, worst / 1000.0);
+  print_stats();
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (flag_value(argc, argv, "help", "false") == "true") {
-    std::printf(
-        "usage: dtpsim [--topology=star|tree|chain|fattree] [--nodes=N]\n"
-        "              [--hops=D] [--protocol=dtp|dtp-master|ptp|ntp]\n"
-        "              [--seconds=S] [--seed=N] [--load=idle|heavy]\n"
-        "              [--beacon=TICKS] [--rate=1g|10g|40g|100g] [--drift]\n"
-        "              [--ber=P]\n");
-    return 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h" || a == "--help=true") {
+      std::printf("%s", kUsage);
+      return 0;
+    }
   }
-  return run(parse(argc, argv));
+  try {
+    return run(parse(argc, argv));
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "dtpsim: %s\n%s", e.what(), kUsage);
+    return 2;
+  }
 }
