@@ -81,5 +81,11 @@ int main(int argc, char** argv) {
       check("alpha=3 (the paper's choice) keeps the counter honest and the "
             "bound in both regimes",
             alpha3_clean);
+  BenchJson json;
+  json.add("bench", std::string("ablation_alpha"));
+  json.add("alpha0_excess_ppm_iid", alpha0_excess_iid);
+  json.add("alpha3_clean", alpha3_clean);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "ablation_alpha"));
   return pass ? 0 : 1;
 }

@@ -62,5 +62,11 @@ int main(int argc, char** argv) {
             bound_holds_through_4000) &
       check("precision degrades once resync is slower than the analysis allows",
             at_48000 > at_200 + 2.0);
+  BenchJson json;
+  json.add("bench", std::string("ablation_beacon"));
+  json.add("worst_ticks_at_200", at_200);
+  json.add("worst_ticks_at_48000", at_48000);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "ablation_beacon"));
   return pass ? 0 : 1;
 }

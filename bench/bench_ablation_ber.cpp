@@ -81,5 +81,10 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", t.render().c_str());
   std::printf("802.3's BER objective is 1e-12 (one flip per ~100 s at 10G); the\n"
               "sweep runs 4-6 orders of magnitude worse to exercise the filters.\n");
-  return check("precision bounded by the filter design at every BER", pass) ? 0 : 1;
+  const bool ok = check("precision bounded by the filter design at every BER", pass);
+  BenchJson json;
+  json.add("bench", std::string("ablation_ber"));
+  json.add("pass", ok);
+  json.write(json_out_path(flags, "ablation_ber"));
+  return ok ? 0 : 1;
 }

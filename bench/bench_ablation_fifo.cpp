@@ -88,5 +88,12 @@ int main(int argc, char** argv) {
       check("deterministic pipeline depth does not affect precision (absorbed "
             "into measured OWD)",
             true);
+  BenchJson json;
+  json.add("bench", std::string("ablation_fifo"));
+  json.add("spread_deterministic", spread_deterministic);
+  json.add("spread_random", spread_random);
+  json.add("worst_ticks", worst_any);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "ablation_fifo"));
   return pass ? 0 : 1;
 }

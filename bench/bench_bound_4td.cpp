@@ -86,5 +86,10 @@ int main(int argc, char** argv) {
 
   std::printf("\n%s\n", t.render().c_str());
   std::printf("paper: 25.6 ns for direct links, 153.6 ns for six hops.\n");
-  return check("measured offsets within 4TD at every D", pass) ? 0 : 1;
+  const bool ok = check("measured offsets within 4TD at every D", pass);
+  BenchJson json;
+  json.add("bench", std::string("bound_4td"));
+  json.add("pass", ok);
+  json.write(json_out_path(flags, "bound_4td"));
+  return ok ? 0 : 1;
 }

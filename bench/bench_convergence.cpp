@@ -85,5 +85,11 @@ int main(int argc, char** argv) {
       check("DTP converges within ~2 beacon intervals (+ slot/propagation)",
             dtp_converged_at >= 0 && dtp_converged_at < 8 * 200 * 6'400'000LL) &
       check("PTP takes several orders of magnitude longer", ratio > 1'000.0);
+  BenchJson json;
+  json.add("bench", std::string("convergence"));
+  json.add("dtp_converged_ns", to_ns_f(dtp_converged_at >= 0 ? dtp_converged_at : 0));
+  json.add("ptp_to_dtp_ratio", ratio);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "convergence"));
   return pass ? 0 : 1;
 }

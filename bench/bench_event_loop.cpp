@@ -194,7 +194,7 @@ int main(int argc, char** argv) {
   benchutil::Flags flags(argc, argv);
   const auto n_events =
       static_cast<std::uint64_t>(flags.get_int("events", 10'000'000));
-  const std::string out = flags.get_string("out", "BENCH_event_loop.json");
+  const std::string out = json_out_path(flags, "event_loop");
 
   benchutil::banner("event-loop throughput: slab/indexed-heap engine vs seed");
   std::printf("churn workload: %llu events, 8 chains, victim pool %zu\n\n",

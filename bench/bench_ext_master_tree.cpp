@@ -87,5 +87,12 @@ int main(int argc, char** argv) {
             tree_rogue.worst_offset_ticks < 24.0) &
       check("both modes match on healthy hardware",
             peer_ok.worst_offset_ticks < 24.0 && tree_ok.worst_offset_ticks < 24.0);
+  BenchJson json;
+  json.add("bench", std::string("ext_master_tree"));
+  json.add("peer_rogue_rate_ppm", peer_rogue.rate_ppm_vs_nominal);
+  json.add("tree_rogue_rate_ppm", tree_rogue.rate_ppm_vs_nominal);
+  json.add("tree_rogue_worst_ticks", tree_rogue.worst_offset_ticks);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "ext_master_tree"));
   return pass ? 0 : 1;
 }

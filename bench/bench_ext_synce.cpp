@@ -70,5 +70,13 @@ int main(int argc, char** argv) {
       check("DTP over SyncE with engineered CDC approaches the sub-ns regime "
             "(couple of ticks across the whole tree)",
             synce_det < 3.0);
+  BenchJson json;
+  json.add("bench", std::string("ext_synce"));
+  json.add("plain_random_ticks", plain_rand);
+  json.add("plain_det_ticks", plain_det);
+  json.add("synce_random_ticks", synce_rand);
+  json.add("synce_det_ticks", synce_det);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "ext_synce"));
   return pass ? 0 : 1;
 }

@@ -85,7 +85,8 @@ int main(int argc, char** argv) {
                 rogue.converged == 1);
 
   json.add("pass", pass);
-  if (!json.write("BENCH_fault_recovery.json"))
-    std::fprintf(stderr, "warning: could not write BENCH_fault_recovery.json\n");
+  const std::string out = json_out_path(flags, "fault_recovery");
+  if (!json.write(out))
+    std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
   return pass ? 0 : 1;
 }

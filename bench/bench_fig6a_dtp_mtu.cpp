@@ -60,5 +60,11 @@ int main(int argc, char** argv) {
             all_ok) &
       check("network actually under load",
             exp.tree.leaves[0]->nic().stats().tx_frames > 10'000);
+  BenchJson json;
+  json.add("bench", std::string("fig6a_dtp_mtu"));
+  json.add("worst_ticks", worst);
+  json.add("leaf_tx_frames", exp.tree.leaves[0]->nic().stats().tx_frames);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "fig6a_dtp_mtu"));
   return pass ? 0 : 1;
 }

@@ -57,5 +57,11 @@ int main(int argc, char** argv) {
   const bool pass =
       check("pair counter offsets within 4TD = 4 ticks (+1 sampling quantum)", all_ok) &
       check("beacon interval ~1200 ticks", interval_ticks > 1100 && interval_ticks < 1500);
+  BenchJson json;
+  json.add("bench", std::string("fig6b_dtp_jumbo"));
+  json.add("worst_ticks", worst);
+  json.add("beacon_interval_ticks", interval_ticks);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "fig6b_dtp_jumbo"));
   return pass ? 0 : 1;
 }

@@ -61,5 +61,10 @@ int main(int argc, char** argv) {
   const bool pass = check(
       "S3 offset_hw concentrated on a few adjacent ticks, span <= 6 (paper: Fig. 6c)",
       concentrated);
+  BenchJson json;
+  json.add("bench", std::string("fig6c_offset_dist"));
+  json.add("concentrated", concentrated);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "fig6c_offset_dist"));
   return pass ? 0 : 1;
 }

@@ -94,5 +94,12 @@ int main(int argc, char** argv) {
         "25.6 ns regardless of load (bench_fig6a/6b) — the paper's core contrast.\n",
         idle.max_ns, medium.max_ns, heavy.max_ns);
   }
+  BenchJson json;
+  json.add("bench", std::string("fig6def_ptp_load"));
+  json.add("idle_max_ns", idle.max_ns);
+  json.add("medium_max_ns", medium.max_ns);
+  json.add("heavy_max_ns", heavy.max_ns);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "fig6def_ptp_load"));
   return pass ? 0 : 1;
 }

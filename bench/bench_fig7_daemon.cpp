@@ -83,5 +83,11 @@ int main(int argc, char** argv) {
       check("raw offset_sw usually within 16 ticks (paper: Fig. 7a)", raw_ok) &
       check("smoothed offset_sw usually within 4 ticks (paper: Fig. 7b)", smooth_ok) &
       check("smoothing reduces spread (aggregate stddev)", smooth_sd_sum < raw_sd_sum);
+  BenchJson json;
+  json.add("bench", std::string("fig7_daemon"));
+  json.add("raw_sd_sum", raw_sd_sum);
+  json.add("smoothed_sd_sum", smooth_sd_sum);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "fig7_daemon"));
   return pass ? 0 : 1;
 }

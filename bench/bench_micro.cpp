@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "dtp/agent.hpp"
 #include "net/crc32.hpp"
@@ -91,6 +96,42 @@ void BM_DtpPairSimulatedMillisecond(benchmark::State& state) {
 }
 BENCHMARK(BM_DtpPairSimulatedMillisecond)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that also captures each benchmark's adjusted real time
+/// into the flat BENCH_micro.json artifact.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  benchutil::BenchJson json;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      std::string key = r.benchmark_name();
+      for (char& c : key)
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+      json.add(key + "_real_ns", r.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark rejects flags it does not know; peel off the artifact
+  // path before handing argv over.
+  benchutil::Flags flags(argc, argv);
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json-out", 0) == 0 || a.rfind("--out", 0) == 0) continue;
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+
+  CaptureReporter reporter;
+  reporter.json.add("bench", std::string("micro"));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.json.add("pass", true);
+  reporter.json.write(benchutil::json_out_path(flags, "micro"));
+  return 0;
+}

@@ -1,0 +1,181 @@
+/// Parallel engine speedup — the conservative multi-threaded backend vs the
+/// serial event loop on the paper's Fig. 5 tree under MTU saturation.
+///
+/// Two speedup figures are reported:
+///
+///   * critical-path speedup — total worker events / events on the epoch
+///     critical path (the busiest shard per epoch, plus the serialized
+///     sync-point events). This is the parallelism the partition *exposes*:
+///     the wall-clock speedup an idle N-core machine converges to, measured
+///     independently of how loaded or small the benchmarking host is.
+///   * wall speedup — straight run-time ratio, honest but meaningless when
+///     the host has fewer free cores than the run has threads (CI boxes).
+///
+/// The gate is on the critical-path figure: >= 3x at 4 threads. A bit-exact
+/// cross-check (event counts + final offsets vs the serial run) guards the
+/// determinism contract while the speedup is measured.
+///
+/// Emits BENCH_parallel_speedup.json.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dtpsim;
+using namespace dtpsim::benchutil;
+
+namespace {
+
+struct RunDigest {
+  std::uint64_t executed = 0;
+  std::uint64_t frames = 0;
+  double final_offset_ticks = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+struct RunOutcome {
+  RunDigest digest;
+  double wall_seconds = 0;
+  sim::ParallelStats par;
+};
+
+RunOutcome run_fig5(unsigned threads, fs_t duration, std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  net::NetworkParams np;
+  // 1 us of propagation per cable: enough conservative lookahead for the
+  // epochs to amortize the cross-thread handshakes.
+  np.cable.propagation_delay = from_us(1);
+  net::Network net(sim, np);
+  net::PaperTreeTopology topo = net::build_paper_tree(net);
+  dtp::DtpNetwork dtp = dtp::enable_dtp(net);
+
+  // Saturating MTU ring across all leaves: every path crosses an
+  // aggregation switch, most cross the root.
+  net::TrafficParams tp;
+  tp.saturate = true;
+  tp.frame_bytes = net::kMtuFrameBytes;
+  for (std::size_t i = 0; i < topo.leaves.size(); ++i)
+    net.add_traffic(*topo.leaves[i],
+                    topo.leaves[(i + 1) % topo.leaves.size()]->addr(), tp)
+        .start();
+
+  if (threads > 1) sim.set_threads(threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(duration);
+  RunOutcome out;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.digest.executed = sim.events_executed();
+  for (net::Host* h : net.hosts()) out.digest.frames += h->nic().stats().tx_frames;
+  out.digest.final_offset_ticks = dtp.max_pairwise_offset_ticks(sim.now());
+  out.par = sim.parallel_stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const fs_t duration = duration_flag(flags, 0.005);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 4242));
+
+  banner("Parallel speedup  conservative engine vs serial, Fig. 5 tree, MTU load");
+
+  const RunOutcome serial = run_fig5(1, duration, seed);
+  std::printf("  serial:    %10llu events in %.3f s (%.2f Mev/s)\n",
+              static_cast<unsigned long long>(serial.digest.executed),
+              serial.wall_seconds,
+              static_cast<double>(serial.digest.executed) / serial.wall_seconds / 1e6);
+
+  BenchJson json;
+  json.add("bench", std::string("parallel_speedup"));
+  json.add("events", serial.digest.executed);
+  json.add("serial_wall_seconds", serial.wall_seconds);
+  json.add("hw_concurrency",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+
+  bool deterministic = true;
+  bool ft_ok = false;
+  double cp2 = 0, cp4 = 0, wall4 = 0;
+  for (const unsigned threads : {2u, 4u}) {
+    const RunOutcome par = run_fig5(threads, duration, seed);
+    const double cp = par.par.critical_path_speedup();
+    const double wall = serial.wall_seconds / par.wall_seconds;
+    deterministic &= par.digest == serial.digest;
+    std::printf("  threads=%u: %10llu events in %.3f s  critical-path speedup %.2fx, "
+                "wall %.2fx, %llu cross-shard msgs over %llu epochs\n",
+                threads, static_cast<unsigned long long>(par.digest.executed),
+                par.wall_seconds, cp, wall,
+                static_cast<unsigned long long>(par.par.cross_messages),
+                static_cast<unsigned long long>(par.par.epochs));
+    if (threads == 2) cp2 = cp;
+    if (threads == 4) {
+      cp4 = cp;
+      wall4 = wall;
+      json.add("shards", static_cast<std::uint64_t>(par.par.shards));
+      json.add("lookahead_ns", to_ns_f(par.par.lookahead));
+      json.add("segments", par.par.segments);
+      json.add("epochs", par.par.epochs);
+      json.add("cross_messages", par.par.cross_messages);
+      json.add("worker_events", par.par.worker_events);
+      json.add("critical_path_events", par.par.critical_path_events);
+      json.add("wall_seconds_4t", par.wall_seconds);
+    }
+  }
+
+  json.add("speedup_2t", cp2);
+  json.add("speedup_4t", cp4);
+  json.add("speedup_4t_wall", wall4);
+  json.add("deterministic", deterministic);
+
+  // The scalability frontier: 512 hosts (k=16 fat-tree, 4 hosts per edge
+  // switch, 832 devices, diameter 6) on the 4-thread engine. The claim is
+  // completion with the worst pairwise offset inside the 6-hop 4TD bound.
+  {
+    sim::Simulator sim(seed);
+    net::Network net(sim);
+    net::build_fat_tree(net, 16, 4);
+    dtp::DtpNetwork dtp = dtp::enable_dtp(net);
+    sim.set_threads(4);
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.run_until(from_ms(1));
+    double worst = 0;
+    while (sim.now() < from_ms(1) + from_us(200)) {
+      sim.run_until(sim.now() + from_us(100));
+      worst = std::max(worst, dtp.max_pairwise_offset_ticks(sim.now()));
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const double bound = 4.0 * 6;
+    std::printf("  fat-tree:  %10llu events, 512 hosts / %zu devices, worst offset "
+                "%.2f ticks (bound %.0f), cp speedup %.2fx, %.2f s wall\n",
+                static_cast<unsigned long long>(sim.events_executed()),
+                net.devices().size(), worst, bound,
+                sim.parallel_stats().critical_path_speedup(), wall);
+    json.add("ft512_devices", static_cast<std::uint64_t>(net.devices().size()));
+    json.add("ft512_worst_ticks", worst);
+    json.add("ft512_bound_ticks", bound);
+    json.add("ft512_within_bound", worst <= bound);
+    json.add("ft512_cp_speedup", sim.parallel_stats().critical_path_speedup());
+    json.add("ft512_events", sim.events_executed());
+    json.add("ft512_wall_seconds", wall);
+    ft_ok = worst <= bound;
+  }
+
+  const bool pass =
+      check("parallel runs bit-match the serial digest", deterministic) &
+      check("critical-path speedup at 4 threads >= 3x", cp4 >= 3.0) &
+      check("critical-path speedup at 2 threads >= 1.5x", cp2 >= 1.5) &
+      check("512-host fat-tree worst offset within the 6-hop 4TD bound", ft_ok);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "parallel_speedup"));
+  return pass ? 0 : 1;
+}

@@ -3,8 +3,9 @@
 /// The paper's claim: "DTP scales. The precision only depends on the number
 /// of hops between any two nodes" (takeaway 3) — not on the number of
 /// devices. Sweep star sizes (constant 2-hop diameter, growing device
-/// count) and chain lengths (constant device degree, growing diameter), and
-/// report precision plus simulation cost.
+/// count), then fat-trees up to 512 hosts / 832 devices (constant 6-hop
+/// diameter) on the parallel engine, and report precision plus simulation
+/// cost. Emits BENCH_scalability.json.
 
 #include <chrono>
 #include <cstdio>
@@ -20,9 +21,11 @@ using namespace dtpsim::benchutil;
 namespace {
 
 struct ScaleResult {
+  std::size_t devices;
   double worst_ticks;
   double wall_seconds;
   std::uint64_t events;
+  double cp_speedup;  ///< 0 when run serially
 };
 
 ScaleResult run_star(std::size_t n_hosts, fs_t duration, std::uint64_t seed) {
@@ -33,6 +36,7 @@ ScaleResult run_star(std::size_t n_hosts, fs_t duration, std::uint64_t seed) {
   dtp::DtpNetwork dtp = dtp::enable_dtp(net);
   sim.run_until(from_ms(3));
   ScaleResult r{};
+  r.devices = net.devices().size();
   while (sim.now() < from_ms(3) + duration) {
     sim.run_until(sim.now() + from_us(200));
     r.worst_ticks = std::max(r.worst_ticks, dtp.max_pairwise_offset_ticks(sim.now()));
@@ -42,12 +46,42 @@ ScaleResult run_star(std::size_t n_hosts, fs_t duration, std::uint64_t seed) {
   return r;
 }
 
+/// Fat-tree run on the parallel engine (threads > 1) or serial (threads 1).
+/// `hosts_per_edge` detaches host count from fabric size: k=16 with 4 hosts
+/// per edge switch is the 512-host pod the tentpole targets.
+ScaleResult run_fat_tree(int k, int hosts_per_edge, unsigned threads, fs_t settle,
+                         fs_t duration, std::uint64_t seed) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Simulator sim(seed);
+  net::Network net(sim);
+  net::build_fat_tree(net, k, hosts_per_edge);
+  dtp::DtpNetwork dtp = dtp::enable_dtp(net);
+  if (threads > 1) sim.set_threads(threads);
+  sim.run_until(settle);
+  ScaleResult r{};
+  r.devices = net.devices().size();
+  while (sim.now() < settle + duration) {
+    sim.run_until(sim.now() + from_us(100));
+    r.worst_ticks = std::max(r.worst_ticks, dtp.max_pairwise_offset_ticks(sim.now()));
+  }
+  r.events = sim.events_executed();
+  r.cp_speedup = sim.parallel() ? sim.parallel_stats().critical_path_speedup() : 0;
+  r.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const fs_t duration = duration_flag(flags, 0.2);
+  const fs_t ft_duration = static_cast<fs_t>(
+      flags.get_double("ft-seconds", 0.0003) * static_cast<double>(kFsPerSec));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 6090));
+  const auto threads = static_cast<unsigned>(flags.get_int("threads", 4));
+
+  BenchJson json;
+  json.add("bench", std::string("scalability"));
 
   banner("Scalability  precision vs device count (constant diameter)");
 
@@ -58,18 +92,59 @@ int main(int argc, char** argv) {
   std::uint64_t s = seed;
   for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
     const ScaleResult r = run_star(n, duration, s++);
-    t.add_row({Table::cell("%zu", n), Table::cell("%zu", n + 1),
+    t.add_row({Table::cell("%zu", n), Table::cell("%zu", r.devices),
                Table::cell("%.2f", r.worst_ticks), "8.0",
                Table::cell("%llu", static_cast<unsigned long long>(r.events)),
                Table::cell("%.2f", r.wall_seconds)});
     flat &= r.worst_ticks <= 8.0;
     if (n == 2) first = r.worst_ticks;
-    if (n == 64) last = r.worst_ticks;
+    if (n == 64) {
+      last = r.worst_ticks;
+      json.add("star64_worst_ticks", r.worst_ticks);
+      json.add("star64_events", r.events);
+    }
   }
   std::printf("\n%s\n", t.render().c_str());
+
+  banner("Scalability  fat-trees to 512 hosts (6-hop diameter, parallel engine)");
+
+  // k=4 canonical; then hosts_per_edge=4 grows the host count to 128 and 512
+  // while the diameter stays 6 — the per-hop bound must not move.
+  struct FtCase { int k; int hpe; std::size_t hosts; };
+  const double ft_bound = 4.0 * 6;  // 24 ticks at D=6
+  Table ft({"hosts", "devices", "worst offset (ticks)", "bound (6 hops)", "events",
+            "cp speedup", "wall (s)"});
+  bool ft_ok = true;
+  double ft512_worst = 0;
+  for (const FtCase c : {FtCase{4, -1, 16}, FtCase{8, 4, 128}, FtCase{16, 4, 512}}) {
+    const ScaleResult r =
+        run_fat_tree(c.k, c.hpe, threads, from_ms(1), ft_duration, s++);
+    ft.add_row({Table::cell("%zu", c.hosts), Table::cell("%zu", r.devices),
+                Table::cell("%.2f", r.worst_ticks), Table::cell("%.1f", ft_bound),
+                Table::cell("%llu", static_cast<unsigned long long>(r.events)),
+                r.cp_speedup > 0 ? Table::cell("%.2fx", r.cp_speedup) : "serial",
+                Table::cell("%.2f", r.wall_seconds)});
+    ft_ok &= r.worst_ticks <= ft_bound;
+    if (c.hosts == 512) {
+      ft512_worst = r.worst_ticks;
+      json.add("ft512_devices", static_cast<std::uint64_t>(r.devices));
+      json.add("ft512_worst_ticks", r.worst_ticks);
+      json.add("ft512_bound_ticks", ft_bound);
+      json.add("ft512_events", r.events);
+      json.add("ft512_cp_speedup", r.cp_speedup);
+      json.add("ft512_wall_seconds", r.wall_seconds);
+    }
+  }
+  std::printf("\n%s\n", ft.render().c_str());
+
   const bool pass =
       check("precision independent of device count (all stars within the 2-hop bound)",
             flat) &
-      check("64 hosts no worse than 2 (within one tick)", last <= first + 4.0);
+      check("64 hosts no worse than 2 (within one tick)", last <= first + 4.0) &
+      check("fat-trees to 512 hosts within the 6-hop 4TD bound (24 ticks)", ft_ok);
+  json.add("ft_within_bound", ft_ok);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "scalability"));
+  (void)ft512_worst;
   return pass ? 0 : 1;
 }

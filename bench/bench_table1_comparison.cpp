@@ -141,5 +141,13 @@ int main(int argc, char** argv) {
       check("GPS sends zero packets", gps.packets_per_sec == 0.0) &
       check("NTP/PTP have real packet overhead",
             ntp.packets_per_sec > 1 && ptp.packets_per_sec > 1);
+  BenchJson json;
+  json.add("bench", std::string("table1_comparison"));
+  json.add("ntp_precision_ns", ntp.precision_ns);
+  json.add("ptp_precision_ns", ptp.precision_ns);
+  json.add("gps_precision_ns", gps.precision_ns);
+  json.add("dtp_precision_ns", dtp.precision_ns);
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "table1_comparison"));
   return pass ? 0 : 1;
 }

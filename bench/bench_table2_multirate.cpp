@@ -84,5 +84,9 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", t.render().c_str());
   std::printf("(delta * 0.32 ns = tick period at every rate; faster PHYs give\n"
               " proportionally tighter absolute bounds — 100 GbE: 4 * 0.64 ns = 2.56 ns)\n");
+  BenchJson json;
+  json.add("bench", std::string("table2_multirate"));
+  json.add("pass", pass);
+  json.write(json_out_path(flags, "table2_multirate"));
   return pass ? 0 : 1;
 }

@@ -121,6 +121,7 @@ void PortLogic::send_init() {
 
 void PortLogic::arm_init_retry() {
   auto& sim = agent_.simulator();
+  sim::ScopedAffinity aff(port_.node());
   sim.cancel(init_retry_);
   const auto& osc = agent_.device().oscillator();
   const std::int64_t due = osc.tick_at(sim.now()) + agent_.params().init_retry_ticks;
@@ -206,6 +207,7 @@ void PortLogic::handle_init_ack(const Message& m, std::int64_t rx_tick) {
 // T3: arm the beacon timeout one interval of local ticks from now.
 void PortLogic::schedule_beacon() {
   auto& sim = agent_.simulator();
+  sim::ScopedAffinity aff(port_.node());
   const auto& osc = agent_.device().oscillator();
   const std::int64_t due = osc.tick_at(sim.now()) + agent_.params().beacon_interval_ticks;
   beacon_timer_ = sim.schedule_at(osc.edge_of_tick(due), [this] { send_beacon(); },

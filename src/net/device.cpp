@@ -6,6 +6,7 @@ Device::Device(sim::Simulator& sim, std::string name, DeviceParams params)
     : sim_(sim),
       name_(std::move(name)),
       params_(params),
+      node_(sim.register_node()),
       osc_(phy::nominal_period(params.rate), params.ppm, params.phase) {}
 
 phy::PhyPort& Device::add_port() {
@@ -14,6 +15,8 @@ phy::PhyPort& Device::add_port() {
   const auto index = ports_.size();
   ports_.push_back(std::make_unique<phy::PhyPort>(
       sim_, osc_, pp, name_ + ":p" + std::to_string(index)));
+  ports_.back()->set_node(node_);
+  sim_.note_node_port(node_);
   macs_.push_back(std::make_unique<Mac>(sim_, *ports_.back(), params_.mac));
   on_port_added(index);
   return *ports_.back();
@@ -23,6 +26,7 @@ void Device::enable_drift(phy::DriftParams dp) {
   if (drift_) return;
   drift_.emplace(sim_, osc_, dp,
                  sim_.fork_rng(0xD21F7 ^ std::hash<std::string>{}(name_)));
+  drift_->set_affinity(node_);
   drift_->start();
 }
 

@@ -41,6 +41,8 @@ class Device {
 
   const std::string& name() const { return name_; }
   sim::Simulator& simulator() { return sim_; }
+  /// Partition-graph node id (every device registers at construction).
+  std::int32_t node() const { return node_; }
   phy::Oscillator& oscillator() { return osc_; }
   const phy::Oscillator& oscillator() const { return osc_; }
   const DeviceParams& params() const { return params_; }
@@ -70,6 +72,7 @@ class Device {
   sim::Simulator& sim_;
   std::string name_;
   DeviceParams params_;
+  std::int32_t node_ = -1;
   phy::Oscillator osc_;
   std::optional<phy::DriftProcess> drift_;
   std::vector<std::unique_ptr<phy::PhyPort>> ports_;

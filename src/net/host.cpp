@@ -25,6 +25,7 @@ void Host::on_port_added(std::size_t index) {
 }
 
 void Host::send_app(Frame frame) {
+  sim::ScopedAffinity aff(node());
   frame.src = addr_;
   const fs_t delay = tx_stack_.sample();
   sim_.schedule_in(delay, [this, frame] { nic().enqueue(frame); },
@@ -32,6 +33,7 @@ void Host::send_app(Frame frame) {
 }
 
 void Host::handle_rx(const Frame& frame, fs_t rx_time) {
+  sim::ScopedAffinity aff(node());
   if (!(frame.dst == addr_) && !frame.dst.is_broadcast() && !frame.dst.is_multicast()) return;
   if (on_hw_receive) on_hw_receive(frame, rx_time);
   if (on_app_receive) {

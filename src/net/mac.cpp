@@ -47,6 +47,9 @@ bool Mac::enqueue(const Frame& frame) {
 
 void Mac::pump() {
   if (pump_scheduled_ || !port_.link_up()) return;
+  // Reached from enqueue()/kick() at sync points as well as from events;
+  // everything scheduled below belongs to this device's shard.
+  sim::ScopedAffinity aff(port_.node());
   // Strict priority: highest non-empty class transmits first.
   std::size_t cls = queues_.size();
   for (std::size_t c = queues_.size(); c-- > 0;) {

@@ -63,6 +63,7 @@ void Switch::handle_rx(std::size_t in_port, const Frame& frame, fs_t rx_time) {
 }
 
 void Switch::deliver(std::size_t out_port, const Frame& frame, fs_t eligible) {
+  sim::ScopedAffinity aff(node());
   if (eligible <= sim_.now()) {
     if (!mac(out_port).enqueue(frame)) ++stats_.egress_drops;
     return;

@@ -157,11 +157,12 @@ std::vector<std::unique_ptr<phy::Syntonizer>> syntonize_tree(Network& net, Devic
   return plls;
 }
 
-FatTreeTopology build_fat_tree(Network& net, int k) {
+FatTreeTopology build_fat_tree(Network& net, int k, int hosts_per_edge) {
   if (k < 2 || k % 2 != 0) throw std::invalid_argument("build_fat_tree: k must be even >= 2");
   FatTreeTopology topo;
   topo.k = k;
   const int half = k / 2;
+  if (hosts_per_edge < 0) hosts_per_edge = half;
 
   for (int i = 0; i < half * half; ++i)
     topo.core.push_back(&net.add_switch("core" + std::to_string(i)));
@@ -179,7 +180,7 @@ FatTreeTopology build_fat_tree(Network& net, int k) {
       topo.edge.push_back(&edge);
       for (int a = 0; a < half; ++a)
         net.connect(edge, *topo.agg[static_cast<std::size_t>(pod * half + a)]);
-      for (int h = 0; h < half; ++h) {
+      for (int h = 0; h < hosts_per_edge; ++h) {
         Host& host = net.add_host("pod" + std::to_string(pod) + "-e" + std::to_string(e) +
                                   "-h" + std::to_string(h));
         net.connect(edge, host);

@@ -128,7 +128,10 @@ std::vector<std::unique_ptr<phy::Syntonizer>> syntonize_tree(
     Network& net, Device& root, phy::SyntonizeParams params = {});
 
 /// k-ary fat-tree: (k/2)^2 cores, k pods of k/2 agg + k/2 edge switches,
-/// (k/2) hosts per edge switch. k must be even and >= 2.
+/// `hosts_per_edge` hosts per edge switch (default -1 = the canonical k/2).
+/// k must be even and >= 2. Overriding hosts_per_edge decouples the host
+/// count from the switching fabric — e.g. k=16 with 4 hosts/edge yields 512
+/// hosts at fat-tree diameter 6 without the 1024-host canonical build.
 struct FatTreeTopology {
   int k = 0;
   std::vector<Switch*> core;
@@ -136,6 +139,6 @@ struct FatTreeTopology {
   std::vector<Switch*> edge;   ///< pod-major order
   std::vector<Host*> hosts;    ///< edge-major order
 };
-FatTreeTopology build_fat_tree(Network& net, int k);
+FatTreeTopology build_fat_tree(Network& net, int k, int hosts_per_edge = -1);
 
 }  // namespace dtpsim::net

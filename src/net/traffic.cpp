@@ -37,6 +37,7 @@ fs_t TrafficGenerator::interarrival() {
 
 void TrafficGenerator::arm_next() {
   if (!running_) return;
+  sim::ScopedAffinity aff(src_.node());
   if (params_.saturate) {
     // Top the queue up now; check again after roughly one frame time.
     offer();

@@ -22,18 +22,23 @@ std::uint32_t get_u32(const std::uint8_t* p) {
   return (static_cast<std::uint32_t>(get_u16(p)) << 16) | get_u16(p + 2);
 }
 
-/// Checksum over a UDP pseudo-header + segment.
+/// Checksum over a UDP pseudo-header + segment. The pseudo-header fields are
+/// summed directly as 16-bit words (this runs per encode *and* parse on the
+/// saturating-traffic hot path, so it must not materialize a copy).
 std::uint16_t udp_checksum(const UdpHeader& h, const std::uint8_t* segment,
                            std::size_t len) {
-  std::vector<std::uint8_t> pseudo;
-  pseudo.reserve(12 + len);
-  put_u32(pseudo, h.src_ip);
-  put_u32(pseudo, h.dst_ip);
-  pseudo.push_back(0);
-  pseudo.push_back(17);  // protocol = UDP
-  put_u16(pseudo, static_cast<std::uint16_t>(len));
-  pseudo.insert(pseudo.end(), segment, segment + len);
-  return internet_checksum(pseudo.data(), pseudo.size());
+  std::uint32_t sum = 0;
+  sum += h.src_ip >> 16;
+  sum += h.src_ip & 0xFFFF;
+  sum += h.dst_ip >> 16;
+  sum += h.dst_ip & 0xFFFF;
+  sum += 17;  // zero byte + protocol = UDP
+  sum += static_cast<std::uint16_t>(len);
+  for (std::size_t i = 0; i + 1 < len; i += 2)
+    sum += static_cast<std::uint32_t>((segment[i] << 8) | segment[i + 1]);
+  if (len & 1) sum += static_cast<std::uint32_t>(segment[len - 1] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
 }
 
 }  // namespace

@@ -37,6 +37,10 @@ class DriftProcess {
   /// Stop stepping.
   void stop() { proc_.stop(); }
 
+  /// Attribute walk events to the owning device (parallel mode: the walk
+  /// must run on the shard that owns the oscillator). Set before start().
+  void set_affinity(std::int32_t node) { proc_.set_affinity(node); }
+
   /// Current ppm of the walk (equals the oscillator's ppm after each step).
   double current_ppm() const { return ppm_; }
 

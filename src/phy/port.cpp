@@ -21,6 +21,9 @@ fs_t PhyPort::propagation_delay() const {
 
 void PhyPort::link_established(Cable* cable, PhyPort* peer) {
   if (cable_) throw std::logic_error("PhyPort: already connected");
+  // Cables attach from setup or chaos code (global context); everything the
+  // hooks schedule belongs to this port's device.
+  sim::ScopedAffinity aff(node_);
   cable_ = cable;
   peer_ = peer;
   line_free_ = std::max(line_free_, sim_.now());
@@ -32,6 +35,7 @@ void PhyPort::link_established(Cable* cable, PhyPort* peer) {
 }
 
 void PhyPort::link_lost() {
+  sim::ScopedAffinity aff(node_);
   cable_ = nullptr;
   peer_ = nullptr;
   if (on_link_down) on_link_down();
@@ -44,35 +48,49 @@ void PhyPort::request_control_slot(ControlFactory factory) {
 }
 
 void PhyPort::schedule_control_service() {
-  if (control_service_scheduled_ || control_queue_.empty() || !link_up()) return;
-  control_service_scheduled_ = true;
+  if (control_queue_.empty() || !link_up()) return;
+  sim::ScopedAffinity aff(node_);
 
   const fs_t slot = osc_.next_edge_at_or_after(std::max(sim_.now(), line_free_));
-  sim_.schedule_at(slot, [this] {
-    control_service_scheduled_ = false;
-    if (control_queue_.empty() || !link_up()) return;
-    // The line may have been claimed by a frame since we picked this slot;
-    // if so, try again at the new free time.
-    if (line_free_ > sim_.now()) {
-      schedule_control_service();
-      return;
-    }
-    const fs_t tx_start = osc_.next_edge_at_or_after(sim_.now());
-    if (tx_start > sim_.now()) {
-      // Drifted off the edge lattice (period change); realign.
-      schedule_control_service();
-      return;
-    }
-    const std::int64_t tx_tick = osc_.tick_at(tx_start);
-    ControlFactory factory = std::move(control_queue_.front());
-    control_queue_.pop_front();
-    const std::uint64_t bits = factory(tx_start, tx_tick);
-    const fs_t tx_end = osc_.edge_of_tick(tx_tick + 1);
-    line_free_ = tx_end;
-    ++control_sent_;
-    cable_->transmit_control(*this, bits, tx_end);
-    schedule_control_service();
-  }, sim::EventCategory::kFrame);
+  if (control_service_scheduled_) {
+    if (slot == control_service_at_) return;  // armed for the right slot already
+    // The line was claimed by a frame (or the edge lattice moved) since we
+    // armed: move the event to the new earliest slot. Firing at the stale
+    // slot just to discover the line is busy would burn one event per frame
+    // on a saturated link.
+    sim_.cancel(control_service_event_);
+  }
+  control_service_scheduled_ = true;
+  control_service_at_ = slot;
+  control_service_event_ = sim_.schedule_at(
+      slot,
+      [this] {
+        control_service_scheduled_ = false;
+        if (control_queue_.empty() || !link_up()) return;
+        // Defensive: send_frame re-aims the service event whenever it claims
+        // the line, so these retries should not trigger; they keep the port
+        // correct if a future caller mutates the line without re-aiming.
+        if (line_free_ > sim_.now()) {
+          schedule_control_service();
+          return;
+        }
+        const fs_t tx_start = osc_.next_edge_at_or_after(sim_.now());
+        if (tx_start > sim_.now()) {
+          // Drifted off the edge lattice (period change); realign.
+          schedule_control_service();
+          return;
+        }
+        const std::int64_t tx_tick = osc_.tick_at(tx_start);
+        ControlFactory factory = std::move(control_queue_.front());
+        control_queue_.pop_front();
+        const std::uint64_t bits = factory(tx_start, tx_tick);
+        const fs_t tx_end = osc_.edge_of_tick(tx_tick + 1);
+        line_free_ = tx_end;
+        ++control_sent_;
+        cable_->transmit_control(*this, bits, tx_end);
+        schedule_control_service();
+      },
+      sim::EventCategory::kFrame);
 }
 
 fs_t PhyPort::frame_clear_time() const {
@@ -82,6 +100,7 @@ fs_t PhyPort::frame_clear_time() const {
 PhyPort::TxTiming PhyPort::send_frame(std::uint32_t wire_bytes,
                                       std::shared_ptr<const void> payload) {
   if (!link_up()) throw std::logic_error("PhyPort: send_frame with link down");
+  sim::ScopedAffinity aff(node_);
   const fs_t start = osc_.next_edge_at_or_after(std::max(sim_.now(), frame_clear_time()));
   const std::int64_t start_tick = osc_.tick_at(start);
   const std::int64_t blocks = blocks_for_frame(wire_bytes);
@@ -98,6 +117,7 @@ PhyPort::TxTiming PhyPort::send_frame(std::uint32_t wire_bytes,
 void PhyPort::deliver_control(std::uint64_t bits56, fs_t tx_end, bool corrupted) {
   const fs_t wire_arrival = tx_end;  // propagation already applied by cable
   const CrossingResult crossing = fifo_.cross(osc_, wire_arrival);
+  sim::ScopedAffinity aff(node_);
   sim_.schedule_at(
       crossing.visible_time,
       [this, bits56, wire_arrival, crossing, corrupted] {
@@ -111,9 +131,27 @@ void PhyPort::deliver_frame(FrameRx rx) {
 }
 
 Cable::Cable(sim::Simulator& sim, PhyPort& a, PhyPort& b, Params params)
-    : sim_(sim), a_(a), b_(b), params_(params), rng_(sim.fork_rng(0xCAB1E)) {
+    : sim_(sim),
+      a_(a),
+      b_(b),
+      params_(params),
+      rng_ab_(sim.fork_rng(0xCAB1E)),
+      rng_ba_(rng_ab_.fork(1)),
+      dir_id_{sim.alloc_link_dir_id(), sim.alloc_link_dir_id()} {
   if (&a == &b) throw std::invalid_argument("Cable: cannot connect a port to itself");
   if (params_.propagation_delay < 0) throw std::invalid_argument("Cable: negative delay");
+  sim_.register_edge(a_.node(), b_.node(), params_.propagation_delay);
+  // Size the in-flight ring for the natural depth: one delivery per block
+  // time of propagation, both directions, plus headroom for frames.
+  std::size_t cap = 16;
+  const fs_t block = std::min(a_.oscillator().nominal_period(),
+                              b_.oscillator().nominal_period());
+  if (block > 0) {
+    const auto depth = static_cast<std::uint64_t>(
+        2 * (params_.propagation_delay / block + 8));
+    while (cap < depth && cap < 8192) cap <<= 1;
+  }
+  ring_.assign(cap, sim::EventHandle{});
   a_.link_established(this, &b_);
   b_.link_established(this, &a_);
 }
@@ -125,68 +163,96 @@ void Cable::disconnect() {
   // a block that has not finished arriving never reaches the far PCS. Without
   // this, delivery events scheduled before the unplug would fire into a
   // link-down port (upper layers have already torn down their expectations).
-  for (const sim::EventHandle h : in_flight_) sim_.cancel(h);
-  in_flight_.clear();
+  const std::size_t mask = ring_.size() - 1;
+  for (std::size_t i = 0; i < ring_count_; ++i)
+    sim_.cancel(ring_[(ring_head_ + i) & mask]);
+  ring_head_ = ring_count_ = 0;
+  // Cross-shard deliveries went through mailboxes and have no handle; they
+  // are tagged with this cable and purged directly from the shard queues.
+  if (sim_.parallel()) sim_.purge_deliveries(this);
   a_.link_lost();
   b_.link_lost();
 }
 
 void Cable::track(sim::EventHandle h) {
-  // Opportunistically prune handles of deliveries that already fired so the
-  // vector stays at the natural in-flight depth (propagation delay divided
-  // by block time — single digits) instead of growing with traffic.
-  if (in_flight_.size() >= 64) {
-    std::erase_if(in_flight_, [this](sim::EventHandle e) { return !sim_.pending(e); });
+  if (!h.valid()) return;  // mailbox-routed: cancelled by owner purge
+  if (ring_count_ == ring_.size()) {
+    // The ring wrapped: the head holds the oldest deliveries, which under
+    // steady traffic have long since fired. Drop those before growing.
+    const std::size_t mask = ring_.size() - 1;
+    while (ring_count_ > 0 && !sim_.pending(ring_[ring_head_ & mask])) {
+      ring_head_ = (ring_head_ + 1) & mask;
+      --ring_count_;
+    }
+    if (ring_count_ == ring_.size()) grow_ring();
   }
-  in_flight_.push_back(h);
+  ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] = h;
+  ++ring_count_;
+}
+
+void Cable::grow_ring() {
+  std::vector<sim::EventHandle> bigger(ring_.size() * 2);
+  const std::size_t mask = ring_.size() - 1;
+  for (std::size_t i = 0; i < ring_count_; ++i)
+    bigger[i] = ring_[(ring_head_ + i) & mask];
+  ring_ = std::move(bigger);
+  ring_head_ = 0;
 }
 
 PhyPort& Cable::other_side(const PhyPort& from) { return &from == &a_ ? b_ : a_; }
 
 void Cable::transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end) {
-  if (control_drop_ > 0.0 && rng_.bernoulli(control_drop_)) {
+  const int dir = direction_of(from);
+  Rng& rng = dir == 0 ? rng_ab_ : rng_ba_;
+  if (control_drop_ > 0.0 && rng.bernoulli(control_drop_)) {
     // Swallowed whole (loss-of-block-lock window): the receiver never sees
     // a block at all, as opposed to the BER path's corrupted-but-present.
-    ++dropped_control_;
+    ++dropped_control_[dir];
     return;
   }
   bool corrupted = false;
   if (params_.ber > 0.0) {
     // One 66-bit block of exposure.
     const double p_block = 1.0 - std::pow(1.0 - params_.ber, 66.0);
-    if (rng_.bernoulli(p_block)) {
+    if (rng.bernoulli(p_block)) {
       corrupted = true;
-      ++corrupted_control_;
-      bits56 ^= (1ULL << rng_.uniform(56));  // flip one payload bit
+      ++corrupted_control_[dir];
+      bits56 ^= (1ULL << rng.uniform(56));  // flip one payload bit
     }
   }
   PhyPort& to = other_side(from);
   const fs_t arrival = tx_end + params_.propagation_delay;
-  track(sim_.schedule_at(
-      arrival,
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(dir_id_[dir]) << 32) | tx_seq_[dir]++;
+  track(sim_.deliver_link(
+      from.node(), to.node(), arrival,
       [&to, bits56, arrival, corrupted] { to.deliver_control(bits56, arrival, corrupted); },
-      sim::EventCategory::kFrame));
+      sim::EventCategory::kFrame, this, key));
 }
 
 void Cable::transmit_frame(PhyPort& from, std::uint32_t wire_bytes,
                            std::shared_ptr<const void> payload, fs_t tx_end) {
+  const int dir = direction_of(from);
   bool fcs_ok = true;
   if (params_.ber > 0.0) {
+    Rng& rng = dir == 0 ? rng_ab_ : rng_ba_;
     const double bits = static_cast<double>(wire_bytes) * 8.0;
     const double p_frame = 1.0 - std::pow(1.0 - params_.ber, bits);
-    if (rng_.bernoulli(p_frame)) {
+    if (rng.bernoulli(p_frame)) {
       fcs_ok = false;
-      ++corrupted_frames_;
+      ++corrupted_frames_[dir];
     }
   }
   PhyPort& to = other_side(from);
   const fs_t arrival = tx_end + params_.propagation_delay;
-  track(sim_.schedule_at(
-      arrival,
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(dir_id_[dir]) << 32) | tx_seq_[dir]++;
+  track(sim_.deliver_link(
+      from.node(), to.node(), arrival,
       [&to, payload = std::move(payload), wire_bytes, fcs_ok, arrival] {
         to.deliver_frame(FrameRx{payload, wire_bytes, fcs_ok, arrival});
       },
-      sim::EventCategory::kFrame));
+      sim::EventCategory::kFrame, this, key));
 }
 
 }  // namespace dtpsim::phy

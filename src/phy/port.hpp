@@ -87,6 +87,12 @@ class PhyPort {
   const RateSpec& rate() const { return rate_spec(params_.rate); }
   const PortParams& params() const { return params_; }
 
+  /// Device-graph node this port belongs to (-1 until a Device adopts it).
+  /// Drives event affinity: everything the port schedules runs on the
+  /// owning device's shard in parallel mode.
+  std::int32_t node() const { return node_; }
+  void set_node(std::int32_t node) { node_ = node; }
+
   bool link_up() const { return peer_ != nullptr; }
   PhyPort* peer() { return peer_; }
   /// One-way propagation delay of the attached cable; requires link_up().
@@ -147,6 +153,7 @@ class PhyPort {
   Oscillator& osc_;
   PortParams params_;
   std::string name_;
+  std::int32_t node_ = -1;
   Cable* cable_ = nullptr;
   PhyPort* peer_ = nullptr;
   SyncFifo fifo_;
@@ -156,6 +163,8 @@ class PhyPort {
   fs_t last_link_up_at_ = 0;
   std::deque<ControlFactory> control_queue_;
   bool control_service_scheduled_ = false;
+  fs_t control_service_at_ = 0;             ///< slot the service event is armed for
+  sim::EventHandle control_service_event_;  ///< so a busied line can move it
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t control_sent_ = 0;
@@ -198,35 +207,58 @@ class Cable {
   void set_control_drop(double p) { control_drop_ = p; }
   double control_drop() const { return control_drop_; }
 
-  /// Cumulative corrupted / dropped transmissions (diagnostics).
-  std::uint64_t corrupted_control() const { return corrupted_control_; }
-  std::uint64_t corrupted_frames() const { return corrupted_frames_; }
-  std::uint64_t dropped_control() const { return dropped_control_; }
+  /// Cumulative corrupted / dropped transmissions (diagnostics; summed over
+  /// both directions — each direction keeps its own counter because the two
+  /// endpoints may transmit from different worker threads).
+  std::uint64_t corrupted_control() const {
+    return corrupted_control_[0] + corrupted_control_[1];
+  }
+  std::uint64_t corrupted_frames() const {
+    return corrupted_frames_[0] + corrupted_frames_[1];
+  }
+  std::uint64_t dropped_control() const {
+    return dropped_control_[0] + dropped_control_[1];
+  }
 
  private:
   friend class PhyPort;
 
   PhyPort& other_side(const PhyPort& from);
+  /// 0 for a->b, 1 for b->a. Each direction has its own RNG stream, error
+  /// counters, and (edge, message) key sequence, so the two endpoints can
+  /// transmit concurrently from their own shards.
+  int direction_of(const PhyPort& from) const { return &from == &a_ ? 0 : 1; }
   /// Move one control block across; applies BER and schedules delivery.
   void transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end);
   /// Move one frame across; applies BER and schedules delivery.
   void transmit_frame(PhyPort& from, std::uint32_t wire_bytes,
                       std::shared_ptr<const void> payload, fs_t tx_end);
 
-  /// Remember a scheduled delivery so disconnect() can cancel it.
+  /// Remember a scheduled delivery so disconnect() can cancel it. Handles
+  /// live in a power-of-two ring sized for the natural in-flight depth
+  /// (propagation delay / block time); the head is pruned of already-fired
+  /// entries only when the ring wraps full, so steady-state tracking is O(1)
+  /// with no periodic scans. Mailbox-routed deliveries have no handle and
+  /// are cancelled by owner purge instead.
   void track(sim::EventHandle h);
+  void grow_ring();
 
   sim::Simulator& sim_;
   PhyPort& a_;
   PhyPort& b_;
   Params params_;
-  Rng rng_;
+  Rng rng_ab_;  ///< a->b direction stream
+  Rng rng_ba_;  ///< b->a direction stream
+  std::uint32_t dir_id_[2];        ///< globally unique edge-direction ids
+  std::uint32_t tx_seq_[2] = {};   ///< per-direction message index (key low bits)
   bool connected_ = true;
   double control_drop_ = 0.0;
-  std::vector<sim::EventHandle> in_flight_;  ///< deliveries not yet fired
-  std::uint64_t corrupted_control_ = 0;
-  std::uint64_t corrupted_frames_ = 0;
-  std::uint64_t dropped_control_ = 0;
+  std::vector<sim::EventHandle> ring_;  ///< in-flight deliveries (power-of-two)
+  std::size_t ring_head_ = 0;
+  std::size_t ring_count_ = 0;
+  std::uint64_t corrupted_control_[2] = {};
+  std::uint64_t corrupted_frames_[2] = {};
+  std::uint64_t dropped_control_[2] = {};
 };
 
 }  // namespace dtpsim::phy

@@ -1,0 +1,241 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dtpsim::sim {
+
+const char* category_name(EventCategory cat) {
+  switch (cat) {
+    case EventCategory::kGeneric: return "generic";
+    case EventCategory::kBeacon: return "beacon";
+    case EventCategory::kFrame: return "frame";
+    case EventCategory::kDrift: return "drift";
+    case EventCategory::kProbe: return "probe";
+    case EventCategory::kApp: return "app";
+  }
+  return "?";
+}
+
+EventQueue::Handle EventQueue::schedule(fs_t t, Callback fn, EventCategory cat,
+                                        std::int32_t node, const void* owner) {
+  ++scheduled_;
+  return insert(t, std::move(fn), cat, node, owner,
+                node_class_key(next_seq_++, node >= 0));
+}
+
+EventQueue::Handle EventQueue::schedule_link(fs_t t, Callback fn, EventCategory cat,
+                                             std::int32_t node, const void* owner,
+                                             std::uint64_t link_sub) {
+  ++scheduled_;
+  return insert(t, std::move(fn), cat, node, owner, link_class_key(link_sub));
+}
+
+EventQueue::Handle EventQueue::schedule_migrated(fs_t t, Callback fn, EventCategory cat,
+                                                 std::int32_t node, const void* owner,
+                                                 std::uint64_t key) {
+  return insert(t, std::move(fn), cat, node, owner, key);
+}
+
+EventQueue::Handle EventQueue::insert(fs_t t, Callback fn, EventCategory cat,
+                                      std::int32_t node, const void* owner,
+                                      std::uint64_t key) {
+  if (t < now_) throw std::logic_error("EventQueue: scheduling into the past");
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.cat = cat;
+  s.node = node;
+  s.owner = owner;
+  heap_push(HeapEntry{t, key, slot});
+  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+  return Handle{slot, s.gen};
+}
+
+bool EventQueue::cancel(Handle h) {
+  if (!h.valid() || h.slot >= slots_.size()) return false;
+  Slot& s = slots_[h.slot];
+  if (s.gen != h.gen || s.heap_pos == kNoHeapPos) return false;
+  heap_remove(s.heap_pos);
+  release_slot(h.slot);
+  ++cancelled_;
+  return true;
+}
+
+std::size_t EventQueue::purge_owner(const void* owner) {
+  if (owner == nullptr) return 0;
+  std::size_t purged = 0;
+  // Scan the slab rather than the heap: heap_remove reorders entries under a
+  // positional scan, which can move a not-yet-visited entry behind the
+  // cursor and skip it.
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    Slot& s = slots_[slot];
+    if (s.heap_pos != kNoHeapPos && s.owner == owner) {
+      heap_remove(s.heap_pos);
+      release_slot(slot);
+      ++cancelled_;
+      ++purged;
+    }
+  }
+  return purged;
+}
+
+std::uint64_t EventQueue::run(fs_t horizon, bool inclusive) {
+  std::uint64_t fired = 0;
+  EventQueue* const prev_queue = detail::tls_queue;
+  detail::tls_queue = this;
+  while (!heap_.empty()) {
+    const fs_t t = heap_.front().time;
+    if (inclusive ? t > horizon : t >= horizon) break;
+    fire_top();
+    ++fired;
+  }
+  detail::tls_queue = prev_queue;
+  return fired;
+}
+
+bool EventQueue::fire_one() {
+  if (heap_.empty()) return false;
+  EventQueue* const prev_queue = detail::tls_queue;
+  detail::tls_queue = this;
+  fire_top();
+  detail::tls_queue = prev_queue;
+  return true;
+}
+
+void EventQueue::fire_top() {
+  const HeapEntry top = heap_pop_top();
+  Slot& s = slots_[top.slot];
+  // Move the callback out and retire the slot *before* invoking: the
+  // callback may cancel its own (now stale) handle or schedule into this
+  // slot's successor generation.
+  Callback fn = std::move(s.fn);
+  const auto cat = static_cast<std::size_t>(s.cat);
+  const std::int32_t node = s.node;
+  release_slot(top.slot);
+  now_ = top.time;
+  ++executed_;
+  ++executed_by_category_[cat];
+  const std::int32_t prev_affinity = detail::tls_affinity;
+  detail::tls_affinity = node;
+  fn();
+  detail::tls_affinity = prev_affinity;
+}
+
+std::vector<EventQueue::Extracted> EventQueue::extract_node_events() {
+  std::vector<HeapEntry> entries(heap_.begin(), heap_.end());
+  std::sort(entries.begin(), entries.end(), earlier);
+  heap_.clear();
+  std::vector<Extracted> out;
+  for (const HeapEntry& e : entries) {
+    Slot& s = slots_[e.slot];
+    if (s.node < 0) {
+      // Global event: stays here. Re-push preserving the original key (the
+      // slot and generation are untouched, so handles remain valid).
+      heap_push(e);
+    } else {
+      s.heap_pos = kNoHeapPos;
+      out.push_back(Extracted{e.time, e.key, s.node, s.cat, s.owner,
+                              std::move(s.fn), e.slot});
+      // Slot intentionally not released — see header comment.
+    }
+  }
+  return out;
+}
+
+void EventQueue::set_forward(std::uint32_t slot, std::uint32_t queue, Handle h) {
+  forwards_[slot] = Forward{queue, h};
+}
+
+const EventQueue::Forward* EventQueue::forward_of(std::uint32_t slot,
+                                                  std::uint32_t gen) const {
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return nullptr;
+  const auto it = forwards_.find(slot);
+  return it == forwards_.end() ? nullptr : &it->second;
+}
+
+void EventQueue::accumulate(SimStats& st) const {
+  st.scheduled += scheduled_;
+  st.executed += executed_;
+  st.cancelled += cancelled_;
+  for (std::size_t i = 0; i < kEventCategoryCount; ++i)
+    st.executed_by_category[i] += executed_by_category_[i];
+  st.pending += heap_.size();
+  st.peak_pending += peak_pending_;
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = Callback();
+  s.heap_pos = kNoHeapPos;
+  s.node = -1;
+  s.owner = nullptr;
+  if (++s.gen == 0) ++s.gen;  // generation 0 is reserved for invalid handles
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::heap_push(HeapEntry e) {
+  heap_.emplace_back();  // make room; sift_up fills it
+  sift_up(heap_.size() - 1, e);
+}
+
+EventQueue::HeapEntry EventQueue::heap_pop_top() {
+  const HeapEntry top = heap_.front();
+  slots_[top.slot].heap_pos = kNoHeapPos;
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0, last);
+  return top;
+}
+
+void EventQueue::heap_remove(std::uint32_t pos) {
+  slots_[heap_[pos].slot].heap_pos = kNoHeapPos;
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail
+  // Re-seat `last` at pos: it may need to move either direction.
+  if (pos > 0 && earlier(last, heap_[(pos - 1) / kArity])) {
+    sift_up(pos, last);
+  } else {
+    sift_down(pos, last);
+  }
+}
+
+void EventQueue::sift_up(std::size_t pos, HeapEntry e) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, e);
+}
+
+void EventQueue::sift_down(std::size_t pos, HeapEntry e) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], e)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, e);
+}
+
+}  // namespace dtpsim::sim

@@ -1,0 +1,256 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// One event queue: a slab of generation-counted slots addressed by an
+/// indexed 4-ary min-heap.
+///
+/// The serial simulator owns exactly one of these; the parallel engine owns
+/// one per shard plus the coordinator's global queue (see parallel.hpp). A
+/// queue is single-threaded by construction — cross-thread hand-off happens
+/// above this layer (mailboxes drained at epoch boundaries) — so nothing in
+/// here is atomic.
+///
+/// Determinism contract: events at equal timestamps fire in key order, and
+/// the key is built so the order is identical whether a run is serial or
+/// sharded (DESIGN.md §9):
+///
+///   class 0 (global)  coordinator events — chaos faults, probes, PTP/NTP —
+///                     fire first, in scheduling order;
+///   class 1 (node)    device-local events fire next, in scheduling order
+///                     (a node's scheduling stream is the same sequence of
+///                     calls in both engines, so per-queue counters agree);
+///   class 2 (link)    cable deliveries fire last, ordered by an explicit
+///                     (edge direction, message index) subkey assigned by
+///                     the cable — NOT by scheduling order, because a
+///                     cross-shard delivery is inserted whenever its mailbox
+///                     is drained, which depends on worker interleaving.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time_units.hpp"
+#include "sim/callback.hpp"
+
+namespace dtpsim::sim {
+
+/// What kind of work an event performs; drives the per-category counters in
+/// SimStats. Purely observational — scheduling semantics are identical for
+/// all categories.
+enum class EventCategory : std::uint8_t {
+  kGeneric = 0,  ///< untagged / miscellaneous
+  kBeacon,       ///< protocol sync traffic: DTP beacons/INIT, PTP sync, NTP polls
+  kFrame,        ///< frame & control-block transport through PHY/MAC/switch
+  kDrift,        ///< oscillator drift walks and syntonization updates
+  kProbe,        ///< measurement: offset probes, daemon polls, samplers
+  kApp,          ///< application load: traffic generators, OWD, scheduled tx
+};
+inline constexpr std::size_t kEventCategoryCount = 6;
+
+/// Human-readable name for a category ("beacon", "frame", ...).
+const char* category_name(EventCategory cat);
+
+/// Snapshot of the engine's instrumentation counters. In parallel mode the
+/// totals are summed over every shard queue; `peak_pending` is the sum of
+/// per-queue peaks (an upper bound on the true global peak).
+struct SimStats {
+  std::uint64_t scheduled = 0;  ///< total schedule_at/schedule_in calls
+  std::uint64_t executed = 0;   ///< events fired
+  std::uint64_t cancelled = 0;  ///< events removed before firing
+  std::uint64_t executed_by_category[kEventCategoryCount] = {};
+  std::size_t pending = 0;       ///< events in the queue right now
+  std::size_t peak_pending = 0;  ///< high-water mark of the queue depth
+  double run_wall_seconds = 0;   ///< wall time spent inside run()/run_until()
+  double events_per_sec = 0;     ///< executed / run_wall_seconds (0 if unknown)
+};
+
+class EventQueue;
+struct ShardRt;  // parallel.hpp
+
+namespace detail {
+/// Node id the currently-executing event is attributed to (-1 = global /
+/// coordinator). New events inherit it; ScopedAffinity overrides it.
+inline thread_local std::int32_t tls_affinity = -1;
+/// Queue the current thread is firing from; Simulator::now() reads its clock.
+inline thread_local EventQueue* tls_queue = nullptr;
+/// Shard a worker thread executes for (null on the coordinator thread).
+inline thread_local ShardRt* tls_shard = nullptr;
+}  // namespace detail
+
+/// A single min-heap event queue (see file comment). Not thread-safe.
+class EventQueue {
+ public:
+  /// Queue-local event reference; Simulator wraps it with a queue index.
+  struct Handle {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+    bool valid() const { return gen != 0; }
+  };
+
+  /// Where a setup event went when the queue was sharded (see
+  /// extract_node_events).
+  struct Forward {
+    std::uint32_t queue = 0;
+    Handle h{};
+  };
+
+  /// Sentinel for "no event" / "no horizon".
+  static constexpr fs_t kNoEventTime = std::numeric_limits<fs_t>::max();
+
+  /// Tie-break class (top two bits of the heap key; see file comment).
+  static constexpr std::uint64_t kKeyClassShift = 62;
+  static std::uint64_t node_class_key(std::uint64_t seq, bool is_node) {
+    return seq | (is_node ? (1ULL << kKeyClassShift) : 0);
+  }
+  static std::uint64_t link_class_key(std::uint64_t sub) {
+    return sub | (2ULL << kKeyClassShift);
+  }
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  fs_t now() const { return now_; }
+  void advance_now(fs_t t) {
+    if (t > now_) now_ = t;
+  }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  fs_t next_time() const { return heap_.empty() ? kNoEventTime : heap_.front().time; }
+
+  /// Schedule with an automatic (class, sequence) key. `node` is the device
+  /// the event belongs to (-1 = global); `owner` tags the event for
+  /// purge_owner (cable deliveries pass the Cable).
+  Handle schedule(fs_t t, Callback fn, EventCategory cat, std::int32_t node,
+                  const void* owner);
+
+  /// Schedule a link delivery with an explicit class-2 subkey (edge
+  /// direction id << 32 | per-direction message index).
+  Handle schedule_link(fs_t t, Callback fn, EventCategory cat, std::int32_t node,
+                       const void* owner, std::uint64_t link_sub);
+
+  /// Re-insert an event extracted from another queue, preserving its
+  /// original key (and therefore its tie order). Does not count toward
+  /// `scheduled` — the original schedule call already did.
+  Handle schedule_migrated(fs_t t, Callback fn, EventCategory cat, std::int32_t node,
+                           const void* owner, std::uint64_t key);
+
+  bool cancel(Handle h);
+
+  bool is_pending(Handle h) const {
+    return h.valid() && h.slot < slots_.size() && slots_[h.slot].gen == h.gen &&
+           slots_[h.slot].heap_pos != kNoHeapPos;
+  }
+
+  /// Remove (and count as cancelled) every pending event tagged with
+  /// `owner`. O(slab). Used by Cable::disconnect for mailbox-routed
+  /// deliveries that returned no handle.
+  std::size_t purge_owner(const void* owner);
+
+  /// Fire events in key order while the front's time is < horizon (or <=
+  /// with `inclusive`). Sets the thread's queue/affinity context around each
+  /// callback. Returns the number fired.
+  std::uint64_t run(fs_t horizon, bool inclusive);
+
+  /// Fire exactly one event if any is pending.
+  bool fire_one();
+
+  // --- Sharding support (Simulator::set_threads) ---------------------------
+
+  struct Extracted {
+    fs_t time = 0;
+    std::uint64_t key = 0;
+    std::int32_t node = -1;
+    EventCategory cat = EventCategory::kGeneric;
+    const void* owner = nullptr;
+    Callback fn;
+    std::uint32_t src_slot = 0;
+  };
+
+  /// Remove every pending node-affine event (node >= 0) in firing order so
+  /// the caller can re-insert them into their shard queues. Global events
+  /// stay, re-keyed in place (their handles stay valid). The extracted
+  /// events' slots are deliberately *not* recycled: their generations stay
+  /// frozen so outstanding handles resolve through the forward map instead
+  /// of aliasing a reused slot — a one-time leak bounded by the number of
+  /// setup-scheduled events.
+  std::vector<Extracted> extract_node_events();
+
+  /// Record where an extracted event went; cancel/is_pending on the old
+  /// handle follow the forward.
+  void set_forward(std::uint32_t slot, std::uint32_t queue, Handle h);
+  const Forward* forward_of(std::uint32_t slot, std::uint32_t gen) const;
+
+  /// Start this queue's sequence counter at or above `seq` so events
+  /// scheduled after a migration sort behind every migrated event at equal
+  /// timestamps, exactly as they would have in the source queue.
+  void seed_seq(std::uint64_t seq) {
+    if (seq > next_seq_) next_seq_ = seq;
+  }
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  // --- Instrumentation ------------------------------------------------------
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t scheduled_count() const { return scheduled_; }
+  std::uint64_t cancelled_count() const { return cancelled_; }
+  void accumulate(SimStats& st) const;
+
+ private:
+  static constexpr std::uint32_t kNoHeapPos = 0xFFFFFFFFu;
+  static constexpr std::size_t kArity = 4;  // 4-ary heap: shallow, cache-friendly
+
+  /// One slab entry. The generation counter advances every time the slot is
+  /// released (event fired or cancelled), invalidating outstanding handles.
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 1;
+    std::uint32_t heap_pos = kNoHeapPos;
+    EventCategory cat = EventCategory::kGeneric;
+    std::int32_t node = -1;
+    const void* owner = nullptr;
+  };
+
+  /// Heap entries carry the full sort key so sift comparisons never chase a
+  /// pointer into the slab; they are trivially copyable (moves are memcpy).
+  struct HeapEntry {
+    fs_t time;
+    std::uint64_t key;  // tie-break: (class, subkey) — see file comment
+    std::uint32_t slot;
+  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  Handle insert(fs_t t, Callback fn, EventCategory cat, std::int32_t node,
+                const void* owner, std::uint64_t key);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop_top();
+  void heap_remove(std::uint32_t pos);
+  void sift_up(std::size_t pos, HeapEntry e);
+  void sift_down(std::size_t pos, HeapEntry e);
+  void place(std::size_t pos, HeapEntry e) {
+    heap_[pos] = e;
+    slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+  void fire_top();
+
+  fs_t now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t executed_by_category_[kEventCategoryCount] = {};
+  std::size_t peak_pending_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;
+  std::unordered_map<std::uint32_t, Forward> forwards_;
+};
+
+}  // namespace dtpsim::sim

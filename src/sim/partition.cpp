@@ -1,0 +1,136 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dtpsim::sim {
+
+namespace {
+
+/// Plain union-find with path halving; small enough to keep local.
+struct UnionFind {
+  explicit UnionFind(std::int32_t n) : parent(static_cast<std::size_t>(n)) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::int32_t find(std::int32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::int32_t a, std::int32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Deterministic tie rule: the lower id becomes the root.
+    if (a < b) parent[b] = a;
+    else parent[a] = b;
+  }
+  std::vector<std::int32_t> parent;
+};
+
+struct Component {
+  std::int32_t root = 0;
+  std::uint64_t weight = 0;
+};
+
+/// Contract edges with delay < threshold (plus all non-positive-delay edges)
+/// and return the components, heaviest first.
+std::vector<Component> contract(const PartitionInput& in, fs_t threshold,
+                                UnionFind& uf) {
+  for (const auto& e : in.edges)
+    if (e.delay <= 0 || e.delay < threshold) uf.unite(e.a, e.b);
+  std::vector<std::uint64_t> weight(static_cast<std::size_t>(in.nodes), 0);
+  for (std::int32_t n = 0; n < in.nodes; ++n)
+    weight[uf.find(n)] += in.weights[n];
+  std::vector<Component> comps;
+  for (std::int32_t n = 0; n < in.nodes; ++n)
+    if (uf.find(n) == n) comps.push_back(Component{n, weight[n]});
+  std::sort(comps.begin(), comps.end(), [](const Component& a, const Component& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.root < b.root;
+  });
+  return comps;
+}
+
+}  // namespace
+
+PartitionResult partition_graph(const PartitionInput& in, std::int32_t max_shards) {
+  PartitionResult out;
+  out.shard_of.assign(static_cast<std::size_t>(in.nodes), 0);
+  const fs_t kNoCut = std::numeric_limits<fs_t>::max();
+  if (in.nodes <= 0 || max_shards <= 1) {
+    out.shards = in.nodes > 0 ? 1 : 0;
+    out.lookahead = kNoCut;
+    out.shard_weight.assign(static_cast<std::size_t>(out.shards), 0);
+    for (std::int32_t n = 0; n < in.nodes; ++n) out.shard_weight[0] += in.weights[n];
+    return out;
+  }
+
+  const std::uint64_t total_weight =
+      std::accumulate(in.weights.begin(), in.weights.end(), std::uint64_t{0});
+
+  // Candidate thresholds: "cut everything with positive delay" down to "cut
+  // only the longest cables". kNoCut first means we prefer the coarsest
+  // feasible contraction (longest epochs).
+  std::vector<fs_t> candidates{kNoCut};
+  for (const auto& e : in.edges)
+    if (e.delay > 0) candidates.push_back(e.delay);
+  std::sort(candidates.begin(), candidates.end(), std::greater<fs_t>());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const std::uint64_t cap =
+      (total_weight * 5 + static_cast<std::uint64_t>(max_shards) * 4 - 1) /
+      (static_cast<std::uint64_t>(max_shards) * 4);  // ceil(total * 1.25 / K)
+
+  std::vector<Component> comps;
+  UnionFind chosen(in.nodes);
+  bool found = false;
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    UnionFind uf(in.nodes);
+    auto c = contract(in, candidates[ci], uf);
+    const bool last = ci + 1 == candidates.size();
+    const bool feasible = static_cast<std::int32_t>(c.size()) >= max_shards &&
+                          c.front().weight <= cap;
+    if (feasible || last) {
+      comps = std::move(c);
+      chosen = std::move(uf);
+      found = true;
+      break;
+    }
+  }
+  (void)found;
+
+  // Pack components into shards, largest first, each into the currently
+  // lightest shard (ties -> lowest shard index). Deterministic.
+  const auto shards = static_cast<std::int32_t>(
+      std::min<std::size_t>(comps.size(), static_cast<std::size_t>(max_shards)));
+  out.shards = std::max<std::int32_t>(shards, 1);
+  out.shard_weight.assign(static_cast<std::size_t>(out.shards), 0);
+  std::vector<std::int32_t> shard_of_root(static_cast<std::size_t>(in.nodes), 0);
+  for (const auto& comp : comps) {
+    std::int32_t lightest = 0;
+    for (std::int32_t s = 1; s < out.shards; ++s)
+      if (out.shard_weight[s] < out.shard_weight[lightest]) lightest = s;
+    out.shard_weight[lightest] += comp.weight;
+    shard_of_root[comp.root] = lightest;
+  }
+  for (std::int32_t n = 0; n < in.nodes; ++n)
+    out.shard_of[n] = shard_of_root[chosen.find(n)];
+
+  // Realized cut and lookahead.
+  out.lookahead = kNoCut;
+  for (std::size_t i = 0; i < in.edges.size(); ++i) {
+    const auto& e = in.edges[i];
+    if (out.shard_of[e.a] != out.shard_of[e.b]) {
+      out.cut_edges.push_back(i);
+      out.lookahead = std::min(out.lookahead, e.delay);
+    }
+  }
+  return out;
+}
+
+}  // namespace dtpsim::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file partition.hpp
+/// Device-graph partitioning for the parallel engine.
+///
+/// The engine's epoch length equals the minimum propagation delay across
+/// *cut* cables (the lookahead), so the partitioner trades two objectives:
+/// balanced shard weight (parallel speedup) against keeping short cables
+/// internal (long epochs, fewer synchronizations). The algorithm is a
+/// delay-threshold sweep: for each candidate threshold d (descending through
+/// the distinct cable delays), contract every edge shorter than d into
+/// supernodes, and accept the largest d whose contracted components can be
+/// packed into `max_shards` bins within a 25% imbalance budget (largest
+/// processing time first). Edges with non-positive delay are always
+/// contracted, which guarantees the realized lookahead is positive.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_units.hpp"
+
+namespace dtpsim::sim {
+
+/// The device graph as registered through Simulator::register_node /
+/// register_edge.
+struct PartitionInput {
+  std::int32_t nodes = 0;
+  /// Per-node work estimate (1 + port count); same length as `nodes`.
+  std::vector<std::uint32_t> weights;
+  struct Edge {
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    fs_t delay = 0;
+  };
+  std::vector<Edge> edges;
+};
+
+struct PartitionResult {
+  std::vector<std::int32_t> shard_of;  ///< node -> shard index
+  std::int32_t shards = 0;             ///< realized shard count (<= max_shards)
+  /// Min delay over cut edges; fs_t max if nothing is cut (one epoch per
+  /// segment).
+  fs_t lookahead = 0;
+  std::vector<std::size_t> cut_edges;       ///< indices into input.edges
+  std::vector<std::uint64_t> shard_weight;  ///< per-shard packed weight
+};
+
+/// Partition the graph into at most `max_shards` shards (see file comment).
+/// Deterministic: identical input produces an identical result.
+PartitionResult partition_graph(const PartitionInput& in, std::int32_t max_shards);
+
+}  // namespace dtpsim::sim

@@ -1,172 +1,313 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
+
+#include "sim/parallel.hpp"
+#include "sim/partition.hpp"
 
 namespace dtpsim::sim {
 
-const char* category_name(EventCategory cat) {
-  switch (cat) {
-    case EventCategory::kGeneric: return "generic";
-    case EventCategory::kBeacon: return "beacon";
-    case EventCategory::kFrame: return "frame";
-    case EventCategory::kDrift: return "drift";
-    case EventCategory::kProbe: return "probe";
-    case EventCategory::kApp: return "app";
-  }
-  return "?";
-}
-
 Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {}
 
-std::uint32_t Simulator::acquire_slot() {
-  if (!free_slots_.empty()) {
-    const std::uint32_t s = free_slots_.back();
-    free_slots_.pop_back();
-    return s;
-  }
-  slots_.emplace_back();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
+Simulator::~Simulator() = default;
+
+EventQueue& Simulator::queue_at(std::uint32_t q) {
+  return q == 0 ? global_q_ : engine_->shard_queue(static_cast<std::int32_t>(q - 1));
 }
 
-void Simulator::release_slot(std::uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.fn.reset();
-  ++s.gen;
-  if (s.gen == 0) ++s.gen;  // generation 0 is reserved for invalid handles
-  s.heap_pos = kNoHeapPos;
-  free_slots_.push_back(slot);
-}
-
-void Simulator::sift_up(std::size_t pos, HeapEntry e) {
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) / kArity;
-    if (!earlier(e, heap_[parent])) break;
-    place(pos, heap_[parent]);
-    pos = parent;
-  }
-  place(pos, e);
-}
-
-void Simulator::sift_down(std::size_t pos, HeapEntry e) {
-  const std::size_t n = heap_.size();
-  for (;;) {
-    const std::size_t first = pos * kArity + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t last = first + kArity < n ? first + kArity : n;
-    for (std::size_t c = first + 1; c < last; ++c)
-      if (earlier(heap_[c], heap_[best])) best = c;
-    if (!earlier(heap_[best], e)) break;
-    place(pos, heap_[best]);
-    pos = best;
-  }
-  place(pos, e);
-}
-
-void Simulator::heap_push(HeapEntry e) {
-  heap_.push_back(e);  // placeholder; sift_up overwrites along the path
-  sift_up(heap_.size() - 1, e);
-}
-
-Simulator::HeapEntry Simulator::heap_pop_top() {
-  const HeapEntry top = heap_.front();
-  slots_[top.slot].heap_pos = kNoHeapPos;
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0, last);
-  return top;
-}
-
-void Simulator::heap_remove(std::uint32_t pos) {
-  slots_[heap_[pos].slot].heap_pos = kNoHeapPos;
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (pos == heap_.size()) return;  // removed the tail entry
-  // Re-seat `last` at `pos`: it may need to move either direction.
-  if (pos > 0 && earlier(last, heap_[(pos - 1) / kArity]))
-    sift_up(pos, last);
-  else
-    sift_down(pos, last);
+const EventQueue& Simulator::queue_at(std::uint32_t q) const {
+  return q == 0 ? global_q_ : engine_->shard_queue(static_cast<std::int32_t>(q - 1));
 }
 
 EventHandle Simulator::schedule_at(fs_t t, Callback fn, EventCategory cat) {
-  if (t < now_) throw std::logic_error("Simulator::schedule_at: time in the past");
+  if (t < now()) throw std::logic_error("Simulator::schedule_at: time in the past");
   if (!fn) throw std::invalid_argument("Simulator::schedule_at: empty callback");
-  const std::uint32_t slot = acquire_slot();
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  s.cat = cat;
-  heap_push(HeapEntry{t, next_seq_++, slot});
-  ++scheduled_;
-  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
-  return EventHandle(slot, s.gen);
+  return route_schedule(t, std::move(fn), cat, detail::tls_affinity);
 }
 
 EventHandle Simulator::schedule_in(fs_t dt, Callback fn, EventCategory cat) {
   if (dt < 0) throw std::logic_error("Simulator::schedule_in: negative delay");
-  return schedule_at(now_ + dt, std::move(fn), cat);
+  return schedule_at(now() + dt, std::move(fn), cat);
+}
+
+EventHandle Simulator::route_schedule(fs_t t, Callback fn, EventCategory cat,
+                                      std::int32_t node) {
+  if (!engine_)
+    return wrap(0, global_q_.schedule(t, std::move(fn), cat, node, nullptr));
+  if (ShardRt* cur = detail::tls_shard) {
+    // Worker context: events may only target the worker's own shard. Any
+    // other destination would race a foreign queue — and no legitimate call
+    // site does it (cross-shard traffic goes through deliver_link).
+    if (node < 0 || engine_->shard_of(node) != cur->index)
+      throw std::logic_error("Simulator: worker event scheduled outside its shard");
+    return wrap(static_cast<std::uint32_t>(1 + cur->index),
+                cur->queue.schedule(t, std::move(fn), cat, node, nullptr));
+  }
+  // Coordinator context (workers parked): any queue is safe to touch.
+  if (node < 0) return wrap(0, global_q_.schedule(t, std::move(fn), cat, node, nullptr));
+  const std::int32_t s = engine_->shard_of(node);
+  return wrap(static_cast<std::uint32_t>(1 + s),
+              engine_->shard_queue(s).schedule(t, std::move(fn), cat, node, nullptr));
 }
 
 bool Simulator::cancel(EventHandle h) {
-  if (!h.valid() || h.slot_ >= slots_.size()) return false;
-  Slot& s = slots_[h.slot_];
-  // Generation mismatch: the event already fired or was cancelled (and the
-  // slot possibly reused). Nothing to record — stale handles don't leak.
-  if (s.gen != h.gen_ || s.heap_pos == kNoHeapPos) return false;
-  heap_remove(s.heap_pos);
-  release_slot(h.slot_);
-  ++cancelled_count_;
-  return true;
+  if (!h.valid()) return false;
+  if (engine_ && h.queue_ == 0) {
+    // The event may have migrated to a shard queue when set_threads ran.
+    if (const EventQueue::Forward* fwd = global_q_.forward_of(h.slot_, h.gen_))
+      return queue_at(fwd->queue).cancel(fwd->h);
+  }
+  return queue_at(h.queue_).cancel(EventQueue::Handle{h.slot_, h.gen_});
 }
 
-void Simulator::fire_top() {
-  const HeapEntry top = heap_pop_top();
-  Slot& s = slots_[top.slot];
-  // Move the callback out and release the slot *before* invoking: the
-  // callback may schedule new events (growing the slab) or cancel its own
-  // handle (generation already advanced, so that is a clean no-op).
-  Callback fn = std::move(s.fn);
-  const auto cat = static_cast<std::size_t>(s.cat);
-  release_slot(top.slot);
-  now_ = top.time;
-  ++executed_;
-  ++executed_by_category_[cat];
-  fn();
-}
-
-bool Simulator::step() {
-  if (heap_.empty()) return false;
-  fire_top();
-  return true;
+bool Simulator::pending(EventHandle h) const {
+  if (!h.valid()) return false;
+  if (engine_ && h.queue_ == 0) {
+    if (const EventQueue::Forward* fwd = global_q_.forward_of(h.slot_, h.gen_))
+      return queue_at(fwd->queue).is_pending(fwd->h);
+  }
+  return queue_at(h.queue_).is_pending(EventQueue::Handle{h.slot_, h.gen_});
 }
 
 void Simulator::run_until(fs_t t_end) {
   const auto wall0 = std::chrono::steady_clock::now();
-  while (!heap_.empty() && heap_.front().time <= t_end) fire_top();
-  if (now_ < t_end) now_ = t_end;
+  if (!engine_) {
+    global_q_.run(t_end, /*inclusive=*/true);
+    global_q_.advance_now(t_end);
+  } else {
+    run_until_parallel(t_end);
+  }
   run_wall_ += std::chrono::steady_clock::now() - wall0;
 }
 
+void Simulator::run_until_parallel(fs_t t_end) {
+  // A segment never covers more than this many epochs before control
+  // returns to the coordinator, so bursty workloads (a PTP poll every few
+  // milliseconds of otherwise-idle settle) reach the idle fast-forward
+  // below instead of lock-stepping the workers through millions of empty
+  // epochs. Workers are persistent and parked between segments, so the
+  // extra segment round-trips cost atomics, not thread spawns.
+  constexpr std::int64_t kEpochsPerSlice = 4096;
+  for (;;) {
+    const fs_t t = global_q_.now();
+    const fs_t g = global_q_.next_time();
+    if (g <= t) {
+      // Global work at the current instant (scheduled by sync-time code).
+      process_instant(t);
+      continue;
+    }
+    const fs_t horizon = std::min(g, t_end);
+    if (horizon > t) {
+      // Idle fast-forward: between segments the workers are parked and
+      // every mailbox is drained, so the earliest pending event across all
+      // queues bounds what a segment could fire — time before it is
+      // provably empty and can be skipped outright.
+      fs_t first = horizon;
+      for (std::int32_t s = 0; s < engine_->shard_count(); ++s)
+        first = std::min(first, engine_->shard_queue(s).next_time());
+      if (first > t) {
+        global_q_.advance_now(first);
+        engine_->advance_all(first);
+        if (first < horizon) continue;
+        // Nothing pending before the horizon: fall through to the sync
+        // point, where process_instant fires events at exactly `horizon`.
+      } else {
+        const fs_t slice_end =
+            std::min(horizon, t + engine_->lookahead() * kEpochsPerSlice);
+        engine_->run_segment(t, slice_end);
+        engine_->drain_all_mailboxes();
+        if (slice_end < horizon) {
+          global_q_.advance_now(slice_end);
+          engine_->advance_all(slice_end);
+          continue;
+        }
+      }
+    }
+    process_instant(horizon);
+    global_q_.advance_now(horizon);
+    engine_->advance_all(horizon);
+    if (horizon >= t_end) break;
+  }
+}
+
+void Simulator::process_instant(fs_t t) {
+  // Globals first (they sort first in serial mode too), then per-shard
+  // events at exactly t; loop because either side may schedule more work at
+  // t. All cascades run on this thread — a transmit from here goes straight
+  // into the destination shard's queue, never through a mailbox.
+  for (;;) {
+    std::uint64_t fired = global_q_.run(t, /*inclusive=*/true);
+    for (std::int32_t s = 0; s < engine_->shard_count(); ++s)
+      fired += engine_->shard_queue(s).run(t, /*inclusive=*/true);
+    if (fired == 0) break;
+    instant_events_ += fired;
+  }
+}
+
 void Simulator::run() {
-  const auto wall0 = std::chrono::steady_clock::now();
-  while (!heap_.empty()) fire_top();
-  run_wall_ += std::chrono::steady_clock::now() - wall0;
+  if (!engine_) {
+    const auto wall0 = std::chrono::steady_clock::now();
+    while (global_q_.fire_one()) {
+    }
+    run_wall_ += std::chrono::steady_clock::now() - wall0;
+    return;
+  }
+  while (events_pending() > 0) {
+    fs_t next = global_q_.next_time();
+    for (std::int32_t s = 0; s < engine_->shard_count(); ++s)
+      next = std::min(next, engine_->shard_queue(s).next_time());
+    run_until(next);
+  }
+}
+
+bool Simulator::step() {
+  if (engine_)
+    throw std::logic_error("Simulator::step: unavailable in parallel mode");
+  return global_q_.fire_one();
+}
+
+std::uint64_t Simulator::events_executed() const {
+  std::uint64_t n = global_q_.executed();
+  if (engine_)
+    for (std::int32_t s = 0; s < engine_->shard_count(); ++s)
+      n += engine_->shard_queue(s).executed();
+  return n;
+}
+
+std::size_t Simulator::events_pending() const {
+  std::size_t n = global_q_.size();
+  if (engine_)
+    for (std::int32_t s = 0; s < engine_->shard_count(); ++s)
+      n += engine_->shard_queue(s).size();
+  return n;
 }
 
 SimStats Simulator::stats() const {
   SimStats st;
-  st.scheduled = scheduled_;
-  st.executed = executed_;
-  st.cancelled = cancelled_count_;
-  for (std::size_t i = 0; i < kEventCategoryCount; ++i)
-    st.executed_by_category[i] = executed_by_category_[i];
-  st.pending = heap_.size();
-  st.peak_pending = peak_pending_;
+  global_q_.accumulate(st);
+  if (engine_)
+    for (std::int32_t s = 0; s < engine_->shard_count(); ++s)
+      engine_->shard_queue(s).accumulate(st);
   st.run_wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(run_wall_).count();
-  st.events_per_sec =
-      st.run_wall_seconds > 0 ? static_cast<double>(executed_) / st.run_wall_seconds : 0;
+  st.events_per_sec = st.run_wall_seconds > 0
+                          ? static_cast<double>(st.executed) / st.run_wall_seconds
+                          : 0;
   return st;
+}
+
+Rng Simulator::fork_rng(std::uint64_t tag) {
+  if (detail::tls_shard != nullptr)
+    throw std::logic_error(
+        "Simulator::fork_rng: forking from a worker event would make the root "
+        "stream depend on thread interleaving");
+  return root_rng_.fork(tag);
+}
+
+std::int32_t Simulator::register_node() {
+  node_weights_.push_back(1);
+  return static_cast<std::int32_t>(node_weights_.size()) - 1;
+}
+
+void Simulator::note_node_port(std::int32_t node) {
+  if (node >= 0 && node < static_cast<std::int32_t>(node_weights_.size()))
+    ++node_weights_[static_cast<std::size_t>(node)];
+}
+
+void Simulator::register_edge(std::int32_t a, std::int32_t b, fs_t delay) {
+  if (a < 0 || b < 0 || a == b) return;
+  if (engine_ && engine_->shard_of(a) != engine_->shard_of(b) &&
+      delay < engine_->lookahead())
+    throw std::logic_error(
+        "Simulator::register_edge: new cross-shard cable undercuts the "
+        "engine's lookahead");
+  edges_.push_back(GraphEdge{a, b, delay});
+}
+
+void Simulator::set_threads(unsigned threads) {
+  if (engine_) throw std::logic_error("Simulator::set_threads: already parallel");
+  if (threads <= 1 || node_weights_.empty()) return;
+  PartitionInput in;
+  in.nodes = static_cast<std::int32_t>(node_weights_.size());
+  in.weights = node_weights_;
+  in.edges.reserve(edges_.size());
+  for (const GraphEdge& e : edges_)
+    in.edges.push_back(PartitionInput::Edge{e.a, e.b, e.delay});
+  PartitionResult part = partition_graph(in, static_cast<std::int32_t>(threads));
+  if (part.shards <= 1) return;  // graph doesn't split; stay serial
+  engine_ = std::make_unique<ParallelEngine>(in, std::move(part), global_q_.next_seq());
+  migrate_pending();
+  engine_->advance_all(global_q_.now());
+}
+
+void Simulator::migrate_pending() {
+  for (EventQueue::Extracted& ev : global_q_.extract_node_events()) {
+    const std::int32_t s = engine_->shard_of(ev.node);
+    const EventQueue::Handle h = engine_->shard_queue(s).schedule_migrated(
+        ev.time, std::move(ev.fn), ev.cat, ev.node, ev.owner, ev.key);
+    global_q_.set_forward(ev.src_slot, static_cast<std::uint32_t>(1 + s), h);
+  }
+}
+
+std::int32_t Simulator::shard_count() const {
+  return engine_ ? engine_->shard_count() : 1;
+}
+
+fs_t Simulator::lookahead() const {
+  if (!engine_) return 0;
+  const fs_t la = engine_->lookahead();
+  return la == EventQueue::kNoEventTime ? 0 : la;
+}
+
+ParallelStats Simulator::parallel_stats() const {
+  ParallelStats ps;
+  if (!engine_) return ps;
+  ps.threads = engine_->shard_count();
+  ps.shards = engine_->shard_count();
+  ps.lookahead = lookahead();
+  ps.segments = engine_->segments();
+  ps.epochs = engine_->epochs();
+  ps.cross_messages = engine_->cross_messages();
+  ps.worker_events = engine_->worker_events();
+  ps.instant_events = instant_events_;
+  ps.critical_path_events = engine_->critical_path_events();
+  return ps;
+}
+
+EventHandle Simulator::deliver_link(std::int32_t src_node, std::int32_t dst_node,
+                                    fs_t arrival, Callback fn, EventCategory cat,
+                                    const void* owner, std::uint64_t link_key) {
+  if (!engine_ || dst_node < 0)
+    return wrap(0, global_q_.schedule_link(arrival, std::move(fn), cat, dst_node,
+                                           owner, link_key));
+  const std::int32_t dst_shard = engine_->shard_of(dst_node);
+  ShardRt* cur = detail::tls_shard;
+  if (cur == nullptr) {
+    // Coordinator context (sync point): workers are parked, direct insert.
+    return wrap(static_cast<std::uint32_t>(1 + dst_shard),
+                engine_->shard_queue(dst_shard)
+                    .schedule_link(arrival, std::move(fn), cat, dst_node, owner,
+                                   link_key));
+  }
+  if (cur->index == dst_shard)
+    return wrap(static_cast<std::uint32_t>(1 + dst_shard),
+                cur->queue.schedule_link(arrival, std::move(fn), cat, dst_node,
+                                         owner, link_key));
+  engine_->push_cross(cur->index, dst_shard,
+                      CrossMsg{arrival, dst_node, cat, owner, link_key,
+                               std::move(fn)});
+  (void)src_node;
+  return EventHandle();  // mailbox-routed: cancellation via purge_deliveries
+}
+
+std::size_t Simulator::purge_deliveries(const void* owner) {
+  if (detail::tls_shard != nullptr)
+    throw std::logic_error("Simulator::purge_deliveries: coordinator-only");
+  std::size_t n = global_q_.purge_owner(owner);
+  if (engine_) n += engine_->purge_owner(owner);
+  return n;
 }
 
 PeriodicProcess::PeriodicProcess(Simulator& sim, fs_t period, Callback fn,
@@ -199,6 +340,11 @@ void PeriodicProcess::set_period(fs_t period) {
 }
 
 void PeriodicProcess::arm(fs_t delay) {
+  // Re-arms from inside the callback inherit the event's affinity; the
+  // explicit override matters for the first arm (start() runs in the
+  // caller's context) and for restarts from global code.
+  std::optional<ScopedAffinity> aff;
+  if (affinity_ >= 0) aff.emplace(affinity_);
   pending_ = sim_.schedule_in(
       delay,
       [this] {

@@ -1,65 +1,46 @@
 #pragma once
 
 /// \file simulator.hpp
-/// Discrete-event simulation engine.
+/// Discrete-event simulation facade: one API, two engines.
 ///
-/// The whole reproduction runs on one sequential event loop: protocol
-/// actions, frame boundaries, oscillator drift updates, and measurement
-/// probes are events; clock counters are computed analytically between
-/// events (see phy::Oscillator). Determinism rules:
-///   * events at equal timestamps fire in scheduling order (FIFO tie-break),
+/// The whole reproduction runs against this interface: protocol actions,
+/// frame boundaries, oscillator drift updates, and measurement probes are
+/// events; clock counters are computed analytically between events (see
+/// phy::Oscillator). Determinism rules:
+///   * events at equal timestamps fire in a fixed key order (global
+///     coordinator events, then device-local events in scheduling order,
+///     then link deliveries in (edge, message) order — event_queue.hpp),
 ///   * all randomness flows from Rng streams forked off the simulator's root
-///     seed, so a (topology, seed) pair fully determines a run.
+///     seed, so a (topology, seed, thread count) triple fully determines a
+///     run — and the thread count only changes wall time, never results.
 ///
-/// Internals (see DESIGN.md "Event-loop internals"): events live in a slab
-/// of generation-counted slots addressed by an indexed 4-ary min-heap, so
-/// cancellation is O(log n) direct removal, a stale handle (slot since
-/// reused or event already fired) is detected by generation mismatch, and
-/// `events_pending()` is the heap size — exact by construction. Callbacks
-/// use small-buffer storage (sim::Callback) so the common
-/// lambda-capturing-`this` event never touches the heap allocator.
+/// Serial mode (default) drives a single EventQueue. `set_threads(N)`
+/// switches to the conservative parallel backend (parallel.hpp): the device
+/// graph registered via register_node/register_edge is partitioned into at
+/// most N shards (partition.hpp), pending device-affine events migrate to
+/// their shard queues, and run_until() advances time in conservative epochs
+/// bounded by the minimum cut-cable propagation delay. Global events (chaos
+/// injection, PTP/NTP reference exchanges, probes) always execute on the
+/// coordinator thread between segments, so cross-layer code that samples
+/// many devices at once never races a worker.
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/time_units.hpp"
 #include "sim/callback.hpp"
+#include "sim/event_queue.hpp"
 
 namespace dtpsim::sim {
 
-/// What kind of work an event performs; drives the per-category counters in
-/// SimStats. Purely observational — scheduling semantics are identical for
-/// all categories.
-enum class EventCategory : std::uint8_t {
-  kGeneric = 0,  ///< untagged / miscellaneous
-  kBeacon,       ///< protocol sync traffic: DTP beacons/INIT, PTP sync, NTP polls
-  kFrame,        ///< frame & control-block transport through PHY/MAC/switch
-  kDrift,        ///< oscillator drift walks and syntonization updates
-  kProbe,        ///< measurement: offset probes, daemon polls, samplers
-  kApp,          ///< application load: traffic generators, OWD, scheduled tx
-};
-inline constexpr std::size_t kEventCategoryCount = 6;
+class ParallelEngine;
 
-/// Human-readable name for a category ("beacon", "frame", ...).
-const char* category_name(EventCategory cat);
-
-/// Snapshot of the engine's instrumentation counters.
-struct SimStats {
-  std::uint64_t scheduled = 0;  ///< total schedule_at/schedule_in calls
-  std::uint64_t executed = 0;   ///< events fired
-  std::uint64_t cancelled = 0;  ///< events removed before firing
-  std::uint64_t executed_by_category[kEventCategoryCount] = {};
-  std::size_t pending = 0;       ///< events in the queue right now
-  std::size_t peak_pending = 0;  ///< high-water mark of the queue depth
-  double run_wall_seconds = 0;   ///< wall time spent inside run()/run_until()
-  double events_per_sec = 0;     ///< executed / run_wall_seconds (0 if unknown)
-};
-
-/// Handle to a scheduled event; allows cancellation. A handle is a (slot,
-/// generation) pair: once the event fires or is cancelled the slot's
+/// Handle to a scheduled event; allows cancellation. A handle is a (queue,
+/// slot, generation) triple: once the event fires or is cancelled the slot's
 /// generation advances, so a retained handle can never cancel an unrelated
 /// later event that happens to reuse the slot.
 class EventHandle {
@@ -77,24 +58,78 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  EventHandle(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  EventHandle(std::uint32_t queue, std::uint32_t slot, std::uint32_t gen)
+      : queue_(queue), slot_(slot), gen_(gen) {}
+  std::uint32_t queue_ = 0;  ///< 0 = global queue, 1+s = shard s
   std::uint32_t slot_ = 0;
   std::uint32_t gen_ = 0;
 };
 
-/// Sequential discrete-event simulator with femtosecond time.
+/// Sets the device-affinity context for schedule calls made inside the
+/// scope. Entry points that act on behalf of a device but are reached from
+/// outside an event of that device (PHY delivery hooks, periodic process
+/// start) wrap themselves in one of these so the scheduled work lands on the
+/// device's shard. Events themselves inherit the affinity of the event that
+/// scheduled them automatically.
+class ScopedAffinity {
+ public:
+  explicit ScopedAffinity(std::int32_t node) : prev_(detail::tls_affinity) {
+    detail::tls_affinity = node;
+  }
+  ~ScopedAffinity() { detail::tls_affinity = prev_; }
+  ScopedAffinity(const ScopedAffinity&) = delete;
+  ScopedAffinity& operator=(const ScopedAffinity&) = delete;
+
+ private:
+  std::int32_t prev_;
+};
+
+/// Parallel-run instrumentation (all zeros in serial mode). The speedup
+/// metric is event-count based: wall time on an undersubscribed host mixes
+/// in scheduler noise, whereas the critical path — the busiest shard of
+/// every epoch, plus everything the coordinator ran between segments — is
+/// the serialized work an ideally-scheduled run cannot avoid.
+struct ParallelStats {
+  std::int32_t threads = 1;  ///< worker threads (== realized shards)
+  std::int32_t shards = 1;
+  fs_t lookahead = 0;  ///< epoch length; 0 when serial or nothing cut
+  std::uint64_t segments = 0;        ///< coordinator->workers hand-offs
+  std::uint64_t epochs = 0;          ///< conservative windows executed
+  std::uint64_t cross_messages = 0;  ///< deliveries routed through mailboxes
+  std::uint64_t worker_events = 0;   ///< events fired on worker threads
+  std::uint64_t instant_events = 0;  ///< events fired on the coordinator at sync
+  std::uint64_t critical_path_events = 0;  ///< serialized-work lower bound
+
+  /// Total work over serialized work: the speedup an ideal scheduler
+  /// extracts from this decomposition, independent of host core count.
+  double critical_path_speedup() const {
+    const double serialized =
+        static_cast<double>(critical_path_events + instant_events);
+    const double total = static_cast<double>(worker_events + instant_events);
+    return serialized > 0 ? total / serialized : 1.0;
+  }
+};
+
+/// Discrete-event simulator with femtosecond time (see file comment).
 class Simulator {
  public:
   /// \param seed root seed; every component forks its RNG stream from here.
   explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Current simulated time.
-  fs_t now() const { return now_; }
+  /// Current simulated time (the executing shard's clock inside an event;
+  /// the coordinator clock otherwise).
+  fs_t now() const {
+    const EventQueue* q = detail::tls_queue;
+    return q != nullptr ? q->now() : global_q_.now();
+  }
 
-  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  /// Schedule `fn` at absolute time `t` (must be >= now()). The event is
+  /// attributed to the current affinity context (the scheduling event's
+  /// device, or a ScopedAffinity override; global when neither applies).
   EventHandle schedule_at(fs_t t, Callback fn,
                           EventCategory cat = EventCategory::kGeneric);
 
@@ -102,102 +137,126 @@ class Simulator {
   EventHandle schedule_in(fs_t dt, Callback fn,
                           EventCategory cat = EventCategory::kGeneric);
 
-  /// Cancel a pending event: O(log n) removal from the queue. Returns true
+  /// Cancel a pending event: O(log n) removal from its queue. Returns true
   /// iff the event was actually pending. Cancelling a default-constructed
   /// handle, an already-fired event, an already-cancelled event, or the
   /// currently-executing event is a no-op returning false — a stale handle
   /// is detected by generation mismatch and records nothing.
   bool cancel(EventHandle h);
 
-  /// True iff `h` refers to an event still waiting in the queue (i.e. a
+  /// True iff `h` refers to an event still waiting in a queue (i.e. a
   /// cancel(h) right now would succeed). Lets holders of handle collections
   /// (e.g. a cable tracking its in-flight deliveries) prune fired entries
   /// without cancelling anything.
-  bool pending(EventHandle h) const {
-    return h.valid() && h.slot_ < slots_.size() && slots_[h.slot_].gen == h.gen_ &&
-           slots_[h.slot_].heap_pos != kNoHeapPos;
-  }
+  bool pending(EventHandle h) const;
 
   /// Run until the queue is empty or `t_end` is reached; the simulation clock
   /// lands exactly on `t_end` even if no event fires there.
   void run_until(fs_t t_end);
 
-  /// Run until the event queue drains completely.
+  /// Run until every event queue drains completely.
   void run();
 
   /// Fire exactly one event if any is pending; returns whether one fired.
-  /// (Not counted toward SimStats::run_wall_seconds — kept lean for
-  /// single-step callers.)
+  /// Serial mode only (parallel mode has no single "next" event).
   bool step();
 
-  /// Number of events executed so far.
-  std::uint64_t events_executed() const { return executed_; }
+  /// Number of events executed so far (all queues).
+  std::uint64_t events_executed() const;
 
-  /// Number of events currently pending. Exact: cancelled events leave the
-  /// queue immediately, so this can never underflow.
-  std::size_t events_pending() const { return heap_.size(); }
+  /// Number of events currently pending (all queues). Exact: cancelled
+  /// events leave their queue immediately, so this can never underflow.
+  std::size_t events_pending() const;
 
   /// Instrumentation snapshot (counters, queue depth, throughput).
   SimStats stats() const;
 
   /// Fork an independent RNG stream, tagged by purpose (component id etc.).
-  Rng fork_rng(std::uint64_t tag) { return root_rng_.fork(tag); }
+  /// Coordinator-only: forking mutates the root stream, so doing it from a
+  /// worker event would be a determinism bug — it throws instead.
+  Rng fork_rng(std::uint64_t tag);
 
   /// Root seed the simulator was constructed with.
   std::uint64_t seed() const { return seed_; }
 
+  // --- Device graph registration (parallel partitioning input) -------------
+
+  /// Register a device; returns its node id. Weight starts at 1 and grows
+  /// with note_node_port.
+  std::int32_t register_node();
+
+  /// Bump `node`'s partition weight by one port (a proxy for event rate).
+  void note_node_port(std::int32_t node);
+
+  /// Register a cable between two nodes. In parallel mode a new cross-shard
+  /// cable must not undercut the engine's lookahead (it would break the
+  /// conservative epoch bound), so that case throws.
+  void register_edge(std::int32_t a, std::int32_t b, fs_t delay);
+
+  /// Allocate a globally unique edge-direction id for link-delivery tie
+  /// keys (a cable takes two). Coordinator-only (cables are constructed at
+  /// setup or at chaos sync points).
+  std::uint32_t alloc_link_dir_id() { return next_link_dir_++; }
+
+  // --- Parallel mode --------------------------------------------------------
+
+  /// Switch to the parallel backend with at most `threads` worker shards.
+  /// Call after the topology (and any pre-scheduled protocol work) is set
+  /// up and before running; pending device events migrate to their shards.
+  /// No-op if `threads` <= 1 or the graph doesn't split.
+  void set_threads(unsigned threads);
+
+  bool parallel() const { return engine_ != nullptr; }
+  std::int32_t shard_count() const;
+  /// Epoch length of the parallel engine (0 when serial).
+  fs_t lookahead() const;
+  ParallelStats parallel_stats() const;
+
+  /// Schedule a link delivery from `src_node`'s port to `dst_node` at
+  /// `arrival`. `link_key` is the (edge direction << 32 | message index)
+  /// tie-break key; `owner` tags the event for purge_deliveries. Returns an
+  /// invalid handle when the delivery was routed through a cross-shard
+  /// mailbox (cancellation then goes through purge_deliveries).
+  EventHandle deliver_link(std::int32_t src_node, std::int32_t dst_node,
+                           fs_t arrival, Callback fn, EventCategory cat,
+                           const void* owner, std::uint64_t link_key);
+
+  /// Cancel every pending delivery tagged with `owner` across all queues
+  /// (coordinator-only; used by Cable::disconnect). Returns how many.
+  std::size_t purge_deliveries(const void* owner);
+
  private:
-  static constexpr std::uint32_t kNoHeapPos = 0xFFFFFFFFu;
-  static constexpr std::size_t kArity = 4;  // 4-ary heap: shallow, cache-friendly
-
-  /// One slab entry. The generation counter advances every time the slot is
-  /// released (event fired or cancelled), invalidating outstanding handles.
-  struct Slot {
-    Callback fn;
-    std::uint32_t gen = 1;
-    std::uint32_t heap_pos = kNoHeapPos;
-    EventCategory cat = EventCategory::kGeneric;
-  };
-
-  /// Heap entries carry the full sort key so sift comparisons never chase a
-  /// pointer into the slab; they are trivially copyable (moves are memcpy).
-  struct HeapEntry {
-    fs_t time;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint32_t slot;
-  };
-
-  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
-    if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
+  EventHandle wrap(std::uint32_t queue, EventQueue::Handle h) {
+    return EventHandle(queue, h.slot, h.gen);
   }
+  EventQueue& queue_at(std::uint32_t q);
+  const EventQueue& queue_at(std::uint32_t q) const;
+  /// Route a schedule call to the right queue for (affinity, context).
+  EventHandle route_schedule(fs_t t, Callback fn, EventCategory cat,
+                             std::int32_t node);
+  /// Move pending device-affine events into their shard queues, leaving
+  /// forwarders behind so outstanding handles stay cancellable.
+  void migrate_pending();
+  void run_until_parallel(fs_t t_end);
+  /// Fire every event at exactly `t` (globals first, then per-shard), to a
+  /// fixpoint. Coordinator-only.
+  void process_instant(fs_t t);
 
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t slot);
-  void heap_push(HeapEntry e);
-  HeapEntry heap_pop_top();
-  void heap_remove(std::uint32_t pos);
-  void sift_up(std::size_t pos, HeapEntry e);
-  void sift_down(std::size_t pos, HeapEntry e);
-  void place(std::size_t pos, HeapEntry e) {
-    heap_[pos] = e;
-    slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
-  }
-  void fire_top();
-
-  fs_t now_ = 0;
   std::uint64_t seed_;
   Rng root_rng_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t executed_ = 0;
-  std::uint64_t scheduled_ = 0;
-  std::uint64_t cancelled_count_ = 0;
-  std::uint64_t executed_by_category_[kEventCategoryCount] = {};
-  std::size_t peak_pending_ = 0;
   std::chrono::steady_clock::duration run_wall_{0};
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  std::vector<HeapEntry> heap_;
+  EventQueue global_q_;
+  std::unique_ptr<ParallelEngine> engine_;
+  std::uint64_t instant_events_ = 0;
+
+  struct GraphEdge {
+    std::int32_t a;
+    std::int32_t b;
+    fs_t delay;
+  };
+  std::vector<std::uint32_t> node_weights_;
+  std::vector<GraphEdge> edges_;
+  std::uint32_t next_link_dir_ = 0;
 };
 
 /// Repeatedly runs a callback with a fixed period; the callback may stop the
@@ -231,6 +290,10 @@ class PeriodicProcess {
   /// Change the period; takes effect from the next scheduling decision.
   void set_period(fs_t period);
 
+  /// Attribute this process's events to a device so they run on its shard
+  /// (-1 = inherit the ambient context). Set before start().
+  void set_affinity(std::int32_t node) { affinity_ = node; }
+
  private:
   void arm(fs_t delay);
 
@@ -239,6 +302,7 @@ class PeriodicProcess {
   Callback fn_;
   EventCategory cat_;
   bool running_ = false;
+  std::int32_t affinity_ = -1;
   EventHandle pending_;
 };
 

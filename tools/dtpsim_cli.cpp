@@ -4,6 +4,7 @@
 ///          [--protocol=dtp|dtp-master|ptp|ntp] [--seconds=S] [--seed=N]
 ///          [--load=idle|heavy] [--beacon=TICKS] [--rate=1g|10g|40g|100g]
 ///          [--drift] [--ber=P] [--chaos=flap|storm|crash|ber|rogue|canonical]
+///          [--threads=N]
 ///
 /// Prints a synchronization report: per-device clock state, worst pairwise
 /// offsets over the run, protocol message counts, and (for DTP) the 4TD
@@ -42,7 +43,8 @@ constexpr const char* kUsage =
     "              [--hops=D] [--protocol=dtp|dtp-master|ptp|ntp]\n"
     "              [--seconds=S] [--seed=N] [--load=idle|heavy]\n"
     "              [--beacon=TICKS] [--rate=1g|10g|40g|100g] [--drift]\n"
-    "              [--ber=P] [--chaos=flap|storm|crash|ber|rogue|canonical]\n";
+    "              [--ber=P] [--chaos=flap|storm|crash|ber|rogue|canonical]\n"
+    "              [--threads=N]\n";
 
 struct Options {
   std::string topology = "tree";
@@ -57,6 +59,7 @@ struct Options {
   std::string rate = "10g";
   bool drift = false;
   double ber = 0.0;
+  unsigned threads = 1;
 };
 
 /// Thrown for anything the user got wrong on the command line; main() turns
@@ -99,7 +102,8 @@ Options parse(int argc, char** argv) {
     const bool has_value = eq != std::string::npos;
 
     if (!one_of(key, {"help", "drift", "topology", "protocol", "load", "chaos",
-                      "nodes", "hops", "seconds", "seed", "beacon", "rate", "ber"}))
+                      "nodes", "hops", "seconds", "seed", "beacon", "rate", "ber",
+                      "threads"}))
       throw UsageError("unknown flag '--" + key + "'");
     if (key == "help") continue;  // handled in main() before parsing
     if (key == "drift") {
@@ -148,6 +152,10 @@ Options parse(int argc, char** argv) {
       if (!one_of(value, {"1g", "10g", "40g", "100g"}))
         throw UsageError("--rate must be 1g|10g|40g|100g, got '" + value + "'");
       o.rate = value;
+    } else if (key == "threads") {
+      const long long n = parse_int(key, value);
+      if (n < 1 || n > 64) throw UsageError("--threads must be in [1, 64]");
+      o.threads = static_cast<unsigned>(n);
     } else {  // ber — the whitelist above rules out everything else
       o.ber = parse_double(key, value);
       if (o.ber < 0 || o.ber >= 1) throw UsageError("--ber must be in [0, 1)");
@@ -163,6 +171,19 @@ phy::LinkRate parse_rate(const std::string& s) {
   if (s == "40g") return phy::LinkRate::k40G;
   if (s == "100g") return phy::LinkRate::k100G;
   return phy::LinkRate::k10G;
+}
+
+/// Shard the simulation when --threads asks for it. Must run after every
+/// device, cable, and protocol agent exists: set_threads() partitions the
+/// realized device graph and migrates their pending events onto the shards.
+void engage_threads(sim::Simulator& sim, unsigned threads) {
+  if (threads <= 1) return;
+  sim.set_threads(threads);
+  if (sim.parallel())
+    std::printf("parallel: threads=%u shards=%d lookahead=%.1f ns\n", threads,
+                static_cast<int>(sim.shard_count()), to_ns_f(sim.lookahead()));
+  else
+    std::printf("parallel: topology does not shard; running serial\n");
 }
 
 /// --chaos: a fault-injection plan on the Fig. 5 tree under saturating MTU
@@ -203,6 +224,7 @@ int run_chaos(const Options& o) {
   }
   std::printf("chaos plan=%s on the Fig. 5 tree, MTU-saturated, seed=%llu\n",
               o.chaos.c_str(), static_cast<unsigned long long>(o.seed));
+  engage_threads(sim, o.threads);
   engine.schedule(plan);
   sim.run_until(until);
 
@@ -307,6 +329,7 @@ int run(const Options& o) {
     if (o.protocol == "dtp-master") params.mode = dtp::SyncMode::kMasterTree;
     dtp::DtpNetwork dtp = dtp::enable_dtp(net, params);
     if (o.protocol == "dtp-master") dtp::configure_master_tree(dtp, *tree_root);
+    engage_threads(sim, o.threads);
     sim.run_until(settle);
     start_load();
     double worst_ticks = 0;
@@ -345,6 +368,7 @@ int run(const Options& o) {
                                                          ptp::PtpClientParams{}));
     gm.start();
     for (auto& c : clients) c->start();
+    engage_threads(sim, o.threads);
     sim.run_until(settle);
     start_load();
     sim.run_until(settle + duration);
@@ -371,6 +395,7 @@ int run(const Options& o) {
                                                        server.clock(), cp));
     clients.back()->start();
   }
+  engage_threads(sim, o.threads);
   sim.run_until(settle);
   start_load();
   sim.run_until(settle + duration);
