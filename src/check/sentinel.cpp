@@ -1,0 +1,377 @@
+#include "check/sentinel.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "net/device.hpp"
+#include "net/mac.hpp"
+#include "phy/port.hpp"
+
+namespace dtpsim::check {
+
+std::string RunDigest::hex() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+/// Per-port probe state. Each port's events run on one shard thread, so the
+/// counters are thread-confined; only `owner->record` takes the lock.
+struct Sentinel::PortMon {
+  Sentinel* owner = nullptr;
+  net::Device* dev = nullptr;
+  phy::PhyPort* port = nullptr;
+  std::size_t port_index = 0;
+  std::string label;                 // "dev:port" for reports
+  std::uint64_t tx_checks = 0;
+  std::uint64_t fifo_checks = 0;
+};
+
+/// Per-device sampler state (coordinator-only).
+struct Sentinel::DeviceMon {
+  net::Device* dev = nullptr;
+  const dtp::Agent* last_agent = nullptr;  // crash/restart => fresh baseline
+  bool has_prev = false;
+  WideCounter prev_gc;
+  std::uint64_t prev_resets = 0;
+};
+
+namespace {
+
+/// Hop diameter of the cabled device graph (double BFS from node 0).
+std::size_t cable_diameter(net::Network& net) {
+  // Build adjacency by walking cables through port ownership.
+  std::unordered_map<const phy::PhyPort*, std::size_t> owner;
+  std::vector<net::Device*> devs = net.devices();
+  for (std::size_t i = 0; i < devs.size(); ++i)
+    for (std::size_t p = 0; p < devs[i]->port_count(); ++p)
+      owner[&devs[i]->port(p)] = i;
+  std::vector<std::vector<std::size_t>> adj(devs.size());
+  for (const auto& cable : net.cables()) {
+    if (!cable->connected()) continue;
+    auto a = owner.find(&cable->port_a());
+    auto b = owner.find(&cable->port_b());
+    if (a == owner.end() || b == owner.end()) continue;
+    adj[a->second].push_back(b->second);
+    adj[b->second].push_back(a->second);
+  }
+  if (devs.empty()) return 0;
+  auto farthest = [&adj](std::size_t from) {
+    std::vector<int> dist(adj.size(), -1);
+    dist[from] = 0;
+    std::vector<std::size_t> frontier{from};
+    std::size_t last = from;
+    while (!frontier.empty()) {
+      std::vector<std::size_t> next;
+      for (std::size_t u : frontier)
+        for (std::size_t v : adj[u])
+          if (dist[v] < 0) {
+            dist[v] = dist[u] + 1;
+            next.push_back(v);
+            last = v;
+          }
+      frontier = std::move(next);
+    }
+    return std::pair<std::size_t, int>(last, dist[last]);
+  };
+  const auto [far, d0] = farthest(0);
+  (void)d0;
+  const auto [far2, d] = farthest(far);
+  (void)far2;
+  return static_cast<std::size_t>(std::max(d, 0));
+}
+
+}  // namespace
+
+Sentinel::Sentinel(net::Network& net, dtp::DtpNetwork& dtp, SentinelParams params)
+    : net_(net), dtp_(dtp), params_(params) {
+  diameter_hops_ = params_.diameter_hops ? params_.diameter_hops : cable_diameter(net_);
+  offset_bound_ticks_ = params_.offset_bound_ticks > 0.0
+                            ? params_.offset_bound_ticks
+                            : 4.0 * static_cast<double>(diameter_hops_) + 1.0;
+
+  for (net::Device* dev : net_.devices()) {
+    device_mons_.push_back(DeviceMon{dev, nullptr, false, WideCounter{}, 0});
+    for (std::size_t p = 0; p < dev->port_count(); ++p) {
+      auto mon = std::make_unique<PortMon>();
+      mon->owner = this;
+      mon->dev = dev;
+      mon->port = &dev->port(p);
+      mon->port_index = p;
+      mon->label = dev->name() + ":" + std::to_string(p);
+      PortMon* m = mon.get();
+
+      // Idle-restore / zero-overhead egress probe: a DTP message must fit
+      // the 56-bit idle field exactly — a 57th bit would clobber the block
+      // type byte and leak protocol bits into MAC-visible bytes.
+      m->port->probe_control_tx = [m](std::uint64_t bits56, fs_t tx_start) {
+        ++m->tx_checks;
+        if (bits56 >> 56 != 0) {
+          m->owner->record(Violation{
+              InvariantKind::kIdleRestore, tx_start, m->label,
+              static_cast<double>(bits56 >> 56), 0.0,
+              "control payload spilled past the 56-bit idle field"});
+        }
+      };
+
+      // SyncFifo crossing envelope: visibility strictly after arrival and
+      // within (pipeline + phase-wait + metastability + slack) periods.
+      m->port->probe_control_rx = [m](const phy::ControlRx& rx) {
+        ++m->fifo_checks;
+        const fs_t dt = rx.crossing.visible_time - rx.wire_arrival;
+        const fs_t period = m->port->oscillator().period();
+        const auto& fp = m->port->params().fifo;
+        const double max_periods = static_cast<double>(fp.pipeline_cycles) + 2.0 +
+                                   m->owner->params_.fifo_slack_fraction;
+        const fs_t bound = static_cast<fs_t>(max_periods * static_cast<double>(period));
+        if (dt <= 0 || dt > bound) {
+          m->owner->record(Violation{InvariantKind::kFifoBound,
+                                     rx.crossing.visible_time, m->label,
+                                     static_cast<double>(dt), static_cast<double>(bound),
+                                     "CDC crossing delay outside the SyncFifo envelope"});
+        }
+      };
+
+      port_mons_.push_back(std::move(mon));
+    }
+  }
+
+  sampler_ = std::make_unique<sim::PeriodicProcess>(
+      net_.simulator(), params_.sample_period, [this] { sample(); },
+      sim::EventCategory::kProbe);
+  sampler_->start();
+}
+
+Sentinel::~Sentinel() {
+  sampler_->stop();
+  for (auto& m : port_mons_) {
+    m->port->probe_control_tx = nullptr;
+    m->port->probe_control_rx = nullptr;
+  }
+}
+
+void Sentinel::add_blackout(fs_t from, fs_t until) {
+  blackouts_.emplace_back(from, until);
+}
+
+bool Sentinel::in_blackout(fs_t t) const {
+  for (const auto& [from, until] : blackouts_)
+    if (t >= from && t < until) return true;
+  return false;
+}
+
+void Sentinel::record(Violation v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& count = violation_counts_[static_cast<int>(v.kind)];
+  ++count;
+  if (count <= params_.max_stored_per_kind) violations_.push_back(std::move(v));
+}
+
+void Sentinel::report(Violation v) { record(std::move(v)); }
+
+std::vector<Violation> Sentinel::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Violation> out = violations_;
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    return a.device < b.device;
+  });
+  return out;
+}
+
+std::uint64_t Sentinel::violation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (auto c : violation_counts_) total += c;
+  return total;
+}
+
+SentinelStats Sentinel::stats() const {
+  SentinelStats out = stats_;
+  for (const auto& m : port_mons_) {
+    out.tx_probe_checks += m->tx_checks;
+    out.fifo_probe_checks += m->fifo_checks;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t stored = violations_.size(), total = 0;
+  for (auto c : violation_counts_) total += c;
+  out.suppressed_violations = total - stored;
+  return out;
+}
+
+void Sentinel::sample() {
+  const fs_t now = net_.simulator().now();
+  ++stats_.samples;
+  check_monotonic(now);
+  check_offsets(now);
+  check_overhead(now);
+  check_wrap_and_rate(now);
+}
+
+void Sentinel::check_monotonic(fs_t now) {
+  for (DeviceMon& m : device_mons_) {
+    const dtp::Agent* agent = dtp_.agent_of(m.dev);
+    if (agent == nullptr || agent != m.last_agent) {
+      // Crashed / restarted / newly attached: fresh baseline.
+      m.last_agent = agent;
+      m.has_prev = false;
+      if (agent == nullptr) continue;
+    }
+    const WideCounter gc = agent->global_at(now);
+    const std::uint64_t resets = agent->counter_resets();
+    if (m.has_prev && resets == m.prev_resets) {
+      ++stats_.monotonic_checks;
+      const __int128 d = gc.diff(m.prev_gc);
+      if (d < 0) {
+        record(Violation{InvariantKind::kClockMonotonic, now, m.dev->name(),
+                         static_cast<double>(d), 0.0,
+                         "global counter decreased with no reset: prev=" +
+                             m.prev_gc.to_string() + " now=" + gc.to_string()});
+      }
+    }
+    m.prev_gc = gc;
+    m.prev_resets = resets;
+    m.has_prev = true;
+  }
+}
+
+void Sentinel::check_offsets(fs_t now) {
+  // The bound only holds once every device is synced and the network has
+  // been stable for a few samples; fault windows re-start the clock.
+  bool settled = dtp_.size() > 0 && !in_blackout(now);
+  const dtp::Agent* ref = nullptr;
+  if (settled) {
+    for (const DeviceMon& m : device_mons_) {
+      const dtp::Agent* agent = dtp_.agent_of(m.dev);
+      if (agent == nullptr) {
+        settled = false;
+        break;
+      }
+      if (ref == nullptr) ref = agent;
+      for (std::size_t p = 0; p < agent->port_count(); ++p)
+        if (agent->port_logic(p).state() != dtp::PortState::kSynced) {
+          settled = false;
+          break;
+        }
+      if (!settled) break;
+    }
+  }
+  settled_streak_ = settled ? settled_streak_ + 1 : 0;
+  if (ref == nullptr) return;
+
+  // Fold the exact offsets into the digest every sample (settled or not):
+  // this is the trace the serial-vs-parallel differential compares.
+  double lo = 0.0, hi = 0.0;
+  for (const DeviceMon& m : device_mons_) {
+    const dtp::Agent* agent = dtp_.agent_of(m.dev);
+    if (agent == nullptr) continue;
+    const __int128 units = agent->global_at(now).diff(ref->global_at(now));
+    offsets_digest_.mix_i128(units);
+    const double frac = dtp::true_offset_fractional(*agent, *ref, now);
+    lo = std::min(lo, frac);
+    hi = std::max(hi, frac);
+  }
+
+  if (settled_streak_ < params_.settle_samples) return;
+  ++stats_.offset_checks;
+  const double delta = static_cast<double>(ref->params().counter_delta);
+  const double spread_ticks = (hi - lo) / delta;
+  if (spread_ticks > offset_bound_ticks_) {
+    record(Violation{InvariantKind::kOffsetBound, now, "",
+                     spread_ticks, offset_bound_ticks_,
+                     "max pairwise offset exceeded 4TD while settled"});
+  }
+}
+
+void Sentinel::check_overhead(fs_t now) {
+  // Zero packet overhead (§4.2/§4.4): DTP must never manufacture or consume
+  // MAC frames. Every frame the PHY serialized must be one the MAC sent.
+  for (const auto& m : port_mons_) {
+    ++stats_.overhead_checks;
+    const std::uint64_t phy_frames = m->port->frames_sent();
+    const std::uint64_t mac_frames = m->dev->mac(m->port_index).stats().tx_frames;
+    if (phy_frames != mac_frames) {
+      record(Violation{InvariantKind::kZeroOverhead, now, m->label,
+                       static_cast<double>(phy_frames), static_cast<double>(mac_frames),
+                       "PHY frame count diverged from MAC frame count"});
+    }
+  }
+}
+
+void Sentinel::check_wrap_and_rate(fs_t now) {
+  // Reference agent for both checks: first live agent in device order.
+  const dtp::Agent* ref = nullptr;
+  for (const DeviceMon& m : device_mons_)
+    if ((ref = dtp_.agent_of(m.dev)) != nullptr) break;
+  if (ref == nullptr) return;
+
+  // Wrap self-check: reconstructing a nearby counter from its 53-bit BEACON
+  // payload must land exactly, including across the 2^53 / 2^106 seams.
+  ++stats_.wrap_checks;
+  const WideCounter gc = ref->global_at(now);
+  for (std::uint64_t ahead : {std::uint64_t{1}, std::uint64_t{200} * ref->params().counter_delta}) {
+    const WideCounter peer = gc.plus(ahead);
+    const WideCounter rebuilt = gc.reconstruct_from_lsb(peer.lsb53());
+    if (rebuilt.diff(peer) != 0) {
+      record(Violation{InvariantKind::kCounterWrap, now, ref->device().name(),
+                       static_cast<double>(static_cast<__int128>(rebuilt.diff(peer))),
+                       0.0, "reconstruct_from_lsb missed near " + gc.to_string()});
+    }
+  }
+
+  // Counter-runaway: the fastest any counter may legally advance is the
+  // fastest oscillator in the network plus measurement slack. A fast-forward
+  // bug (e.g. broken wrap compare) shows up here as a superluminal jump.
+  WideCounter net_max = gc;
+  for (const DeviceMon& m : device_mons_) {
+    const dtp::Agent* agent = dtp_.agent_of(m.dev);
+    if (agent == nullptr) continue;
+    net_max = max(net_max, agent->global_at(now));
+  }
+  if (have_net_max_ && !in_blackout(now) && !in_blackout(prev_net_max_at_)) {
+    ++stats_.rate_checks;
+    const fs_t elapsed = now - prev_net_max_at_;
+    const double nominal = static_cast<double>(ref->device().oscillator().nominal_period());
+    const double ppm = net_.params().ppm_spread + params_.extra_ppm_margin;
+    const double max_ticks = static_cast<double>(elapsed) / (nominal * (1.0 - ppm * 1e-6));
+    const double delta = static_cast<double>(ref->params().counter_delta);
+    const double bound = (max_ticks + 4.0) * delta;
+    const double advance = static_cast<double>(net_max.diff(prev_net_max_));
+    if (advance > bound) {
+      record(Violation{InvariantKind::kCounterRunaway, now, "",
+                       advance, bound,
+                       "network-max counter advanced faster than any oscillator"});
+    }
+  }
+  prev_net_max_ = net_max;
+  prev_net_max_at_ = now;
+  have_net_max_ = true;
+}
+
+RunDigest Sentinel::digest() const {
+  RunDigest d = offsets_digest_;
+  const sim::SimStats st = net_.simulator().stats();
+  d.mix(st.scheduled);
+  d.mix(st.executed);
+  d.mix(st.cancelled);
+  for (std::size_t i = 0; i < sim::kEventCategoryCount; ++i)
+    d.mix(st.executed_by_category[i]);
+  for (const auto& m : port_mons_) {
+    d.mix(m->port->frames_sent());
+    d.mix(m->port->control_blocks_sent());
+  }
+  for (const DeviceMon& m : device_mons_) {
+    const dtp::Agent* agent = dtp_.agent_of(m.dev);
+    if (agent == nullptr) {
+      d.mix(~0ULL);
+      continue;
+    }
+    d.mix(agent->global_adjustments());
+    d.mix(agent->counter_resets());
+  }
+  return d;
+}
+
+}  // namespace dtpsim::check

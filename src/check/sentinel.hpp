@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file sentinel.hpp
+/// Always-on invariant sentinel (DESIGN.md §10).
+///
+/// Cheap online monitors for the paper's headline claims, attached to a
+/// live simulation: per-device clock monotonicity, global pairwise offset
+/// within 4TD once the network has settled, zero-overhead / idle-restore
+/// accounting at every PCS egress, SyncFifo crossing-delay bounds, and
+/// counter-wrap self-checks. Violations are recorded (never thrown) with
+/// simulated-time context; the stress fuzzer turns a non-empty violation
+/// list into a shrinkable repro file.
+///
+/// Costs: two branch tests per control block when idle (the PhyPort probe
+/// hooks), plus one periodic sampling event that walks the device list.
+/// Measured end to end in bench_sentinel_overhead (< 10% on the Fig. 6a
+/// saturated-MTU workload is the gated budget).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "check/violation.hpp"
+#include "common/wide_counter.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtpsim::check {
+
+/// FNV-1a accumulator over a run's observable outputs. Two runs of the same
+/// campaign (any thread count) must produce identical digests; the
+/// differential harness turns a mismatch into a kDigestMismatch violation.
+struct RunDigest {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xFF;
+      hash *= 0x100000001B3ULL;
+    }
+  }
+  void mix_i128(__int128 v) {
+    mix(static_cast<std::uint64_t>(static_cast<unsigned __int128>(v)));
+    mix(static_cast<std::uint64_t>(static_cast<unsigned __int128>(v) >> 64));
+  }
+
+  std::string hex() const;
+  bool operator==(const RunDigest&) const = default;
+};
+
+struct SentinelParams {
+  /// Ground-truth sampling cadence. The per-block probes are continuous;
+  /// this only paces the device-list walk.
+  fs_t sample_period = from_us(5);
+  /// Pairwise offset bound in ticks; 0 = 4 * diameter + 1 (the 4TD claim
+  /// plus the one-tick sampling/phase quantum bench_fig6a also allows).
+  double offset_bound_ticks = 0.0;
+  /// Hop diameter used for the default bound; 0 = BFS over the cables.
+  std::size_t diameter_hops = 0;
+  /// Consecutive all-synced samples before the offset monitor arms.
+  int settle_samples = 8;
+  /// Slack added to the FIFO crossing bound, as a fraction of one period
+  /// (covers the re-anchor quantization of a drifting oscillator).
+  double fifo_slack_fraction = 0.75;
+  /// Oscillator-error margin (ppm) for the counter-runaway bound, on top of
+  /// the network's configured ppm spread.
+  double extra_ppm_margin = 100.0;
+  /// Cap on stored violations per kind (the rest are counted, not stored).
+  std::size_t max_stored_per_kind = 16;
+};
+
+/// Counts of checks actually performed — the "is the sentinel alive" gauge
+/// asserted by tests so a silent monitor cannot rot into a no-op.
+struct SentinelStats {
+  std::uint64_t samples = 0;
+  std::uint64_t monotonic_checks = 0;
+  std::uint64_t offset_checks = 0;
+  std::uint64_t overhead_checks = 0;
+  std::uint64_t wrap_checks = 0;
+  std::uint64_t rate_checks = 0;
+  std::uint64_t tx_probe_checks = 0;
+  std::uint64_t fifo_probe_checks = 0;
+  std::uint64_t suppressed_violations = 0;
+};
+
+class Sentinel {
+ public:
+  /// Attaches probes to every port of `net` and starts the periodic
+  /// sampler. Both `net` and `dtp` must outlive the sentinel.
+  Sentinel(net::Network& net, dtp::DtpNetwork& dtp, SentinelParams params = {});
+  ~Sentinel();
+
+  Sentinel(const Sentinel&) = delete;
+  Sentinel& operator=(const Sentinel&) = delete;
+
+  /// Declare [from, until) a fault window: the offset and runaway monitors
+  /// hold their fire (monotonicity, FIFO, and egress checks stay armed —
+  /// those invariants survive any fault).
+  void add_blackout(fs_t from, fs_t until);
+
+  /// Record an externally detected violation (the differential harness's
+  /// kDigestMismatch enters here).
+  void report(Violation v);
+
+  /// All stored violations, sorted by (time, kind, device) so parallel-mode
+  /// worker interleaving cannot reorder the report.
+  std::vector<Violation> violations() const;
+  std::uint64_t violation_count() const;
+  bool clean() const { return violation_count() == 0; }
+
+  SentinelStats stats() const;
+
+  /// Digest of everything this run observably produced: sentinel offset
+  /// samples, simulator event counts, per-port frame/control counts, and
+  /// per-agent adjustment/reset counters. Call after the run completes.
+  RunDigest digest() const;
+
+  const SentinelParams& params() const { return params_; }
+  double offset_bound_ticks() const { return offset_bound_ticks_; }
+  std::size_t diameter_hops() const { return diameter_hops_; }
+
+ private:
+  struct PortMon;
+  struct DeviceMon;
+
+  void sample();
+  void check_monotonic(fs_t now);
+  void check_offsets(fs_t now);
+  void check_overhead(fs_t now);
+  void check_wrap_and_rate(fs_t now);
+  bool in_blackout(fs_t t) const;
+  void record(Violation v);
+
+  net::Network& net_;
+  dtp::DtpNetwork& dtp_;
+  SentinelParams params_;
+  std::size_t diameter_hops_ = 0;
+  double offset_bound_ticks_ = 0.0;
+
+  std::vector<std::unique_ptr<PortMon>> port_mons_;
+  std::vector<DeviceMon> device_mons_;
+  std::vector<std::pair<fs_t, fs_t>> blackouts_;
+
+  int settled_streak_ = 0;
+  bool have_net_max_ = false;
+  WideCounter prev_net_max_;
+  fs_t prev_net_max_at_ = 0;
+  RunDigest offsets_digest_;
+
+  // Coordinator-written counters (sampler) need no lock; the violation
+  // store is shared with worker-thread probes.
+  SentinelStats stats_;
+  mutable std::mutex mu_;
+  std::vector<Violation> violations_;
+  std::uint64_t violation_counts_[kInvariantKindCount] = {};
+
+  std::unique_ptr<sim::PeriodicProcess> sampler_;
+};
+
+}  // namespace dtpsim::check

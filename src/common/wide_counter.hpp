@@ -104,9 +104,11 @@ class WideCounter {
   unsigned __int128 value_ = 0;
 };
 
-/// max() as used by Algorithm 1/2 (monotonic fast-forward).
+/// max() as used by Algorithm 1/2 (monotonic fast-forward). Wrap-aware: two
+/// live clocks near the 2^106 wrap sit on opposite sides of zero, so the
+/// comparison goes through the signed modular distance, not the raw value.
 constexpr WideCounter max(const WideCounter& a, const WideCounter& b) {
-  return a.value() >= b.value() ? a : b;
+  return a.diff(b) >= 0 ? a : b;
 }
 
 }  // namespace dtpsim

@@ -16,20 +16,32 @@ Agent::Agent(net::Device& dev, DtpParams params)
 }
 
 double Agent::global_fractional_at(fs_t t) const {
+  // Full 106-bit value converted directly: monotone and continuous across
+  // 2^64 (the old low-64 truncation produced a discontinuity there), merely
+  // quantized beyond 2^53. Software clocks built on this stay smooth; exact
+  // offset math differences the WideCounters instead.
+  const WideCounter v = global_.at_tick(tick_at(t));
+  return static_cast<double>(v.value()) + phase_units_at(t);
+}
+
+double Agent::phase_units_at(fs_t t) const {
   const auto& osc = dev_.oscillator();
   const std::int64_t k = osc.tick_at(t);
   const fs_t edge = osc.edge_of_tick(k);
   const double frac = static_cast<double>(t - edge) / static_cast<double>(osc.period());
-  const WideCounter v = global_.at_tick(k);
-  return static_cast<double>(static_cast<unsigned long long>(
-             v.value() & 0xFFFF'FFFF'FFFF'FFFFULL)) +
-         frac * static_cast<double>(params_.counter_delta);
+  return frac * static_cast<double>(params_.counter_delta);
 }
 
 void Agent::force_global(fs_t t, const WideCounter& v) {
   const std::int64_t k = tick_at(t);
   global_.set(k, v);
-  sync_locals_to_global(k);
+  // Locals must follow unconditionally, not via the monotone
+  // sync_locals_to_global: an operator-set value can be *behind* the current
+  // counter in signed-modular terms (e.g. aging a young network to just
+  // below the 2^106 wrap), and a fast-forward would silently keep the old
+  // lc — after which every peer beacon compares against the stale local and
+  // is rejected as "behind us" while the network drifts apart.
+  for (auto& p : ports_) p->local_.set(k, v);
   // An operator-set counter is a join-sized event: announce it so peers do
   // not spend eternity range-filtering our beacons.
   for (auto& p : ports_)
@@ -103,7 +115,11 @@ __int128 true_offset_units(const Agent& a, const Agent& b, fs_t t) {
 }
 
 double true_offset_fractional(const Agent& a, const Agent& b, fs_t t) {
-  return a.global_fractional_at(t) - b.global_fractional_at(t);
+  // Difference the exact 106-bit counters (wrap-aware), then add the
+  // sub-tick phase difference. Differencing global_fractional_at values
+  // would lose the offset entirely once the counters pass 2^53.
+  const __int128 units = a.global_at(t).diff(b.global_at(t));
+  return static_cast<double>(units) + (a.phase_units_at(t) - b.phase_units_at(t));
 }
 
 }  // namespace dtpsim::dtp

@@ -52,8 +52,16 @@ class Agent {
   WideCounter global_at(fs_t t) const { return global_.at_tick(tick_at(t)); }
 
   /// Global counter in fractional ticks at time `t` (ground-truth probes):
-  /// counter units plus the phase fraction into the current tick.
+  /// counter units plus the phase fraction into the current tick. Rendered
+  /// as a double, so beyond 2^53 units the absolute value quantizes; offset
+  /// probes must not difference two of these — use true_offset_fractional,
+  /// which differences the exact 106-bit counters first.
   double global_fractional_at(fs_t t) const;
+
+  /// Fraction of the current oscillator tick elapsed at `t`, in counter
+  /// units: phase_in_tick * counter_delta, in [0, delta). Exact enough to
+  /// difference between devices regardless of counter magnitude.
+  double phase_units_at(fs_t t) const;
 
   std::size_t port_count() const { return ports_.size(); }
   PortLogic& port_logic(std::size_t i) { return *ports_.at(i); }

@@ -36,19 +36,23 @@ class TickCounter {
   WideCounter at_tick(std::int64_t k) const {
     if (k < base_tick_) throw std::logic_error("TickCounter: query before anchor");
     WideCounter v = base_.plus(static_cast<std::uint64_t>(k - base_tick_) * delta_);
-    if (cap_ && v.value() > cap_->value()) return *cap_;
+    if (cap_ && v.diff(*cap_) > 0) return *cap_;
     return v;
   }
 
   /// Set the value at tick `k` to max(current value, v) — the monotone
   /// fast-forward of T4/T5. Returns the jump size in counter units
-  /// (0 if the counter was already ahead).
+  /// (0 if the counter was already ahead). The comparison is the signed
+  /// modular distance, so the max stays monotone while the 106-bit value
+  /// wraps past zero (raw `>` would reject every fast-forward in the wrap
+  /// window and freeze the counter behind its peers).
   unsigned __int128 fast_forward(std::int64_t k, const WideCounter& v) {
     const WideCounter cur = at_tick(k);
     base_tick_ = k;
-    if (v.value() > cur.value()) {
+    const __int128 jump = v.diff(cur);
+    if (jump > 0) {
       base_ = v;
-      return v.value() - cur.value();
+      return static_cast<unsigned __int128>(jump);
     }
     base_ = cur;
     return 0;
@@ -66,15 +70,15 @@ class TickCounter {
   /// Set an absolute ceiling: reads beyond it stall at the ceiling until it
   /// is raised. Implements the §5.4 "the local counter of a child should
   /// stall occasionally" rule for children with faster oscillators than
-  /// their master. Comparison is by absolute 106-bit value (a stall across
-  /// the 2^106 wrap is ~667 days of divergence and out of scope).
+  /// their master. Comparison is by signed modular distance so the cap keeps
+  /// working while counter and ceiling straddle the 2^106 wrap.
   void set_cap(const WideCounter& cap) { cap_ = cap; }
   void clear_cap() { cap_.reset(); }
   bool capped_at(std::int64_t k) const {
     if (!cap_) return false;
     const WideCounter raw =
         base_.plus(static_cast<std::uint64_t>(k - base_tick_) * delta_);
-    return raw.value() > cap_->value();
+    return raw.diff(*cap_) > 0;
   }
 
  private:

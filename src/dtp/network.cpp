@@ -12,27 +12,29 @@ Agent* DtpNetwork::agent_of(const net::Device* dev) const {
 
 unsigned __int128 DtpNetwork::max_pairwise_offset_units(fs_t t) const {
   if (agents_.empty()) return 0;
-  // max pairwise |a - b| = max(a) - min(a).
-  unsigned __int128 lo = agents_.front()->global_at(t).value();
-  unsigned __int128 hi = lo;
+  // max pairwise |a - b| = max(rel) - min(rel), with every counter measured
+  // relative to agent 0 via the wrap-aware signed distance. Raw min/max of
+  // the 106-bit values splits the fleet across the 2^106 wrap.
+  const WideCounter ref = agents_.front()->global_at(t);
+  __int128 lo = 0, hi = 0;
   for (const auto& a : agents_) {
-    const unsigned __int128 v = a->global_at(t).value();
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
+    const __int128 d = a->global_at(t).diff(ref);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
   }
-  return hi - lo;
+  return static_cast<unsigned __int128>(hi - lo);
 }
 
 double DtpNetwork::max_pairwise_offset_ticks(fs_t t) const {
   if (agents_.empty()) return 0.0;
-  double lo = agents_.front()->global_fractional_at(t);
-  double hi = lo;
+  const Agent& ref = *agents_.front();
+  double lo = 0.0, hi = 0.0;
   for (const auto& a : agents_) {
-    const double v = a->global_fractional_at(t);
+    const double v = true_offset_fractional(*a, ref, t);
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }
-  return (hi - lo) / static_cast<double>(agents_.front()->params().counter_delta);
+  return (hi - lo) / static_cast<double>(ref.params().counter_delta);
 }
 
 bool DtpNetwork::all_synced() const {

@@ -78,6 +78,12 @@ std::vector<Device*> Network::devices() const {
   return out;
 }
 
+Device* Network::find_device(const std::string& name) const {
+  for (const auto& d : devices_)
+    if (d->name() == name) return d.get();
+  return nullptr;
+}
+
 StarTopology build_star(Network& net, std::size_t n_hosts, const std::string& prefix) {
   StarTopology topo;
   topo.hub = &net.add_switch("hub");
@@ -120,6 +126,51 @@ ChainTopology build_chain(Network& net, std::size_t n_switches) {
   }
   topo.right = &net.add_host("right");
   net.connect(*prev, *topo.right);
+  return topo;
+}
+
+RandomTreeTopology build_random_tree(Network& net, std::uint64_t shape_seed,
+                                     std::size_t n_switches, std::size_t n_hosts) {
+  if (n_switches == 0) throw std::invalid_argument("build_random_tree: need >= 1 switch");
+  RandomTreeTopology topo;
+  Rng shape(shape_seed);
+  std::vector<std::vector<std::size_t>> adj(n_switches);
+  for (std::size_t i = 0; i < n_switches; ++i)
+    topo.switches.push_back(&net.add_switch("sw" + std::to_string(i)));
+  for (std::size_t i = 1; i < n_switches; ++i) {
+    const std::size_t parent = shape.uniform(i);
+    net.connect(*topo.switches[parent], *topo.switches[i]);
+    adj[parent].push_back(i);
+    adj[i].push_back(parent);
+  }
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    Host& h = net.add_host("h" + std::to_string(i));
+    net.connect(*topo.switches[shape.uniform(n_switches)], h);
+    topo.hosts.push_back(&h);
+  }
+  // Switch-tree diameter by double BFS; hosts add one hop at each end.
+  auto farthest = [&adj, n_switches](std::size_t from) {
+    std::vector<int> dist(n_switches, -1);
+    dist[from] = 0;
+    std::vector<std::size_t> frontier{from};
+    std::size_t last = from;
+    while (!frontier.empty()) {
+      std::vector<std::size_t> next;
+      for (std::size_t u : frontier)
+        for (std::size_t v : adj[u])
+          if (dist[v] < 0) {
+            dist[v] = dist[u] + 1;
+            next.push_back(v);
+            last = v;
+          }
+      frontier = std::move(next);
+    }
+    return std::pair<std::size_t, std::size_t>(last, static_cast<std::size_t>(dist[last]));
+  };
+  const auto [far, _] = farthest(0);
+  const auto [far2, d] = farthest(far);
+  (void)far2;
+  topo.diameter_hops = d + (n_hosts > 0 ? 2 : 0);
   return topo;
 }
 

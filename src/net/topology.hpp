@@ -76,6 +76,10 @@ class Network {
   const std::vector<std::unique_ptr<phy::Cable>>& cables() const { return cables_; }
   std::vector<Device*> devices() const;
 
+  /// Look a device up by name (the repro-file key: every builder assigns
+  /// deterministic names). nullptr if absent.
+  Device* find_device(const std::string& name) const;
+
  private:
   DeviceParams make_device_params(double ppm);
   double sample_ppm();
@@ -119,6 +123,19 @@ struct ChainTopology {
   std::vector<Switch*> switches;
 };
 ChainTopology build_chain(Network& net, std::size_t n_switches);
+
+/// Random tree over `n_switches` switches ("sw0".."swN-1", sw0 the root:
+/// each switch i >= 1 hangs off a uniform switch j < i) with `n_hosts`
+/// hosts ("h0".."hM-1") on uniform switches. The shape is a pure function
+/// of `shape_seed`, independent of the network's own RNG, so a stress spec
+/// can name it by seed. Used by the fuzzer's topology sampling.
+struct RandomTreeTopology {
+  std::vector<Switch*> switches;
+  std::vector<Host*> hosts;
+  std::size_t diameter_hops = 0;  ///< longest shortest path, in hops
+};
+RandomTreeTopology build_random_tree(Network& net, std::uint64_t shape_seed,
+                                     std::size_t n_switches, std::size_t n_hosts);
 
 /// SyncE-style frequency syntonization over a network (Section 8 of the
 /// paper): breadth-first from `root`, each device's oscillator is

@@ -24,16 +24,41 @@ std::vector<Block> encode_frame(const std::vector<std::uint8_t>& bytes);
 
 /// Decoder state machine for a block stream. Feed blocks in order; complete
 /// frames are appended to `frames`. Idle blocks between frames are ignored
-/// (their DTP content is handled a layer below). Malformed sequences (data
-/// before /S/, missing /T/) raise `DecodeError`.
+/// (their DTP content is handled a layer below).
+///
+/// Hardened against adversarial input (clause 49.2.13.2.2 behaviour): a
+/// malformed sequence — invalid sync header, /S/ or /E/ mid-frame, data or
+/// /T/ outside a frame, an unrecognized control block type — never throws
+/// and never wedges the decoder. The error is counted, any partial frame is
+/// dropped, and the state machine resynchronizes on the next clean boundary
+/// (an /S/ after idles; a mid-frame /S/ itself starts the next frame).
 class FrameDecoder {
  public:
+  /// Legacy alias: feed() no longer throws, but callers that still name the
+  /// type (catch blocks written against the old API) keep compiling.
   struct DecodeError : std::runtime_error {
     using std::runtime_error::runtime_error;
   };
 
+  /// Per-kind error tallies; `total()` is the sentinel/fuzzer headline.
+  struct ErrorStats {
+    std::uint64_t bad_sync = 0;           ///< sync header not 0b01/0b10
+    std::uint64_t idle_in_frame = 0;      ///< /E/ before the frame's /T/
+    std::uint64_t start_in_frame = 0;     ///< /S/ before the frame's /T/
+    std::uint64_t data_outside_frame = 0; ///< data block while hunting /S/
+    std::uint64_t term_outside_frame = 0; ///< /T/ while hunting /S/
+    std::uint64_t bad_block_type = 0;     ///< unrecognized control type byte
+    std::uint64_t frames_dropped = 0;     ///< partial frames discarded
+
+    std::uint64_t total() const {
+      return bad_sync + idle_in_frame + start_in_frame + data_outside_frame +
+             term_outside_frame + bad_block_type;
+    }
+  };
+
   /// Feed one block. Returns true when this block completed a frame; the
-  /// frame is then available via `take_frame()`.
+  /// frame is then available via `take_frame()`. Never throws on malformed
+  /// input — see the class comment.
   bool feed(const Block& b);
 
   /// Retrieve the most recently completed frame (moves it out).
@@ -42,11 +67,17 @@ class FrameDecoder {
   /// True while mid-frame (between /S/ and /T/).
   bool in_frame() const { return in_frame_; }
 
+  const ErrorStats& errors() const { return errors_; }
+
  private:
+  /// Abandon any partial frame (malformed sequence observed mid-frame).
+  void drop_partial();
+
   bool in_frame_ = false;
   std::vector<std::uint8_t> current_;
   std::vector<std::uint8_t> completed_;
   bool has_completed_ = false;
+  ErrorStats errors_;
 };
 
 }  // namespace dtpsim::phy

@@ -84,6 +84,7 @@ void PhyPort::schedule_control_service() {
         ControlFactory factory = std::move(control_queue_.front());
         control_queue_.pop_front();
         const std::uint64_t bits = factory(tx_start, tx_tick);
+        if (probe_control_tx) probe_control_tx(bits, tx_start);
         const fs_t tx_end = osc_.edge_of_tick(tx_tick + 1);
         line_free_ = tx_end;
         ++control_sent_;
@@ -121,7 +122,9 @@ void PhyPort::deliver_control(std::uint64_t bits56, fs_t tx_end, bool corrupted)
   sim_.schedule_at(
       crossing.visible_time,
       [this, bits56, wire_arrival, crossing, corrupted] {
-        if (on_control) on_control(ControlRx{bits56, wire_arrival, crossing, corrupted});
+        const ControlRx rx{bits56, wire_arrival, crossing, corrupted};
+        if (probe_control_rx) probe_control_rx(rx);
+        if (on_control) on_control(rx);
       },
       sim::EventCategory::kFrame);
 }

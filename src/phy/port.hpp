@@ -140,6 +140,17 @@ class PhyPort {
   std::function<void(const ControlRx&)> on_control;  ///< DTP sublayer input
   std::function<void(const FrameRx&)> on_frame;      ///< MAC input
 
+  // Observation probes (check::Sentinel). Pure observers, distinct from the
+  // protocol hooks above: they must not schedule events or mutate port
+  // state. Fired on the port's shard thread in parallel mode, so a probe
+  // shared across ports must synchronize its own state.
+  /// Fired as a control block is serialized, before the cable sees it:
+  /// the 56-bit payload and the tick edge it occupies.
+  std::function<void(std::uint64_t bits56, fs_t tx_start)> probe_control_tx;
+  /// Fired when a control block becomes visible in the local clock domain,
+  /// just before `on_control`.
+  std::function<void(const ControlRx&)> probe_control_rx;
+
  private:
   friend class Cable;
 

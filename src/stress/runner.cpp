@@ -1,0 +1,162 @@
+#include "stress/runner.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "chaos/engine.hpp"
+#include "chaos/serialize.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtpsim::stress {
+
+namespace {
+
+/// Build the spec's topology into `net` and return the hosts that can
+/// source/sink traffic (switch-only shapes return empty).
+std::vector<net::Host*> build_topology(net::Network& net, const StressSpec& s) {
+  switch (s.topo) {
+    case TopoKind::kChain: {
+      auto topo = net::build_chain(net, s.chain_switches);
+      return {topo.left, topo.right};
+    }
+    case TopoKind::kPaperTree:
+      return net::build_paper_tree(net).leaves;
+    case TopoKind::kRandomTree:
+      return net::build_random_tree(net, s.shape_seed, s.tree_switches, s.tree_hosts).hosts;
+    case TopoKind::kFatTree:
+      return net::build_fat_tree(net, static_cast<int>(s.fat_k),
+                                 static_cast<int>(s.fat_hosts_per_edge))
+          .hosts;
+  }
+  throw std::invalid_argument("stress: unknown topology kind");
+}
+
+void start_traffic(net::Network& net, const std::vector<net::Host*>& hosts,
+                   const StressSpec& s) {
+  if (s.n_flows == 0 || hosts.size() < 2) return;
+  net::TrafficParams tp;
+  tp.saturate = s.saturate;
+  tp.rate_bps = s.rate_gbps * 1e9;
+  tp.frame_bytes = s.frame_bytes;
+  const std::size_t h = hosts.size();
+  const std::size_t stride = std::max<std::size_t>(1, h / 2);
+  for (std::uint32_t i = 0; i < s.n_flows; ++i) {
+    const std::size_t src = i % h;
+    std::size_t dst = (src + stride + i / h) % h;
+    if (dst == src) dst = (dst + 1) % h;
+    net.add_traffic(*hosts[src], hosts[dst]->addr(), tp).start();
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const StressSpec& spec) {
+  sim::Simulator sim(spec.sim_seed);
+
+  net::NetworkParams np;
+  np.ppm_spread = spec.ppm_spread;
+  np.enable_drift = spec.enable_drift;
+  if (spec.enable_drift) {
+    np.drift.step_ppm = 0.01;
+    np.drift.update_interval = from_ms(10);
+  }
+  np.cable.propagation_delay = spec.propagation_delay;
+  // INIT's delay measurement must not queue behind an in-flight data frame
+  // right after a replug (see MacParams::data_holdoff).
+  np.mac.data_holdoff = from_us(20);
+
+  net::Network net(sim, np);
+  const std::vector<net::Host*> hosts = build_topology(net, spec);
+
+  dtp::DtpParams dp;
+  dp.beacon_interval_ticks = spec.beacon_interval_ticks;
+  dtp::DtpNetwork dtp = dtp::enable_dtp(net, dp);
+
+  start_traffic(net, hosts, spec);
+
+  chaos::ChaosParams cp;
+  cp.dtp = dp;
+  chaos::ChaosEngine engine(net, dtp, cp);
+  chaos::FaultPlan plan;
+  for (const auto& f : spec.faults) plan.add(chaos::realize(f, net));
+  if (!plan.faults.empty()) engine.schedule(plan);
+
+  check::SentinelParams sp;
+  if (spec.sample_period > 0) sp.sample_period = spec.sample_period;
+  if (spec.offset_bound_ticks > 0) sp.offset_bound_ticks = spec.offset_bound_ticks;
+  check::Sentinel sentinel(net, dtp, sp);
+  for (const auto& f : spec.faults)
+    sentinel.add_blackout(f.at - 2 * sp.sample_period,
+                          fault_end(f) + recovery_margin(f.kind));
+
+  if (spec.threads > 1) sim.set_threads(spec.threads);
+
+  sim.run_until(spec.horizon);
+
+  CampaignResult r;
+  r.spec = spec;
+  r.violations = sentinel.violations();
+  r.digest = sentinel.digest();
+  r.sentinel_stats = sentinel.stats();
+  r.offset_bound_ticks = sentinel.offset_bound_ticks();
+  r.diameter_hops = sentinel.diameter_hops();
+  r.events_executed = sim.stats().executed;
+  r.shards = sim.shard_count();
+  return r;
+}
+
+CampaignResult run_differential(const StressSpec& spec) {
+  if (spec.threads <= 1) return run_campaign(spec);
+  StressSpec serial = spec;
+  serial.threads = 1;
+  const CampaignResult base = run_campaign(serial);
+  CampaignResult par = run_campaign(spec);
+  if (!(base.digest == par.digest)) {
+    check::Violation v;
+    v.kind = check::InvariantKind::kDigestMismatch;
+    v.at = spec.horizon;
+    v.device = "network";
+    v.observed = static_cast<double>(par.shards);
+    v.bound = 1.0;
+    v.detail = "serial digest " + base.digest.hex() + " != " +
+               std::to_string(spec.threads) + "-thread digest " + par.digest.hex();
+    par.violations.push_back(std::move(v));
+  }
+  return par;
+}
+
+BatchOutcome run_batch(std::uint64_t seed, std::uint32_t count,
+                       const StressLimits& limits, bool differential) {
+  BatchOutcome out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const StressSpec spec = generate(seed, i, limits);
+    CampaignResult r =
+        differential && spec.threads > 1 ? run_differential(spec) : run_campaign(spec);
+    ++out.campaigns;
+    out.events_executed += r.events_executed;
+    if (!r.clean()) out.failures.push_back(std::move(r));
+  }
+  return out;
+}
+
+void write_repro(const StressSpec& spec, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("stress: cannot open '" + path + "' for writing");
+  out << to_text(spec);
+  if (!out.flush()) throw std::runtime_error("stress: short write to '" + path + "'");
+}
+
+StressSpec load_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("stress: cannot read repro file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return spec_from_text(buf.str());
+}
+
+CampaignResult replay(const std::string& path) { return run_campaign(load_repro(path)); }
+
+}  // namespace dtpsim::stress

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file runner.hpp
+/// Campaign execution: StressSpec -> live simulation -> sentinel verdict.
+///
+/// `run_campaign` is the single code path behind the fuzzer batch, the
+/// `dtpsim --repro` CLI, the differential harness, and the shrinker — so a
+/// violation found anywhere replays identically everywhere. A campaign
+/// builds the spec's topology, DTP-enables it, starts traffic, schedules
+/// the fault plan through the chaos engine, attaches a `check::Sentinel`
+/// (with a blackout window per fault), and runs to the horizon.
+
+#include <string>
+#include <vector>
+
+#include "check/sentinel.hpp"
+#include "stress/spec.hpp"
+
+namespace dtpsim::stress {
+
+/// Everything a campaign produced. `spec` is echoed back so batch drivers
+/// can write a repro without tracking indices.
+struct CampaignResult {
+  StressSpec spec;
+  std::vector<check::Violation> violations;
+  check::RunDigest digest;
+  check::SentinelStats sentinel_stats;
+  double offset_bound_ticks = 0;
+  std::size_t diameter_hops = 0;
+  std::uint64_t events_executed = 0;
+  std::int32_t shards = 1;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Execute one campaign. Deterministic: same spec -> same result (any
+/// thread count yields the same digest). Throws std::invalid_argument if
+/// the spec is internally inconsistent (e.g. a fault names a device the
+/// topology does not build) — the shrinker treats that as "candidate
+/// invalid", not as a failure.
+CampaignResult run_campaign(const StressSpec& spec);
+
+/// Run the spec serially and with `spec.threads` workers and compare
+/// sentinel digests. On mismatch the returned (parallel) result gains a
+/// kDigestMismatch violation. Specs with threads <= 1 are run once.
+CampaignResult run_differential(const StressSpec& spec);
+
+/// Fixed-seed batch: generate + run campaigns [0, count). Clean results are
+/// summarized, failing ones returned whole (so the driver can write repros).
+struct BatchOutcome {
+  std::uint32_t campaigns = 0;
+  std::uint64_t events_executed = 0;
+  std::vector<CampaignResult> failures;
+
+  bool clean() const { return failures.empty(); }
+};
+
+/// `differential` additionally replays every multi-threaded spec serially
+/// and digest-compares the two runs.
+BatchOutcome run_batch(std::uint64_t seed, std::uint32_t count,
+                       const StressLimits& limits = {}, bool differential = false);
+
+// --- Repro files -----------------------------------------------------------
+
+/// Write `to_text(spec)` to `path` (throws std::runtime_error on I/O error).
+void write_repro(const StressSpec& spec, const std::string& path);
+
+/// Read + strictly parse a repro file (throws on I/O or parse errors).
+StressSpec load_repro(const std::string& path);
+
+/// load_repro + run_campaign — the exact `dtpsim --repro=<file>` semantics.
+CampaignResult replay(const std::string& path);
+
+}  // namespace dtpsim::stress

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file shrink.hpp
+/// Delta-debugging for failing campaigns.
+///
+/// Given a spec whose run produced violations, `shrink` greedily searches
+/// for a strictly smaller spec (by `spec_size`) that still reproduces a
+/// violation of the same kind: drop faults, collapse flap storms, drop to
+/// one thread, halve traffic, pull the horizon in, shave the topology.
+/// Each candidate is validated by actually re-running it through
+/// `run_campaign`, so the minimized repro is failing by construction.
+
+#include "stress/runner.hpp"
+
+namespace dtpsim::stress {
+
+struct ShrinkResult {
+  StressSpec minimal;           ///< smallest failing spec found
+  CampaignResult last_failure;  ///< the run that proved `minimal` fails
+  check::InvariantKind kind{};  ///< violation class being preserved
+  int runs = 0;                 ///< campaigns executed while shrinking
+  int reductions = 0;           ///< candidates adopted
+  double original_size = 0;     ///< spec_size of the input
+  double minimal_size = 0;      ///< spec_size of `minimal`
+};
+
+/// Shrink `spec`, whose run produced `failure` (must be non-clean). The
+/// preserved predicate is "some violation of the same kind as failure's
+/// first (sorted) violation". At most `max_runs` campaigns are executed.
+ShrinkResult shrink(const StressSpec& spec, const CampaignResult& failure,
+                    int max_runs = 48);
+
+}  // namespace dtpsim::stress

@@ -1,0 +1,84 @@
+// Serial-vs-parallel differential harness: the same campaign run with 1, 2
+// and 4 worker threads must produce bit-identical sentinel digests (offset
+// samples, event counts, frame counts, agent adjustments). Carries the
+// "parallel" label so the sanitize-threads preset runs it under TSan.
+
+#include <gtest/gtest.h>
+
+#include "stress/runner.hpp"
+
+using namespace dtpsim;
+
+namespace {
+
+stress::StressSpec differential_spec(std::uint32_t threads) {
+  stress::StressSpec s;
+  s.sim_seed = 777;
+  s.topo = stress::TopoKind::kPaperTree;
+  s.beacon_interval_ticks = 200;
+  s.ppm_spread = 100.0;
+  // >= 1 us of propagation gives the conservative partitioner lookahead.
+  s.propagation_delay = from_us(1);
+  s.n_flows = 3;
+  s.frame_bytes = 512;
+  s.rate_gbps = 2.0;
+  s.threads = threads;
+  s.settle = from_ms(3);
+  s.horizon = from_ms(4);
+  return s;
+}
+
+}  // namespace
+
+TEST(StressDifferential, TwoThreadDigestMatchesSerial) {
+  const stress::CampaignResult r = stress::run_differential(differential_spec(2));
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+  EXPECT_GT(r.shards, 1);
+}
+
+TEST(StressDifferential, FourThreadDigestMatchesSerial) {
+  const stress::CampaignResult r = stress::run_differential(differential_spec(4));
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+  EXPECT_GT(r.shards, 1);
+}
+
+TEST(StressDifferential, FourThreadWithFaultsMatchesSerial) {
+  stress::StressSpec s = differential_spec(4);
+  // A mid-run link flap plus a BER burst: fault handling itself must stay
+  // deterministic across thread counts.
+  chaos::FaultDescriptor flap;
+  flap.kind = chaos::FaultKind::kLinkFlap;
+  flap.a = "S0";
+  flap.b = "S2";
+  flap.at = from_ms(3) + from_us(300);
+  flap.duration = from_us(80);
+  s.faults.push_back(flap);
+
+  chaos::FaultDescriptor ber;
+  ber.kind = chaos::FaultKind::kBerBurst;
+  ber.a = "S1";
+  ber.b = "S4";
+  ber.at = from_ms(3) + from_us(500);
+  ber.duration = from_us(120);
+  ber.magnitude = 1e-5;
+  s.faults.push_back(ber);
+
+  s.horizon = stress::fault_end(ber) + stress::recovery_margin(ber.kind) + from_us(300);
+
+  const stress::CampaignResult r = stress::run_differential(s);
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+}
+
+TEST(StressDifferential, GeneratedParallelCampaignsMatchSerial) {
+  int checked = 0;
+  for (std::uint32_t i = 0; i < 32 && checked < 2; ++i) {
+    const stress::StressSpec s = stress::generate(/*seed=*/97, i);
+    if (s.threads <= 1) continue;
+    ++checked;
+    const stress::CampaignResult r = stress::run_differential(s);
+    for (const auto& v : r.violations)
+      ADD_FAILURE() << "campaign " << i << ": " << v.to_string() << "\nrepro:\n"
+                    << stress::to_text(s);
+  }
+  EXPECT_EQ(checked, 2);
+}

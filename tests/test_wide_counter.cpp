@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "check/sentinel.hpp"
+#include "dtp/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
 namespace dtpsim {
 namespace {
 
@@ -116,6 +121,73 @@ TEST(WideCounter, ReconstructIsExactWithinHalfRing) {
 TEST(WideCounter, ToStringFormat) {
   const auto c = WideCounter::from_halves(0xABC, 0x123);
   EXPECT_EQ(c.to_string(), "0x00000000000abc:00000000000123");
+}
+
+TEST(WideCounter, MaxIsWrapAwareAtTopOfRing) {
+  // Raw-value comparison would call `wrapped` (tiny value) the smaller one.
+  const WideCounter near_top = WideCounter::from_halves(kDtpPayloadMask, kDtpPayloadMask);
+  const WideCounter wrapped = near_top.plus(7);
+  EXPECT_EQ(max(near_top, wrapped), wrapped);
+  EXPECT_EQ(max(wrapped, near_top), wrapped);
+}
+
+TEST(WideCounter, DiffAcross64BitBoundary) {
+  // 2^64 sits mid-ring (bit 64 = bit 11 of the MSB half); values straddling
+  // it are ordinary neighbors and must behave like any others.
+  const WideCounter below = WideCounter::from_halves((1ULL << 11) - 1, kDtpPayloadMask - 2);
+  const WideCounter above = below.plus(10);
+  EXPECT_EQ(above.msb53(), 1ULL << 11);
+  EXPECT_EQ(static_cast<long long>(above.diff(below)), 10);
+  EXPECT_EQ(max(below, above), above);
+  EXPECT_EQ(below.reconstruct_from_lsb(above.lsb53()), above);
+}
+
+// --- Forced-wrap synced pairs (satellite: offset math near wrap) -----------
+//
+// Drive a real synchronized network's counters up to a boundary, run across
+// it with the invariant sentinel attached, and require total silence: no
+// monotonicity violation (the wrap is not a decrease), no offset-bound
+// violation (reconstruction and diff stay exact), live wrap self-checks.
+
+namespace {
+
+void run_forced_wrap(std::uint64_t seed, const WideCounter& force_value) {
+  sim::Simulator sim(seed);
+  net::NetworkParams np;
+  np.cable.propagation_delay = from_us(1);
+  net::Network net(sim, np);
+  net::build_chain(net, 1);  // left - sw0 - right
+  dtp::DtpNetwork dtp = dtp::enable_dtp(net, {});
+
+  sim.run_until(from_ms(3));
+  ASSERT_TRUE(dtp.all_synced());
+
+  // Jump every agent to the boundary simultaneously; BEACONs keep the pair
+  // agreeing on the max from here on, exactly as in a long-lived network.
+  const fs_t t = sim.now();
+  for (std::size_t i = 0; i < dtp.size(); ++i) dtp.agent(i).force_global(t, force_value);
+
+  check::Sentinel sentinel(net, dtp, {});
+  sim.run_until(t + from_ms(3));  // ~470k ticks: far across the boundary
+
+  EXPECT_GT(sentinel.stats().wrap_checks, 0u);
+  EXPECT_GT(sentinel.stats().offset_checks, 0u);
+  EXPECT_GT(sentinel.stats().monotonic_checks, 0u);
+  for (const auto& v : sentinel.violations()) ADD_FAILURE() << v.to_string();
+  EXPECT_LE(dtp.max_pairwise_offset_ticks(sim.now()), sentinel.offset_bound_ticks());
+}
+
+}  // namespace
+
+TEST(WideCounter, SyncedPairSurvives106BitWrap) {
+  // ~200k units below 2^106: the counters wrap mid-run.
+  run_forced_wrap(91, WideCounter::from_halves(kDtpPayloadMask, kDtpPayloadMask - 200'000));
+}
+
+TEST(WideCounter, SyncedPairSurvives64BitBoundary) {
+  // Just below 2^64: the low64 word overflows mid-run (the boundary the
+  // truncating fractional-offset implementation used to break at).
+  run_forced_wrap(92, WideCounter::from_halves((1ULL << 11) - 1, kDtpPayloadMask - 200'000));
 }
 
 }  // namespace

@@ -4,18 +4,22 @@
 ///          [--protocol=dtp|dtp-master|ptp|ntp] [--seconds=S] [--seed=N]
 ///          [--load=idle|heavy] [--beacon=TICKS] [--rate=1g|10g|40g|100g]
 ///          [--drift] [--ber=P] [--chaos=flap|storm|crash|ber|rogue|canonical]
-///          [--threads=N]
+///          [--threads=N] [--stress=N] [--repro=FILE] [--json-out=PATH]
 ///
 /// Prints a synchronization report: per-device clock state, worst pairwise
 /// offsets over the run, protocol message counts, and (for DTP) the 4TD
 /// bound verdict. With --chaos, runs a fault-injection plan on the paper's
 /// Fig. 5 tree under MTU-saturated load and prints the recovery report.
+/// With --stress, runs N randomized invariant-checked campaigns from --seed
+/// and writes a shrunken repro file per failure; with --repro, replays one
+/// repro file deterministically and exits with the sentinel verdict.
 ///
 /// Unknown or malformed flags are an error: the tool prints usage and exits
 /// with status 2 rather than silently running a different experiment.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <initializer_list>
 #include <iostream>
 #include <memory>
@@ -31,20 +35,36 @@
 #include "ntp/ntp.hpp"
 #include "ptp/client.hpp"
 #include "ptp/grandmaster.hpp"
-#include "ptp/transparent.hpp"
 #include "sim/simulator.hpp"
+#include "stress/runner.hpp"
+#include "stress/shrink.hpp"
+#include "ptp/transparent.hpp"
 
 namespace {
 
 using namespace dtpsim;
 
 constexpr const char* kUsage =
-    "usage: dtpsim [--topology=star|tree|chain|fattree] [--nodes=N]\n"
-    "              [--hops=D] [--protocol=dtp|dtp-master|ptp|ntp]\n"
-    "              [--seconds=S] [--seed=N] [--load=idle|heavy]\n"
-    "              [--beacon=TICKS] [--rate=1g|10g|40g|100g] [--drift]\n"
-    "              [--ber=P] [--chaos=flap|storm|crash|ber|rogue|canonical]\n"
-    "              [--threads=N]\n";
+    "usage: dtpsim [flags]\n"
+    "  --topology=star|tree|chain|fattree   shape to build (default tree = Fig. 5)\n"
+    "  --nodes=N            hosts in a star (default 8)\n"
+    "  --hops=D             chain hop count (default 4)\n"
+    "  --protocol=dtp|dtp-master|ptp|ntp    protocol under test (default dtp)\n"
+    "  --seconds=S          measured duration after settling (default 0.5)\n"
+    "  --seed=N             simulator seed / stress master seed (default 1)\n"
+    "  --load=idle|heavy    background traffic (default idle)\n"
+    "  --beacon=TICKS       DTP beacon interval in ticks (default 200)\n"
+    "  --rate=1g|10g|40g|100g  link rate (default 10g)\n"
+    "  --drift              enable oscillator drift random walk\n"
+    "  --ber=P              uniform cable bit-error rate (default 0)\n"
+    "  --chaos=flap|storm|crash|ber|rogue|canonical  fault-injection demo\n"
+    "  --threads=N          parallel conservative engine workers (default 1)\n"
+    "  --stress=N           run N randomized invariant-checked campaigns from\n"
+    "                       --seed; failures write dtpsim-repro-<seed>-<i>.txt\n"
+    "                       (+ a shrunken -min.txt) and exit 1\n"
+    "  --repro=FILE         replay one repro file; exit 0 = sentinel clean,\n"
+    "                       1 = violations reproduced, 2 = malformed file\n"
+    "  --json-out=PATH      write a machine-readable stress/repro summary\n";
 
 struct Options {
   std::string topology = "tree";
@@ -60,6 +80,9 @@ struct Options {
   bool drift = false;
   double ber = 0.0;
   unsigned threads = 1;
+  std::uint32_t stress = 0;  ///< 0 = off; N = campaign count
+  std::string repro;         ///< non-empty = replay this file
+  std::string json_out;      ///< non-empty = write JSON summary here
 };
 
 /// Thrown for anything the user got wrong on the command line; main() turns
@@ -103,7 +126,7 @@ Options parse(int argc, char** argv) {
 
     if (!one_of(key, {"help", "drift", "topology", "protocol", "load", "chaos",
                       "nodes", "hops", "seconds", "seed", "beacon", "rate", "ber",
-                      "threads"}))
+                      "threads", "stress", "repro", "json-out"}))
       throw UsageError("unknown flag '--" + key + "'");
     if (key == "help") continue;  // handled in main() before parsing
     if (key == "drift") {
@@ -156,6 +179,14 @@ Options parse(int argc, char** argv) {
       const long long n = parse_int(key, value);
       if (n < 1 || n > 64) throw UsageError("--threads must be in [1, 64]");
       o.threads = static_cast<unsigned>(n);
+    } else if (key == "stress") {
+      const long long n = parse_int(key, value);
+      if (n < 1 || n > 1'000'000) throw UsageError("--stress must be in [1, 1000000]");
+      o.stress = static_cast<std::uint32_t>(n);
+    } else if (key == "repro") {
+      o.repro = value;
+    } else if (key == "json-out") {
+      o.json_out = value;
     } else {  // ber — the whitelist above rules out everything else
       o.ber = parse_double(key, value);
       if (o.ber < 0 || o.ber >= 1) throw UsageError("--ber must be in [0, 1)");
@@ -163,6 +194,10 @@ Options parse(int argc, char** argv) {
   }
   if (!o.chaos.empty() && o.protocol != "dtp")
     throw UsageError("--chaos drives the DTP protocol; drop --protocol=" + o.protocol);
+  if (o.stress > 0 && !o.repro.empty())
+    throw UsageError("--stress and --repro are mutually exclusive");
+  if (!o.json_out.empty() && o.stress == 0 && o.repro.empty())
+    throw UsageError("--json-out only applies to --stress or --repro runs");
   return o;
 }
 
@@ -245,7 +280,98 @@ int run_chaos(const Options& o) {
   return ok ? 0 : 1;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+void write_json_summary(const std::string& path, const char* mode,
+                        std::uint32_t campaigns,
+                        const std::vector<stress::CampaignResult>& failures) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw UsageError("cannot write --json-out=" + path);
+  out << "{\n  \"mode\": \"" << mode << "\",\n  \"campaigns\": " << campaigns
+      << ",\n  \"failures\": [\n";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const auto& f = failures[i];
+    out << "    {\"sim_seed\": " << f.spec.sim_seed << ", \"digest\": \""
+        << f.digest.hex() << "\", \"violations\": [";
+    for (std::size_t v = 0; v < f.violations.size(); ++v)
+      out << (v ? ", " : "") << "\"" << json_escape(f.violations[v].to_string()) << "\"";
+    out << "]}" << (i + 1 < failures.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"clean\": " << (failures.empty() ? "true" : "false") << "\n}\n";
+}
+
+/// --stress=N: the fuzzer batch. Every campaign is invariant-checked; any
+/// failure is written out as a replayable repro plus a shrunken minimal one.
+int run_stress(const Options& o) {
+  std::printf("stress: %u campaigns from master seed %llu (differential on "
+              "multi-threaded specs)\n",
+              o.stress, static_cast<unsigned long long>(o.seed));
+  std::vector<stress::CampaignResult> failures;
+  std::uint64_t events = 0;
+  for (std::uint32_t i = 0; i < o.stress; ++i) {
+    const stress::StressSpec spec = stress::generate(o.seed, i);
+    stress::CampaignResult r =
+        spec.threads > 1 ? stress::run_differential(spec) : stress::run_campaign(spec);
+    events += r.events_executed;
+    if (r.clean()) continue;
+
+    const std::string base =
+        "dtpsim-repro-" + std::to_string(o.seed) + "-" + std::to_string(i);
+    stress::write_repro(r.spec, base + ".txt");
+    std::printf("campaign %u: %zu violation(s); repro written to %s.txt\n", i,
+                r.violations.size(), base.c_str());
+    for (const auto& v : r.violations) std::printf("  %s\n", v.to_string().c_str());
+
+    const stress::ShrinkResult s = stress::shrink(r.spec, r);
+    stress::write_repro(s.minimal, base + "-min.txt");
+    std::printf("  shrunk %.0f -> %.0f (size units, %d runs, %d reductions): %s-min.txt\n",
+                s.original_size, s.minimal_size, s.runs, s.reductions, base.c_str());
+    failures.push_back(std::move(r));
+  }
+  std::printf("stress: %u/%u campaigns clean, %llu events executed\n",
+              o.stress - static_cast<std::uint32_t>(failures.size()), o.stress,
+              static_cast<unsigned long long>(events));
+  if (!o.json_out.empty()) write_json_summary(o.json_out, "stress", o.stress, failures);
+  return failures.empty() ? 0 : 1;
+}
+
+/// --repro=FILE: deterministic replay; the sentinel verdict is the exit
+/// status (0 clean, 1 violations; a malformed file is a usage error, 2).
+int run_repro(const Options& o) {
+  stress::StressSpec spec;
+  try {
+    spec = stress::load_repro(o.repro);
+  } catch (const std::exception& e) {
+    throw UsageError(std::string("--repro: ") + e.what());
+  }
+  const stress::CampaignResult r =
+      spec.threads > 1 ? stress::run_differential(spec) : stress::run_campaign(spec);
+  std::printf("repro %s: threads=%u shards=%d events=%llu digest=%s\n", o.repro.c_str(),
+              spec.threads, r.shards, static_cast<unsigned long long>(r.events_executed),
+              r.digest.hex().c_str());
+  for (const auto& v : r.violations) std::printf("  %s\n", v.to_string().c_str());
+  std::printf("verdict: %s\n", r.clean() ? "CLEAN" : "VIOLATED");
+  if (!o.json_out.empty())
+    write_json_summary(o.json_out, "repro", 1,
+                       r.clean() ? std::vector<stress::CampaignResult>{}
+                                 : std::vector<stress::CampaignResult>{r});
+  return r.clean() ? 0 : 1;
+}
+
 int run(const Options& o) {
+  if (o.stress > 0) return run_stress(o);
+  if (!o.repro.empty()) return run_repro(o);
   if (!o.chaos.empty()) return run_chaos(o);
 
   sim::Simulator sim(o.seed);
