@@ -243,7 +243,7 @@ int main(int argc, char** argv) {
   json.add("scheduled", st.scheduled);
   json.add("cancelled", st.cancelled);
   json.add("peak_pending", static_cast<std::uint64_t>(st.peak_pending));
-  if (!json.write(out)) std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+  json.write(out);
 
   return ok ? 0 : 1;
 }

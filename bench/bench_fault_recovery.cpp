@@ -86,7 +86,6 @@ int main(int argc, char** argv) {
 
   json.add("pass", pass);
   const std::string out = json_out_path(flags, "fault_recovery");
-  if (!json.write(out))
-    std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+  json.write(out);
   return pass ? 0 : 1;
 }

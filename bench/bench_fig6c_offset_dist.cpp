@@ -51,11 +51,18 @@ int main(int argc, char** argv) {
       for (std::int64_t v = lo; v <= lo + 3; ++v) mass += hist.pdf(v);
       best_window = std::max(best_window, mass);
     }
+    // An empty probe series is a measurement failure, not a concentrated
+    // distribution — min_seen/max_seen are empty and the check must fail.
+    if (!hist.min_seen() || !hist.max_seen()) {
+      std::printf("  no samples collected for this pair\n");
+      concentrated = false;
+      continue;
+    }
     std::printf("  best 4-tick window holds %.1f%% of mass; range [%lld, %lld]\n",
-                100 * best_window, static_cast<long long>(hist.min_seen()),
-                static_cast<long long>(hist.max_seen()));
+                100 * best_window, static_cast<long long>(*hist.min_seen()),
+                static_cast<long long>(*hist.max_seen()));
     concentrated &= best_window > 0.95;
-    concentrated &= hist.max_seen() - hist.min_seen() <= 6;  // paper: -2..4
+    concentrated &= *hist.max_seen() - *hist.min_seen() <= 6;  // paper: -2..4
   }
 
   const bool pass = check(

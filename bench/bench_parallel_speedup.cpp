@@ -25,6 +25,7 @@
 #include "bench_util.hpp"
 #include "dtp/network.hpp"
 #include "net/topology.hpp"
+#include "obs/hub.hpp"
 #include "sim/simulator.hpp"
 
 using namespace dtpsim;
@@ -40,14 +41,33 @@ struct RunDigest {
   bool operator==(const RunDigest&) const = default;
 };
 
+/// Plain copy of the WallProfile totals (the profile itself holds atomics).
+struct WallBreakdown {
+  double serial_run = 0;
+  double parallel_segment = 0;
+  double worker_compute = 0;
+  double mailbox_drain = 0;
+  double instant_events = 0;
+};
+
 struct RunOutcome {
   RunDigest digest;
   double wall_seconds = 0;
   sim::ParallelStats par;
+  WallBreakdown wall;
 };
 
 RunOutcome run_fig5(unsigned threads, fs_t duration, std::uint64_t seed) {
+  // Profile-only hub: metrics and trace stay off so the event schedule is
+  // untouched — the engine's WallScopes are the only instrumentation live,
+  // letting the speedup figure come with a compute-vs-drain attribution.
+  obs::HubConfig hc;
+  hc.metrics_enabled = false;
+  hc.trace_enabled = false;
+  obs::Hub hub(hc);  // declared before sim: the engine holds a pointer
+
   sim::Simulator sim(seed);
+  sim.set_obs(&hub);
   net::NetworkParams np;
   // 1 us of propagation per cable: enough conservative lookahead for the
   // epochs to amortize the cross-thread handshakes.
@@ -77,6 +97,12 @@ RunOutcome run_fig5(unsigned threads, fs_t duration, std::uint64_t seed) {
   for (net::Host* h : net.hosts()) out.digest.frames += h->nic().stats().tx_frames;
   out.digest.final_offset_ticks = dtp.max_pairwise_offset_ticks(sim.now());
   out.par = sim.parallel_stats();
+  const obs::WallProfile& wp = hub.wall_profile();
+  out.wall.serial_run = wp.seconds(obs::WallPhase::kSerialRun);
+  out.wall.parallel_segment = wp.seconds(obs::WallPhase::kParallelSegment);
+  out.wall.worker_compute = wp.seconds(obs::WallPhase::kWorkerCompute);
+  out.wall.mailbox_drain = wp.seconds(obs::WallPhase::kMailboxDrain);
+  out.wall.instant_events = wp.seconds(obs::WallPhase::kInstant);
   return out;
 }
 
@@ -116,6 +142,16 @@ int main(int argc, char** argv) {
                 par.wall_seconds, cp, wall,
                 static_cast<unsigned long long>(par.par.cross_messages),
                 static_cast<unsigned long long>(par.par.epochs));
+    // Compute-vs-drain attribution from the engine's profiling scopes:
+    // worker_compute is summed across workers, so compute/(compute+drain)
+    // is the fraction of worker wall time spent firing events rather than
+    // waiting on / draining neighbor mailboxes.
+    const double busy = par.wall.worker_compute + par.wall.mailbox_drain;
+    const double compute_frac = busy > 0 ? par.wall.worker_compute / busy : 0;
+    std::printf("             wall attribution: compute %.3f s, mailbox drain %.3f s "
+                "(%.0f%% compute), instants %.3f s\n",
+                par.wall.worker_compute, par.wall.mailbox_drain, 100 * compute_frac,
+                par.wall.instant_events);
     if (threads == 2) cp2 = cp;
     if (threads == 4) {
       cp4 = cp;
@@ -128,8 +164,14 @@ int main(int argc, char** argv) {
       json.add("worker_events", par.par.worker_events);
       json.add("critical_path_events", par.par.critical_path_events);
       json.add("wall_seconds_4t", par.wall_seconds);
+      json.add("wall_worker_compute_seconds_4t", par.wall.worker_compute);
+      json.add("wall_mailbox_drain_seconds_4t", par.wall.mailbox_drain);
+      json.add("wall_parallel_segment_seconds_4t", par.wall.parallel_segment);
+      json.add("wall_instant_seconds_4t", par.wall.instant_events);
+      json.add("wall_compute_fraction_4t", compute_frac);
     }
   }
+  json.add("wall_serial_run_seconds", serial.wall.serial_run);
 
   json.add("speedup_2t", cp2);
   json.add("speedup_4t", cp4);

@@ -17,20 +17,45 @@
 
 namespace dtpsim::benchutil {
 
-/// Minimal `--key=value` flag reader.
+/// Minimal `--key=value` flag reader. Numeric getters are strict: a value
+/// that does not parse completely is a hard error (diagnostic + exit 2),
+/// never a silent fall back to the default — `--seconds=2,5` must not
+/// quietly run the 0.5 s experiment and report its numbers as 2.5 s ones.
 class Flags {
  public:
   Flags(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
   }
 
+  /// Strict parsers (testable without the exit path): false = malformed.
+  static bool parse_double_strict(const std::string& v, double* out) {
+    char* end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (end == nullptr || end == v.c_str() || *end != '\0') return false;
+    *out = x;
+    return true;
+  }
+  static bool parse_int_strict(const std::string& v, long long* out) {
+    char* end = nullptr;
+    const long long x = std::strtoll(v.c_str(), &end, 10);
+    if (end == nullptr || end == v.c_str() || *end != '\0') return false;
+    *out = x;
+    return true;
+  }
+
   double get_double(const std::string& key, double fallback) const {
     const auto v = find(key);
-    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+    if (v.empty()) return fallback;
+    double out = 0;
+    if (!parse_double_strict(v, &out)) die_malformed(key, v, "a number");
+    return out;
   }
   long long get_int(const std::string& key, long long fallback) const {
     const auto v = find(key);
-    return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+    if (v.empty()) return fallback;
+    long long out = 0;
+    if (!parse_int_strict(v, &out)) die_malformed(key, v, "an integer");
+    return out;
   }
   std::string get_string(const std::string& key, const std::string& fallback) const {
     const auto v = find(key);
@@ -44,6 +69,12 @@ class Flags {
   }
 
  private:
+  [[noreturn]] static void die_malformed(const std::string& key, const std::string& v,
+                                         const char* want) {
+    std::fprintf(stderr, "bench: --%s=%s is not %s\n", key.c_str(), v.c_str(), want);
+    std::exit(2);
+  }
+
   std::string find(const std::string& key) const {
     const std::string prefix = "--" + key + "=";
     for (const auto& a : args_)
@@ -169,15 +200,24 @@ class BenchJson {
   }
 
   /// Write the object to `path` and echo it on stdout as a "BENCH " line so
-  /// transcripts capture the numbers even when the file is discarded.
-  bool write(const std::string& path) const {
+  /// transcripts capture the numbers even when the file is discarded. Any
+  /// I/O failure is fatal (diagnostic + exit 1): a perf artifact that was
+  /// asked for but silently missing poisons every downstream comparison.
+  void write(const std::string& path) const {
     const std::string body = str();
     std::printf("BENCH %s\n", body.c_str());
     std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fprintf(f, "%s\n", body.c_str());
-    std::fclose(f);
-    return true;
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open '%s' for writing\n", path.c_str());
+      std::exit(1);
+    }
+    const bool wrote = std::fprintf(f, "%s\n", body.c_str()) >= 0;
+    const bool flushed = std::fflush(f) == 0 && std::ferror(f) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !flushed || !closed) {
+      std::fprintf(stderr, "bench: short write to '%s' (disk full?)\n", path.c_str());
+      std::exit(1);
+    }
   }
 
  private:

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "dtp/daemon.hpp"
+#include "obs/hub.hpp"
+#include "obs/json.hpp"
 
 namespace dtpsim::chaos {
 
@@ -61,14 +63,39 @@ ChaosEngine::Link* ChaosEngine::link_between(const net::Device& a, const net::De
   return nullptr;
 }
 
+void ChaosEngine::mark(const std::string& name) const {
+  if (auto* tr = hub_ != nullptr ? hub_->trace() : nullptr)
+    tr->instant_global(sim_.now(), name);
+}
+
+void ChaosEngine::record_result(const ProbeResult& r) {
+  report_.add(r);
+  --faults_pending_;
+  if (hub_ == nullptr) return;
+  if (auto* m = hub_->metrics()) {
+    m->add(m->counter("chaos.faults_recovered"));
+    if (r.converged)
+      m->observe(m->histogram("chaos.reconverge_beacons"), r.reconverge_beacons);
+  }
+  if (auto* tr = hub_->trace()) {
+    std::string args = "\"reconverge_beacons\": " + obs::json_double(r.reconverge_beacons) +
+                       ", \"residual_ticks\": " + obs::json_double(r.residual_ticks);
+    tr->instant_global(sim_.now(),
+                       (r.converged ? "recovered:" : "recovery-timeout:") + r.fault_class,
+                       args);
+  }
+}
+
 void ChaosEngine::take_link_down(Link& link) {
   if (!link.up) return;
+  mark("fault:link_down " + link.dev_a->name() + "-" + link.dev_b->name());
   link.cable->disconnect();
   link.up = false;
 }
 
 void ChaosEngine::bring_link_up(Link& link) {
   if (link.up) return;
+  mark("heal:link_up " + link.dev_a->name() + "-" + link.dev_b->name());
   // A replug is a fresh cable (Network-owned); transient impairments on the
   // old one (BER bursts, control drops) do not survive the swap.
   link.cable = &net_.connect_ports(*link.a, *link.b);
@@ -76,6 +103,7 @@ void ChaosEngine::bring_link_up(Link& link) {
 }
 
 void ChaosEngine::crash_node(net::Device& dev) {
+  mark("fault:node_crash " + dev.name());
   // Agent first — an abrupt power-off does not gracefully observe its own
   // links dying (no counter-reset bookkeeping on the corpse).
   dtp_.remove_agent(dev);
@@ -84,6 +112,7 @@ void ChaosEngine::crash_node(net::Device& dev) {
 }
 
 void ChaosEngine::restart_node(net::Device& dev) {
+  mark("heal:node_restart " + dev.name());
   for (Link& l : links_)
     if ((l.dev_a == &dev || l.dev_b == &dev) && !l.up) bring_link_up(l);
   // Fresh agent: counters at zero, INIT re-runs on every up link, and the
@@ -152,10 +181,7 @@ void ChaosEngine::start_probe(const FaultSpec& spec, ProbeResult seed,
   probes_.push_back(std::make_unique<RecoveryProbe>(
       sim_, pp,
       [this, affected = std::move(affected)] { return neighbor_offsets(affected); },
-      std::move(seed), [this](const ProbeResult& r) {
-        report_.add(r);
-        --faults_pending_;
-      }));
+      std::move(seed), [this](const ProbeResult& r) { record_result(r); }));
   probes_.back()->start();
 }
 
@@ -181,10 +207,7 @@ void ChaosEngine::start_daemon_probe(const FaultSpec& spec, ProbeResult seed) {
         s.valid = true;
         return s;
       },
-      std::move(seed), [this](const ProbeResult& r) {
-        report_.add(r);
-        --faults_pending_;
-      }));
+      std::move(seed), [this](const ProbeResult& r) { record_result(r); }));
   probes_.back()->start();
 }
 
@@ -202,6 +225,8 @@ void ChaosEngine::schedule(const FaultPlan& plan) {
 
 void ChaosEngine::schedule_fault(const FaultSpec& spec) {
   ++faults_pending_;
+  if (auto* m = hub_ != nullptr ? hub_->metrics() : nullptr)
+    m->add(m->counter("chaos.faults_injected"));
   switch (spec.kind) {
     case FaultKind::kLinkFlap:
     case FaultKind::kPortFail: {
@@ -230,8 +255,12 @@ void ChaosEngine::schedule_fault(const FaultSpec& spec) {
     }
     case FaultKind::kBerBurst: {
       Link* l = &require_link(spec);
-      sim_.schedule_at(spec.at, [l, ber = spec.magnitude] { l->cable->set_ber(ber); });
+      sim_.schedule_at(spec.at, [this, l, ber = spec.magnitude] {
+        mark("fault:ber_burst " + l->dev_a->name() + "-" + l->dev_b->name());
+        l->cable->set_ber(ber);
+      });
       sim_.schedule_at(spec.at + spec.duration, [this, l, spec] {
+        mark("heal:ber_clear " + l->dev_a->name() + "-" + l->dev_b->name());
         l->cable->set_ber(net_.params().cable.ber);
         start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
       });
@@ -239,9 +268,12 @@ void ChaosEngine::schedule_fault(const FaultSpec& spec) {
     }
     case FaultKind::kBeaconLoss: {
       Link* l = &require_link(spec);
-      sim_.schedule_at(spec.at,
-                       [l, drop = spec.magnitude] { l->cable->set_control_drop(drop); });
+      sim_.schedule_at(spec.at, [this, l, drop = spec.magnitude] {
+        mark("fault:beacon_loss " + l->dev_a->name() + "-" + l->dev_b->name());
+        l->cable->set_control_drop(drop);
+      });
       sim_.schedule_at(spec.at + spec.duration, [this, l, spec] {
+        mark("heal:beacon_loss_clear " + l->dev_a->name() + "-" + l->dev_b->name());
         l->cable->set_control_drop(0.0);
         start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
       });
@@ -259,6 +291,7 @@ void ChaosEngine::schedule_fault(const FaultSpec& spec) {
     case FaultKind::kRogueOscillator: {
       if (!spec.device) throw std::invalid_argument("chaos: rogue without device");
       sim_.schedule_at(spec.at, [this, spec] {
+        mark("fault:rogue_oscillator " + spec.device->name());
         // The thermal walk would pull the oscillator back toward its old
         // frequency; a genuinely broken part stays broken.
         spec.device->disable_drift();
@@ -269,11 +302,13 @@ void ChaosEngine::schedule_fault(const FaultSpec& spec) {
     }
     case FaultKind::kPcieStorm: {
       if (!spec.daemon) throw std::invalid_argument("chaos: pcie_storm without daemon");
-      sim_.schedule_at(spec.at, [spec] {
+      sim_.schedule_at(spec.at, [this, spec] {
+        mark("fault:pcie_storm");
         spec.daemon->set_pcie_stress(spec.pcie_extra_per_leg, spec.pcie_spike_prob,
                                      spec.pcie_spike_mean);
       });
       sim_.schedule_at(spec.at + spec.duration, [this, spec] {
+        mark("heal:pcie_clear");
         spec.daemon->clear_pcie_stress();
         start_daemon_probe(spec, make_seed(spec, sim_.now()));
       });
@@ -305,6 +340,7 @@ void ChaosEngine::watch_rogue(const FaultSpec& spec) {
 
 void ChaosEngine::rogue_poll(const FaultSpec& spec, fs_t deadline) {
   if (rogue_isolated(*spec.device)) {
+    mark("rogue_isolated " + spec.device->name());
     // Quarantine observed. After the operator reaction delay, clear the
     // collateral quarantines (ports that tripped on jumps the rogue's
     // counter caused to *propagate*, before the direct neighbor cut it
@@ -325,8 +361,7 @@ void ChaosEngine::rogue_poll(const FaultSpec& spec, fs_t deadline) {
     ProbeResult r = make_seed(spec, deadline);
     r.peer_isolated = false;
     r.converged = false;
-    report_.add(r);
-    --faults_pending_;
+    record_result(r);
     return;
   }
   sim_.schedule_at(sim_.now() + probe_sample_period(),

@@ -31,6 +31,10 @@ namespace dtpsim::dtp {
 class Daemon;
 }
 
+namespace dtpsim::obs {
+class Hub;
+}
+
 namespace dtpsim::chaos {
 
 /// Campaign-wide knobs.
@@ -95,6 +99,11 @@ class ChaosEngine {
   fs_t probe_sample_period() const;
   fs_t probe_timeout() const;
 
+  /// Attach observability (null detaches): fault begin/end become global
+  /// trace instants, recoveries feed the chaos.* metrics. Coordinator-only —
+  /// every chaos injection and probe callback already runs as a global event.
+  void set_obs(obs::Hub* hub) { hub_ = hub; }
+
  private:
   void schedule_fault(const FaultSpec& spec);
   Link& require_link(const FaultSpec& spec);
@@ -117,6 +126,10 @@ class ChaosEngine {
   /// Operator remediation: clear every kFaulty port in the network except
   /// those facing the rogue device (which stays quarantined).
   void remediate_collateral(const net::Device& rogue);
+  /// Global trace instant at sim-now (no-op without an attached hub).
+  void mark(const std::string& name) const;
+  /// Single funnel for probe completion: report, bookkeeping, obs emission.
+  void record_result(const ProbeResult& r);
 
   net::Network& net_;
   dtp::DtpNetwork& dtp_;
@@ -128,6 +141,8 @@ class ChaosEngine {
   std::vector<std::unique_ptr<RecoveryProbe>> probes_;
   std::size_t faults_pending_ = 0;  ///< scheduled faults not yet reported
   CampaignReport report_;
+  obs::Hub* hub_ = nullptr;  ///< see set_obs
+
 };
 
 }  // namespace dtpsim::chaos

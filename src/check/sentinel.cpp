@@ -6,6 +6,7 @@
 
 #include "net/device.hpp"
 #include "net/mac.hpp"
+#include "obs/hub.hpp"
 #include "phy/port.hpp"
 
 namespace dtpsim::check {
@@ -162,6 +163,11 @@ bool Sentinel::in_blackout(fs_t t) const {
 }
 
 void Sentinel::record(Violation v) {
+  // Trace first (its own lock): worker-thread probes report here too, and
+  // nesting the sink's mutex inside mu_ would create an avoidable ordering.
+  if (auto* tr = hub_ != nullptr ? hub_->trace() : nullptr)
+    tr->instant_global(v.at, std::string("violation:") + invariant_name(v.kind) +
+                                 (v.device.empty() ? "" : " " + v.device));
   std::lock_guard<std::mutex> lock(mu_);
   auto& count = violation_counts_[static_cast<int>(v.kind)];
   ++count;

@@ -28,6 +28,10 @@
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 
+namespace dtpsim::obs {
+class Hub;
+}
+
 namespace dtpsim::check {
 
 /// FNV-1a accumulator over a run's observable outputs. Two runs of the same
@@ -122,6 +126,11 @@ class Sentinel {
   double offset_bound_ticks() const { return offset_bound_ticks_; }
   std::size_t diameter_hops() const { return diameter_hops_; }
 
+  /// Attach observability (null detaches): every recorded violation also
+  /// becomes a global trace instant. Safe with worker-thread probes — the
+  /// trace sink is internally locked.
+  void set_obs(obs::Hub* hub) { hub_ = hub; }
+
  private:
   struct PortMon;
   struct DeviceMon;
@@ -156,6 +165,7 @@ class Sentinel {
   mutable std::mutex mu_;
   std::vector<Violation> violations_;
   std::uint64_t violation_counts_[kInvariantKindCount] = {};
+  obs::Hub* hub_ = nullptr;  ///< see set_obs
 
   std::unique_ptr<sim::PeriodicProcess> sampler_;
 };

@@ -74,12 +74,8 @@ IntHistogram::IntHistogram(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) 
 }
 
 void IntHistogram::add(std::int64_t v) {
-  if (total_ == 0) {
-    min_seen_ = max_seen_ = v;
-  } else {
-    min_seen_ = std::min(min_seen_, v);
-    max_seen_ = std::max(max_seen_, v);
-  }
+  min_seen_ = min_seen_ ? std::min(*min_seen_, v) : v;
+  max_seen_ = max_seen_ ? std::max(*max_seen_, v) : v;
   ++total_;
   const std::int64_t clamped = std::clamp(v, lo_, hi_);
   ++counts_[static_cast<std::size_t>(clamped - lo_)];

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,9 +62,12 @@ class IntHistogram {
   std::uint64_t total() const { return total_; }
   std::uint64_t count(std::int64_t v) const;
   double pdf(std::int64_t v) const;
-  /// Smallest / largest value observed (clamped values count at the edges).
-  std::int64_t min_seen() const { return min_seen_; }
-  std::int64_t max_seen() const { return max_seen_; }
+  /// Smallest / largest raw value observed (values outside [lo, hi] are
+  /// clamped into the edge bins but reported here unclamped). Empty on an
+  /// empty histogram — a reader must not mistake "no samples" for an
+  /// observed 0.
+  std::optional<std::int64_t> min_seen() const { return min_seen_; }
+  std::optional<std::int64_t> max_seen() const { return max_seen_; }
 
   std::string render(std::size_t width = 50, bool show_empty = true) const;
 
@@ -71,8 +75,8 @@ class IntHistogram {
   std::int64_t lo_, hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
-  std::int64_t min_seen_ = 0;
-  std::int64_t max_seen_ = 0;
+  std::optional<std::int64_t> min_seen_;
+  std::optional<std::int64_t> max_seen_;
 };
 
 }  // namespace dtpsim

@@ -1,8 +1,10 @@
 #include "dtp/port.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "dtp/agent.hpp"
+#include "obs/hub.hpp"
 
 namespace dtpsim::dtp {
 
@@ -54,12 +56,21 @@ void PortLogic::start() {
   if (port_.link_up()) handle_link_up();
 }
 
+void PortLogic::set_state(PortState s) {
+  if (s == state_) return;
+  state_ = s;
+  ++stats_.state_transitions;
+  if (auto* tr = obs_hub_ != nullptr ? obs_hub_->trace() : nullptr)
+    tr->instant(obs_track_, agent_.simulator().now(),
+                std::string("state:") + to_string(s));
+}
+
 void PortLogic::handle_link_up() {
   if (jump_detector_.tripped()) {
     // The quarantine survives a link bounce inside the cooldown — otherwise
     // a flapping cable would launder a faulty peer back in every few ms.
     if (agent_.simulator().now() - faulted_at_ < agent_.params().fault_cooldown) {
-      state_ = PortState::kFaulty;
+      set_state(PortState::kFaulty);
       return;
     }
     jump_detector_.reset();
@@ -71,7 +82,7 @@ void PortLogic::clear_fault() {
   if (state_ != PortState::kFaulty) return;
   jump_detector_.reset();
   if (!port_.link_up()) {
-    state_ = PortState::kDown;
+    set_state(PortState::kDown);
     return;
   }
   if (owd_units_) {
@@ -82,7 +93,7 @@ void PortLogic::clear_fault() {
     // beaconing repairs. Announce our counter instead: if we fell behind
     // while quarantined, the peer answers a far-behind join with its own
     // and we adopt the network maximum in one exchange.
-    state_ = PortState::kSynced;
+    set_state(PortState::kSynced);
     send_join();
     schedule_beacon();
     return;
@@ -91,7 +102,7 @@ void PortLogic::clear_fault() {
 }
 
 void PortLogic::handle_link_down() {
-  state_ = PortState::kDown;
+  set_state(PortState::kDown);
   // The measured delay belongs to the old cable; a reconnection re-measures.
   owd_units_.reset();
   init_echo_wait_.reset();
@@ -108,7 +119,7 @@ WideCounter PortLogic::local_at(fs_t t) const {
 // T0: lc <- gc; send (INIT, lc). The counter is stamped at the instant the
 // idle block serializes, exactly as the hardware would.
 void PortLogic::send_init() {
-  state_ = PortState::kInitWait;
+  set_state(PortState::kInitWait);
   port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
     local_.set(tx_tick, agent_.global_at_tick(tx_tick));
     init_echo_wait_ = local_.at_tick(tx_tick);
@@ -155,6 +166,8 @@ void PortLogic::handle_control(const phy::ControlRx& rx) {
       break;
     case MessageType::kBeaconJoin:
       ++stats_.joins_received;
+      if (auto* tr = obs_hub_ != nullptr ? obs_hub_->trace() : nullptr)
+        tr->instant(obs_track_, rx.crossing.visible_time, "JOIN rx");
       handle_beacon(*msg, rx_tick, /*join=*/true);
       break;
     case MessageType::kBeaconMsb:
@@ -197,7 +210,7 @@ void PortLogic::handle_init_ack(const Message& m, std::int64_t rx_tick) {
   owd_units_ = static_cast<std::int64_t>(std::max<__int128>(d, 0));
   init_echo_wait_.reset();
   agent_.simulator().cancel(init_retry_);
-  state_ = PortState::kSynced;
+  set_state(PortState::kSynced);
   // Announce our counter device-wide once, so a joining device (or healed
   // partition) converges immediately rather than through the +-8 filter.
   send_join();
@@ -322,7 +335,7 @@ void PortLogic::handle_beacon(const Message& m, std::int64_t rx_tick, bool join)
     // which is also what keeps a quarantine cascade from racing down the
     // tree, because a downstream detector only ever counts jumps an
     // upstream port actually forwarded.
-    state_ = PortState::kFaulty;
+    set_state(PortState::kFaulty);
     faulted_at_ = agent_.simulator().now();
     return;
   }
@@ -353,6 +366,8 @@ void PortLogic::send_log(std::uint64_t sw_payload) {
 
 void PortLogic::send_join() {
   ++stats_.joins_sent;
+  if (auto* tr = obs_hub_ != nullptr ? obs_hub_->trace() : nullptr)
+    tr->instant(obs_track_, agent_.simulator().now(), "JOIN tx");
   port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
     const WideCounter gc = agent_.global_at_tick(tx_tick);
     return encode_bits({MessageType::kBeaconJoin, gc.lsb53()}, agent_.params().parity);

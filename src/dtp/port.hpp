@@ -31,6 +31,10 @@
 #include "dtp/messages.hpp"
 #include "phy/port.hpp"
 
+namespace dtpsim::obs {
+class Hub;
+}
+
 namespace dtpsim::dtp {
 
 class Agent;
@@ -61,6 +65,7 @@ struct PortStats {
   std::uint64_t filtered_parity = 0;  ///< messages dropped by parity (decode)
   std::uint64_t adjustments = 0;      ///< positive lc fast-forwards
   std::uint64_t max_adjustment = 0;   ///< largest single fast-forward (units)
+  std::uint64_t state_transitions = 0;  ///< PortState changes (obs/diagnostics)
 };
 
 /// Algorithm 1 state machine for one port.
@@ -120,6 +125,14 @@ class PortLogic {
   /// Inspection: the sliding-window fault detector for this port's peer.
   const JumpDetector& jump_detector() const { return jump_detector_; }
 
+  /// Attach trace instrumentation (obs::Session wiring); null detaches.
+  /// `track` is the owning device's interned TraceSink track. Only stores
+  /// the pointer — safe with an incomplete Hub.
+  void set_obs(obs::Hub* hub, std::uint32_t track) {
+    obs_hub_ = hub;
+    obs_track_ = track;
+  }
+
  private:
   friend class Agent;
 
@@ -136,6 +149,10 @@ class PortLogic {
   void arm_init_retry();
   void schedule_beacon();
   void send_beacon();
+
+  /// Single gate for every state change: counts the transition and emits a
+  /// trace instant when observability is attached.
+  void set_state(PortState s);
 
   Agent& agent_;
   phy::PhyPort& port_;
@@ -154,6 +171,8 @@ class PortLogic {
   PortStats stats_;
   sim::EventHandle beacon_timer_;
   sim::EventHandle init_retry_;
+  obs::Hub* obs_hub_ = nullptr;  ///< trace attachment; null in bare runs
+  std::uint32_t obs_track_ = 0;
 };
 
 }  // namespace dtpsim::dtp

@@ -1,0 +1,15 @@
+#include "obs/hub.hpp"
+
+namespace dtpsim::obs {
+
+bool Hub::flush(std::string* err) {
+  if (cfg_.metrics_enabled && !cfg_.metrics_path.empty() &&
+      !metrics_.write_json(cfg_.metrics_path, err))
+    return false;
+  if (cfg_.trace_enabled && !cfg_.trace_path.empty() &&
+      !trace_.write(cfg_.trace_path, err))
+    return false;
+  return true;
+}
+
+}  // namespace dtpsim::obs

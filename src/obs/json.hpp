@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file json.hpp
+/// Tiny JSON output helpers shared by the metrics and trace writers.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dtpsim::obs {
+
+/// Escape a string for inclusion inside a JSON string literal.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Render a double for JSON: round-trippable, and never one of the literals
+/// JSON forbids (inf/nan collapse to 0, which no metric legitimately emits).
+inline std::string json_double(double v) {
+  if (!(v == v) || v > 1.7976931348623157e308 || v < -1.7976931348623157e308)
+    return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace dtpsim::obs

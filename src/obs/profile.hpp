@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file profile.hpp
+/// Wall-clock profiling scopes for the engine's hot phases (DESIGN.md §11).
+///
+/// A `WallProfile` is a fixed array of atomic nanosecond accumulators, one
+/// per engine phase, fed by RAII `WallScope`s placed around the serial run
+/// loop, parallel segments, per-epoch worker compute, and mailbox drains.
+/// The accumulators are atomics because worker threads report their compute
+/// and drain time concurrently; everything else about the profile is
+/// read-only until the run finishes.
+///
+/// Zero-cost-when-disabled: every instrumentation point holds a
+/// `WallProfile*` that is null unless an obs::Hub is attached, and a
+/// `WallScope` constructed with a null profile performs no clock reads.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace dtpsim::obs {
+
+/// Engine phase a wall-clock scope attributes time to.
+enum class WallPhase : std::uint8_t {
+  kSerialRun = 0,    ///< serial EventQueue::run inside Simulator::run_until
+  kParallelSegment,  ///< coordinator: one run_segment hand-off (incl. waits)
+  kWorkerCompute,    ///< worker: firing events inside an epoch
+  kMailboxDrain,     ///< worker neighbor-wait + drain, coordinator drains
+  kInstant,          ///< coordinator: process_instant at sync points
+};
+inline constexpr std::size_t kWallPhaseCount = 5;
+
+inline const char* wall_phase_name(WallPhase p) {
+  switch (p) {
+    case WallPhase::kSerialRun: return "serial_run";
+    case WallPhase::kParallelSegment: return "parallel_segment";
+    case WallPhase::kWorkerCompute: return "worker_compute";
+    case WallPhase::kMailboxDrain: return "mailbox_drain";
+    case WallPhase::kInstant: return "instant_events";
+  }
+  return "?";
+}
+
+/// Per-phase wall-time accumulators. Thread-safe adds, relaxed ordering —
+/// the totals are only read after the run joins its workers.
+class WallProfile {
+ public:
+  void add(WallPhase p, std::uint64_t ns) {
+    const auto i = static_cast<std::size_t>(p);
+    ns_[i].fetch_add(ns, std::memory_order_relaxed);
+    count_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t ns(WallPhase p) const {
+    return ns_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count(WallPhase p) const {
+    return count_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+  }
+  double seconds(WallPhase p) const { return static_cast<double>(ns(p)) / 1e9; }
+
+ private:
+  std::atomic<std::uint64_t> ns_[kWallPhaseCount] = {};
+  std::atomic<std::uint64_t> count_[kWallPhaseCount] = {};
+};
+
+/// RAII scope: measures from construction to destruction and adds the span
+/// to `profile` (no-op, including no clock reads, when profile is null).
+class WallScope {
+ public:
+  WallScope(WallProfile* profile, WallPhase phase) : profile_(profile), phase_(phase) {
+    if (profile_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  ~WallScope() {
+    if (profile_ == nullptr) return;
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    profile_->add(phase_,
+                  static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+  WallScope(const WallScope&) = delete;
+  WallScope& operator=(const WallScope&) = delete;
+
+ private:
+  WallProfile* profile_;
+  WallPhase phase_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace dtpsim::obs

@@ -118,6 +118,8 @@ PhyPort::TxTiming PhyPort::send_frame(std::uint32_t wire_bytes,
 void PhyPort::deliver_control(std::uint64_t bits56, fs_t tx_end, bool corrupted) {
   const fs_t wire_arrival = tx_end;  // propagation already applied by cable
   const CrossingResult crossing = fifo_.cross(osc_, wire_arrival);
+  ++fifo_crossings_;
+  fifo_extra_cycles_ += static_cast<std::uint64_t>(crossing.random_extra);
   sim::ScopedAffinity aff(node_);
   sim_.schedule_at(
       crossing.visible_time,

@@ -130,6 +130,13 @@ class PhyPort {
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t control_blocks_sent() const { return control_sent_; }
 
+  /// CDC observability: control blocks that crossed this port's SyncFifo
+  /// into the local clock domain, and how many of those crossings drew the
+  /// metastability penalty cycle (the paper's only nondeterminism source).
+  /// Single-writer (the port's shard); sampled at obs snapshot sync points.
+  std::uint64_t fifo_crossings() const { return fifo_crossings_; }
+  std::uint64_t fifo_extra_cycles() const { return fifo_extra_cycles_; }
+
   /// When the current (or most recent) cable attached — the anchor for the
   /// MAC's post-link-training data hold-off.
   fs_t last_link_up_at() const { return last_link_up_at_; }
@@ -179,6 +186,8 @@ class PhyPort {
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t control_sent_ = 0;
+  std::uint64_t fifo_crossings_ = 0;
+  std::uint64_t fifo_extra_cycles_ = 0;
 };
 
 /// Full-duplex point-to-point cable between two ports.

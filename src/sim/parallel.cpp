@@ -117,6 +117,9 @@ void ParallelEngine::worker_main(ShardRt* rt) {
 void ParallelEngine::run_plan_worker(ShardRt* rt) {
   const Plan plan = plan_;
   const fs_t lookahead = part_.lookahead;
+  // wall_ was published by the coordinator before this plan's seg_id_
+  // release-increment; null means profiling is off (no clock reads).
+  obs::WallProfile* wp = wall_;
   for (std::int64_t k = 0; k < plan.n_epochs; ++k) {
     const fs_t e_end = (k + 1 == plan.n_epochs)
                            ? plan.horizon
@@ -124,19 +127,26 @@ void ParallelEngine::run_plan_worker(ShardRt* rt) {
     // Conservative rule: a message that must fire in epoch k was sent before
     // this epoch's start, i.e. by a neighbor that has finished epoch k-1.
     // Wait for that, then fold in whatever its mailbox holds.
-    for (const std::int32_t nb : rt->neighbors) {
-      ShardRt& n = *shards_[static_cast<std::size_t>(nb)];
-      std::int64_t v = n.done_epoch.load(std::memory_order_acquire);
-      while (v < k - 1) {
-        n.done_epoch.wait(v, std::memory_order_acquire);
-        v = n.done_epoch.load(std::memory_order_acquire);
+    {
+      obs::WallScope scope(wp, obs::WallPhase::kMailboxDrain);
+      for (const std::int32_t nb : rt->neighbors) {
+        ShardRt& n = *shards_[static_cast<std::size_t>(nb)];
+        std::int64_t v = n.done_epoch.load(std::memory_order_acquire);
+        while (v < k - 1) {
+          n.done_epoch.wait(v, std::memory_order_acquire);
+          v = n.done_epoch.load(std::memory_order_acquire);
+        }
+        mailbox(nb, rt->index)->drain([rt](CrossMsg m) {
+          rt->queue.schedule_link(m.arrival, std::move(m.fn), m.cat, m.dst_node,
+                                  m.owner, m.link_sub);
+        });
       }
-      mailbox(nb, rt->index)->drain([rt](CrossMsg m) {
-        rt->queue.schedule_link(m.arrival, std::move(m.fn), m.cat, m.dst_node,
-                                m.owner, m.link_sub);
-      });
     }
-    const std::uint64_t fired = rt->queue.run(e_end, /*inclusive=*/false);
+    std::uint64_t fired;
+    {
+      obs::WallScope scope(wp, obs::WallPhase::kWorkerCompute);
+      fired = rt->queue.run(e_end, /*inclusive=*/false);
+    }
     rt->epoch_events[static_cast<std::size_t>(k)] = fired;
     rt->fired_total += fired;
     rt->done_epoch.store(k, std::memory_order_release);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/time_units.hpp"
+#include "obs/profile.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/partition.hpp"
 
@@ -167,6 +168,11 @@ class ParallelEngine {
   /// Cancel owner-tagged deliveries in every shard queue (coordinator-only).
   std::size_t purge_owner(const void* owner);
 
+  /// Attach wall-clock profiling (null = off). Coordinator-only while the
+  /// workers are parked: the pointer is published to workers by the next
+  /// segment's seg_id_ release-increment.
+  void set_wall_profile(obs::WallProfile* wp) { wall_ = wp; }
+
   // --- Instrumentation ------------------------------------------------------
   std::uint64_t segments() const { return segments_; }
   std::uint64_t epochs() const { return epochs_; }
@@ -197,6 +203,7 @@ class ParallelEngine {
   PartitionResult part_;
   std::vector<std::unique_ptr<ShardRt>> shards_;
   std::vector<std::unique_ptr<Mailbox>> mail_;  ///< K×K, neighbor pairs only
+  obs::WallProfile* wall_ = nullptr;  ///< see set_wall_profile
 
   Plan plan_{};  ///< written by coordinator before seg_id_ release-increment
   std::atomic<std::uint64_t> seg_id_{0};

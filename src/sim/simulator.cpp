@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/hub.hpp"
 #include "sim/parallel.hpp"
 #include "sim/partition.hpp"
 
@@ -74,6 +75,7 @@ bool Simulator::pending(EventHandle h) const {
 void Simulator::run_until(fs_t t_end) {
   const auto wall0 = std::chrono::steady_clock::now();
   if (!engine_) {
+    obs::WallScope scope(obs_ ? &obs_->wall() : nullptr, obs::WallPhase::kSerialRun);
     global_q_.run(t_end, /*inclusive=*/true);
     global_q_.advance_now(t_end);
   } else {
@@ -116,8 +118,16 @@ void Simulator::run_until_parallel(fs_t t_end) {
       } else {
         const fs_t slice_end =
             std::min(horizon, t + engine_->lookahead() * kEpochsPerSlice);
-        engine_->run_segment(t, slice_end);
-        engine_->drain_all_mailboxes();
+        {
+          obs::WallScope scope(obs_ ? &obs_->wall() : nullptr,
+                               obs::WallPhase::kParallelSegment);
+          engine_->run_segment(t, slice_end);
+        }
+        {
+          obs::WallScope scope(obs_ ? &obs_->wall() : nullptr,
+                               obs::WallPhase::kMailboxDrain);
+          engine_->drain_all_mailboxes();
+        }
         if (slice_end < horizon) {
           global_q_.advance_now(slice_end);
           engine_->advance_all(slice_end);
@@ -137,6 +147,7 @@ void Simulator::process_instant(fs_t t) {
   // events at exactly t; loop because either side may schedule more work at
   // t. All cascades run on this thread — a transmit from here goes straight
   // into the destination shard's queue, never through a mailbox.
+  obs::WallScope scope(obs_ ? &obs_->wall() : nullptr, obs::WallPhase::kInstant);
   for (;;) {
     std::uint64_t fired = global_q_.run(t, /*inclusive=*/true);
     for (std::int32_t s = 0; s < engine_->shard_count(); ++s)
@@ -238,8 +249,16 @@ void Simulator::set_threads(unsigned threads) {
   PartitionResult part = partition_graph(in, static_cast<std::int32_t>(threads));
   if (part.shards <= 1) return;  // graph doesn't split; stay serial
   engine_ = std::make_unique<ParallelEngine>(in, std::move(part), global_q_.next_seq());
+  if (obs_ != nullptr) engine_->set_wall_profile(&obs_->wall());
   migrate_pending();
   engine_->advance_all(global_q_.now());
+}
+
+void Simulator::set_obs(obs::Hub* hub) {
+  if (detail::tls_shard != nullptr)
+    throw std::logic_error("Simulator::set_obs: coordinator-only");
+  obs_ = hub;
+  if (engine_) engine_->set_wall_profile(hub != nullptr ? &hub->wall() : nullptr);
 }
 
 void Simulator::migrate_pending() {

@@ -35,6 +35,10 @@
 #include "sim/callback.hpp"
 #include "sim/event_queue.hpp"
 
+namespace dtpsim::obs {
+class Hub;
+}
+
 namespace dtpsim::sim {
 
 class ParallelEngine;
@@ -225,6 +229,15 @@ class Simulator {
   /// (coordinator-only; used by Cable::disconnect). Returns how many.
   std::size_t purge_deliveries(const void* owner);
 
+  // --- Observability --------------------------------------------------------
+
+  /// Attach (or detach with nullptr) an observability hub. Coordinator-only,
+  /// workers parked. The hub is not owned and must outlive its attachment;
+  /// instrumented layers reach it through obs() with one pointer test, so a
+  /// run without a hub pays nothing (DESIGN.md §11).
+  void set_obs(obs::Hub* hub);
+  obs::Hub* obs() const { return obs_; }
+
  private:
   EventHandle wrap(std::uint32_t queue, EventQueue::Handle h) {
     return EventHandle(queue, h.slot, h.gen);
@@ -247,6 +260,7 @@ class Simulator {
   std::chrono::steady_clock::duration run_wall_{0};
   EventQueue global_q_;
   std::unique_ptr<ParallelEngine> engine_;
+  obs::Hub* obs_ = nullptr;
   std::uint64_t instant_events_ = 0;
 
   struct GraphEdge {

@@ -8,6 +8,7 @@
 #include "chaos/serialize.hpp"
 #include "dtp/network.hpp"
 #include "net/topology.hpp"
+#include "obs/session.hpp"
 #include "sim/simulator.hpp"
 
 namespace dtpsim::stress {
@@ -53,7 +54,9 @@ void start_traffic(net::Network& net, const std::vector<net::Host*>& hosts,
 
 }  // namespace
 
-CampaignResult run_campaign(const StressSpec& spec) {
+CampaignResult run_campaign(const StressSpec& spec) { return run_campaign(spec, nullptr); }
+
+CampaignResult run_campaign(const StressSpec& spec, const ObsOptions* obs) {
   sim::Simulator sim(spec.sim_seed);
 
   net::NetworkParams np;
@@ -77,9 +80,22 @@ CampaignResult run_campaign(const StressSpec& spec) {
 
   start_traffic(net, hosts, spec);
 
+  // Observability attaches before the chaos plan is scheduled so the
+  // chaos.faults_injected counter sees every fault. Declared before the
+  // engine/sentinel so the hub outlives everything holding a pointer to it.
+  std::unique_ptr<obs::Session> session;
+  if (obs != nullptr && (!obs->trace_path.empty() || !obs->metrics_path.empty())) {
+    obs::SessionConfig oc;
+    oc.trace_path = obs->trace_path;
+    oc.metrics_path = obs->metrics_path;
+    oc.metrics_interval = obs->metrics_interval;
+    session = std::make_unique<obs::Session>(net, &dtp, oc);
+  }
+
   chaos::ChaosParams cp;
   cp.dtp = dp;
   chaos::ChaosEngine engine(net, dtp, cp);
+  if (session) engine.set_obs(&session->hub());
   chaos::FaultPlan plan;
   for (const auto& f : spec.faults) plan.add(chaos::realize(f, net));
   if (!plan.faults.empty()) engine.schedule(plan);
@@ -88,13 +104,21 @@ CampaignResult run_campaign(const StressSpec& spec) {
   if (spec.sample_period > 0) sp.sample_period = spec.sample_period;
   if (spec.offset_bound_ticks > 0) sp.offset_bound_ticks = spec.offset_bound_ticks;
   check::Sentinel sentinel(net, dtp, sp);
+  if (session) sentinel.set_obs(&session->hub());
   for (const auto& f : spec.faults)
     sentinel.add_blackout(f.at - 2 * sp.sample_period,
                           fault_end(f) + recovery_margin(f.kind));
 
+  if (session) session->start(spec.horizon);
   if (spec.threads > 1) sim.set_threads(spec.threads);
 
   sim.run_until(spec.horizon);
+
+  if (session) {
+    std::string err;
+    if (!session->finish(&err))
+      throw std::runtime_error("stress: observability write failed: " + err);
+  }
 
   CampaignResult r;
   r.spec = spec;

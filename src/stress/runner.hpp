@@ -33,12 +33,26 @@ struct CampaignResult {
   bool clean() const { return violations.empty(); }
 };
 
+/// Optional observability attachment for a campaign run (obs::Session):
+/// a non-empty path enables the corresponding facility. Used by the CLI to
+/// replay a failing campaign with a trace attached.
+struct ObsOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  fs_t metrics_interval = 0;  ///< 0 = horizon/256 (see obs::SessionConfig)
+};
+
 /// Execute one campaign. Deterministic: same spec -> same result (any
 /// thread count yields the same digest). Throws std::invalid_argument if
 /// the spec is internally inconsistent (e.g. a fault names a device the
 /// topology does not build) — the shrinker treats that as "candidate
 /// invalid", not as a failure.
 CampaignResult run_campaign(const StressSpec& spec);
+
+/// As above, with trace/metrics attached when `obs` is non-null and names
+/// at least one output path. Throws std::runtime_error if a configured
+/// observability file cannot be written.
+CampaignResult run_campaign(const StressSpec& spec, const ObsOptions* obs);
 
 /// Run the spec serially and with `spec.threads` workers and compare
 /// sentinel digests. On mismatch the returned (parallel) result gains a

@@ -1,0 +1,76 @@
+// The bench flag reader must never silently substitute a default for a
+// malformed value: `--seconds=2,5` running the 0.5 s experiment and labeling
+// the numbers "2.5 s" is exactly the kind of quiet data corruption the
+// observability PR hunts. Malformed numerics are a hard exit(2).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.hpp"
+
+using dtpsim::benchutil::Flags;
+
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;  // keeps c_str()s alive
+  storage = std::move(args);
+  storage.insert(storage.begin(), "bench_test");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+}  // namespace
+
+TEST(BenchFlags, StrictDoubleParserAcceptsFullMatches) {
+  double v = 0;
+  EXPECT_TRUE(Flags::parse_double_strict("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(Flags::parse_double_strict("-0.125", &v));
+  EXPECT_DOUBLE_EQ(v, -0.125);
+  EXPECT_TRUE(Flags::parse_double_strict("1e3", &v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+}
+
+TEST(BenchFlags, StrictDoubleParserRejectsPartialMatches) {
+  double v = 0;
+  EXPECT_FALSE(Flags::parse_double_strict("2,5", &v));  // locale-style comma
+  EXPECT_FALSE(Flags::parse_double_strict("2.5s", &v));  // trailing unit
+  EXPECT_FALSE(Flags::parse_double_strict("abc", &v));
+  EXPECT_FALSE(Flags::parse_double_strict("", &v));
+}
+
+TEST(BenchFlags, StrictIntParserAcceptsAndRejects) {
+  long long v = 0;
+  EXPECT_TRUE(Flags::parse_int_strict("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(Flags::parse_int_strict("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(Flags::parse_int_strict("1e3", &v));   // not integer syntax
+  EXPECT_FALSE(Flags::parse_int_strict("12x", &v));
+  EXPECT_FALSE(Flags::parse_int_strict("", &v));
+}
+
+TEST(BenchFlags, WellFormedValuesParseAndMissingFallsBack) {
+  const Flags f = make_flags({"--seconds=2.5", "--events=1000"});
+  EXPECT_DOUBLE_EQ(f.get_double("seconds", 9.0), 2.5);
+  EXPECT_EQ(f.get_int("events", 5), 1000);
+  // Absent flags still take the caller's default.
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 9.0), 9.0);
+  EXPECT_EQ(f.get_int("missing", 5), 5);
+}
+
+TEST(BenchFlagsDeathTest, MalformedDoubleExitsWithDiagnostic) {
+  const Flags f = make_flags({"--seconds=2,5"});
+  EXPECT_EXIT(f.get_double("seconds", 9.0), testing::ExitedWithCode(2),
+              "--seconds=2,5 is not a number");
+}
+
+TEST(BenchFlagsDeathTest, MalformedIntExitsWithDiagnostic) {
+  const Flags f = make_flags({"--events=12x"});
+  EXPECT_EXIT(f.get_int("events", 5), testing::ExitedWithCode(2),
+              "--events=12x is not an integer");
+}

@@ -81,8 +81,35 @@ TEST(IntHistogram, ClampsButTracksExtremes) {
   h.add(-50);
   EXPECT_EQ(h.count(2), 1u);    // clamped high
   EXPECT_EQ(h.count(-2), 1u);   // clamped low
-  EXPECT_EQ(h.max_seen(), 100);
-  EXPECT_EQ(h.min_seen(), -50);
+  ASSERT_TRUE(h.max_seen().has_value());
+  ASSERT_TRUE(h.min_seen().has_value());
+  EXPECT_EQ(*h.max_seen(), 100);
+  EXPECT_EQ(*h.min_seen(), -50);
+}
+
+TEST(IntHistogram, EmptyHistogramHasNoExtremes) {
+  IntHistogram h(-2, 2);
+  EXPECT_FALSE(h.min_seen().has_value());
+  EXPECT_FALSE(h.max_seen().has_value());
+  // ...and the empty state must be distinguishable from a real observed 0.
+  h.add(0);
+  ASSERT_TRUE(h.min_seen().has_value());
+  EXPECT_EQ(*h.min_seen(), 0);
+  EXPECT_EQ(*h.max_seen(), 0);
+}
+
+TEST(IntHistogram, EmptyPdfAndRenderAreSafe) {
+  IntHistogram h(-2, 2);
+  EXPECT_DOUBLE_EQ(h.pdf(0), 0.0);                    // no divide-by-zero
+  EXPECT_NO_THROW({ (void)h.render(40, true); });
+  EXPECT_TRUE(h.render(40, false).empty());
+}
+
+TEST(Histogram, EmptyPdfAndRenderAreSafe) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.pdf(0), 0.0);                    // no divide-by-zero
+  EXPECT_NO_THROW({ (void)h.render(40, true); });
+  EXPECT_TRUE(h.render(40, false).empty());
 }
 
 TEST(IntHistogram, PdfOfTickOffsets) {

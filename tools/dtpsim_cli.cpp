@@ -5,6 +5,7 @@
 ///          [--load=idle|heavy] [--beacon=TICKS] [--rate=1g|10g|40g|100g]
 ///          [--drift] [--ber=P] [--chaos=flap|storm|crash|ber|rogue|canonical]
 ///          [--threads=N] [--stress=N] [--repro=FILE] [--json-out=PATH]
+///          [--trace=PATH] [--metrics=PATH] [--metrics-interval=DUR]
 ///
 /// Prints a synchronization report: per-device clock state, worst pairwise
 /// offsets over the run, protocol message counts, and (for DTP) the 4TD
@@ -33,6 +34,7 @@
 #include "net/frame.hpp"
 #include "net/topology.hpp"
 #include "ntp/ntp.hpp"
+#include "obs/session.hpp"
 #include "ptp/client.hpp"
 #include "ptp/grandmaster.hpp"
 #include "sim/simulator.hpp"
@@ -64,7 +66,14 @@ constexpr const char* kUsage =
     "                       (+ a shrunken -min.txt) and exit 1\n"
     "  --repro=FILE         replay one repro file; exit 0 = sentinel clean,\n"
     "                       1 = violations reproduced, 2 = malformed file\n"
-    "  --json-out=PATH      write a machine-readable stress/repro summary\n";
+    "  --json-out=PATH      write a machine-readable stress/repro summary\n"
+    "  --trace=PATH         write a Chrome trace_event JSON (Perfetto-loadable)\n"
+    "                       of the run; with --stress, each failing campaign is\n"
+    "                       replayed with a trace at <repro>.trace.json\n"
+    "  --metrics=PATH       write periodic metrics snapshots as JSON; with\n"
+    "                       --stress, failures get <repro>.metrics.json\n"
+    "  --metrics-interval=DUR  snapshot cadence with a unit suffix (ns|us|ms|s),\n"
+    "                       e.g. 50us; default = run length / 256\n";
 
 struct Options {
   std::string topology = "tree";
@@ -83,6 +92,9 @@ struct Options {
   std::uint32_t stress = 0;  ///< 0 = off; N = campaign count
   std::string repro;         ///< non-empty = replay this file
   std::string json_out;      ///< non-empty = write JSON summary here
+  std::string trace;         ///< non-empty = write a Chrome trace here
+  std::string metrics;       ///< non-empty = write metrics snapshots here
+  fs_t metrics_interval = 0;  ///< snapshot cadence; 0 = run length / 256
 };
 
 /// Thrown for anything the user got wrong on the command line; main() turns
@@ -113,6 +125,24 @@ double parse_double(const std::string& key, const std::string& v) {
   return out;
 }
 
+/// A positive duration with a required unit suffix: "50us", "1.5ms", "2s".
+fs_t parse_duration(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (v.empty() || end == v.c_str())
+    throw UsageError("--" + key + "=" + v + " is not a duration");
+  const std::string suffix(end);
+  double fs_per_unit = 0;
+  if (suffix == "ns") fs_per_unit = 1e6;
+  else if (suffix == "us") fs_per_unit = 1e9;
+  else if (suffix == "ms") fs_per_unit = 1e12;
+  else if (suffix == "s") fs_per_unit = 1e15;
+  else
+    throw UsageError("--" + key + "=" + v + " needs a unit suffix (ns|us|ms|s)");
+  if (x <= 0) throw UsageError("--" + key + " must be positive");
+  return static_cast<fs_t>(x * fs_per_unit);
+}
+
 Options parse(int argc, char** argv) {
   Options o;
   for (int i = 1; i < argc; ++i) {
@@ -126,7 +156,8 @@ Options parse(int argc, char** argv) {
 
     if (!one_of(key, {"help", "drift", "topology", "protocol", "load", "chaos",
                       "nodes", "hops", "seconds", "seed", "beacon", "rate", "ber",
-                      "threads", "stress", "repro", "json-out"}))
+                      "threads", "stress", "repro", "json-out", "trace", "metrics",
+                      "metrics-interval"}))
       throw UsageError("unknown flag '--" + key + "'");
     if (key == "help") continue;  // handled in main() before parsing
     if (key == "drift") {
@@ -187,6 +218,12 @@ Options parse(int argc, char** argv) {
       o.repro = value;
     } else if (key == "json-out") {
       o.json_out = value;
+    } else if (key == "trace") {
+      o.trace = value;
+    } else if (key == "metrics") {
+      o.metrics = value;
+    } else if (key == "metrics-interval") {
+      o.metrics_interval = parse_duration(key, value);
     } else {  // ber — the whitelist above rules out everything else
       o.ber = parse_double(key, value);
       if (o.ber < 0 || o.ber >= 1) throw UsageError("--ber must be in [0, 1)");
@@ -198,7 +235,33 @@ Options parse(int argc, char** argv) {
     throw UsageError("--stress and --repro are mutually exclusive");
   if (!o.json_out.empty() && o.stress == 0 && o.repro.empty())
     throw UsageError("--json-out only applies to --stress or --repro runs");
+  if (o.metrics_interval > 0 && o.trace.empty() && o.metrics.empty())
+    throw UsageError("--metrics-interval needs --metrics or --trace");
   return o;
+}
+
+bool obs_requested(const Options& o) { return !o.trace.empty() || !o.metrics.empty(); }
+
+obs::SessionConfig obs_config(const Options& o) {
+  obs::SessionConfig oc;
+  oc.trace_path = o.trace;
+  oc.metrics_path = o.metrics;
+  oc.metrics_interval = o.metrics_interval;
+  return oc;
+}
+
+/// Write the configured observability files and tell the user where they
+/// went. Throws on I/O failure — an asked-for trace silently missing is
+/// exactly the bug class this PR removes.
+void finish_obs(obs::Session* session, const Options& o) {
+  if (session == nullptr) return;
+  std::string err;
+  if (!session->finish(&err))
+    throw std::runtime_error("observability write failed: " + err);
+  if (!o.trace.empty())
+    std::printf("trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n",
+                o.trace.c_str());
+  if (!o.metrics.empty()) std::printf("metrics written to %s\n", o.metrics.c_str());
 }
 
 phy::LinkRate parse_rate(const std::string& s) {
@@ -230,7 +293,10 @@ int run_chaos(const Options& o) {
   auto tree = net::build_paper_tree(net);
   auto dtp = dtp::enable_dtp(net, chaos::CanonicalCampaign::dtp_params());
   chaos::CanonicalCampaign::start_heavy_load(net, tree, net::kMtuFrameBytes);
+  std::unique_ptr<obs::Session> session;
+  if (obs_requested(o)) session = std::make_unique<obs::Session>(net, &dtp, obs_config(o));
   chaos::ChaosEngine engine(net, dtp, chaos::CanonicalCampaign::chaos_params());
+  if (session) engine.set_obs(&session->hub());
 
   const fs_t t0 = chaos::CanonicalCampaign::settle_time();
   chaos::FaultPlan plan;
@@ -259,9 +325,11 @@ int run_chaos(const Options& o) {
   }
   std::printf("chaos plan=%s on the Fig. 5 tree, MTU-saturated, seed=%llu\n",
               o.chaos.c_str(), static_cast<unsigned long long>(o.seed));
+  if (session) session->start(until);
   engage_threads(sim, o.threads);
   engine.schedule(plan);
   sim.run_until(until);
+  finish_obs(session.get(), o);
 
   const chaos::CampaignReport& report = engine.report();
   report.print(std::cout);
@@ -309,6 +377,10 @@ void write_json_summary(const std::string& path, const char* mode,
     out << "]}" << (i + 1 < failures.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"clean\": " << (failures.empty() ? "true" : "false") << "\n}\n";
+  out.flush();
+  if (!out)
+    throw std::runtime_error("short write to --json-out=" + path +
+                             " (disk full or file truncated?)");
 }
 
 /// --stress=N: the fuzzer batch. Every campaign is invariant-checked; any
@@ -337,6 +409,19 @@ int run_stress(const Options& o) {
     stress::write_repro(s.minimal, base + "-min.txt");
     std::printf("  shrunk %.0f -> %.0f (size units, %d runs, %d reductions): %s-min.txt\n",
                 s.original_size, s.minimal_size, s.runs, s.reductions, base.c_str());
+    if (obs_requested(o)) {
+      // Replay the failing campaign with observability attached so the repro
+      // ships with an inspectable timeline of the violation.
+      stress::ObsOptions oo;
+      if (!o.trace.empty()) oo.trace_path = base + ".trace.json";
+      if (!o.metrics.empty()) oo.metrics_path = base + ".metrics.json";
+      oo.metrics_interval = o.metrics_interval;
+      stress::run_campaign(r.spec, &oo);
+      if (!oo.trace_path.empty())
+        std::printf("  failing campaign trace written to %s\n", oo.trace_path.c_str());
+      if (!oo.metrics_path.empty())
+        std::printf("  failing campaign metrics written to %s\n", oo.metrics_path.c_str());
+    }
     failures.push_back(std::move(r));
   }
   std::printf("stress: %u/%u campaigns clean, %llu events executed\n",
@@ -355,8 +440,19 @@ int run_repro(const Options& o) {
   } catch (const std::exception& e) {
     throw UsageError(std::string("--repro: ") + e.what());
   }
-  const stress::CampaignResult r =
-      spec.threads > 1 ? stress::run_differential(spec) : stress::run_campaign(spec);
+  stress::CampaignResult r;
+  if (obs_requested(o)) {
+    // Observability changes the event schedule (snapshot events), so the
+    // differential serial-vs-parallel digest compare does not apply here.
+    stress::ObsOptions oo{o.trace, o.metrics, o.metrics_interval};
+    r = stress::run_campaign(spec, &oo);
+    if (!o.trace.empty())
+      std::printf("trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n",
+                  o.trace.c_str());
+    if (!o.metrics.empty()) std::printf("metrics written to %s\n", o.metrics.c_str());
+  } else {
+    r = spec.threads > 1 ? stress::run_differential(spec) : stress::run_campaign(spec);
+  }
   std::printf("repro %s: threads=%u shards=%d events=%llu digest=%s\n", o.repro.c_str(),
               spec.threads, r.shards, static_cast<unsigned long long>(r.events_executed),
               r.digest.hex().c_str());
@@ -455,6 +551,11 @@ int run(const Options& o) {
     if (o.protocol == "dtp-master") params.mode = dtp::SyncMode::kMasterTree;
     dtp::DtpNetwork dtp = dtp::enable_dtp(net, params);
     if (o.protocol == "dtp-master") dtp::configure_master_tree(dtp, *tree_root);
+    std::unique_ptr<obs::Session> session;
+    if (obs_requested(o)) {
+      session = std::make_unique<obs::Session>(net, &dtp, obs_config(o));
+      session->start(settle + duration);
+    }
     engage_threads(sim, o.threads);
     sim.run_until(settle);
     start_load();
@@ -463,6 +564,7 @@ int run(const Options& o) {
       sim.run_until(sim.now() + from_us(100));
       worst_ticks = std::max(worst_ticks, dtp.max_pairwise_offset_ticks(sim.now()));
     }
+    finish_obs(session.get(), o);
     const double tick_ns = to_ns_f(phy::nominal_period(np.rate));
     const double bound_ticks = 4.0 * static_cast<double>(diameter);
     std::printf("protocol=%s beacon=%lld ticks all-synced=%s\n", o.protocol.c_str(),
@@ -494,10 +596,16 @@ int run(const Options& o) {
                                                          ptp::PtpClientParams{}));
     gm.start();
     for (auto& c : clients) c->start();
+    std::unique_ptr<obs::Session> session;
+    if (obs_requested(o)) {
+      session = std::make_unique<obs::Session>(net, nullptr, obs_config(o));
+      session->start(settle + duration);
+    }
     engage_threads(sim, o.threads);
     sim.run_until(settle);
     start_load();
     sim.run_until(settle + duration);
+    finish_obs(session.get(), o);
     double worst = 0;
     for (auto& c : clients) {
       const auto& pts = c->true_series().points();
@@ -521,10 +629,16 @@ int run(const Options& o) {
                                                        server.clock(), cp));
     clients.back()->start();
   }
+  std::unique_ptr<obs::Session> session;
+  if (obs_requested(o)) {
+    session = std::make_unique<obs::Session>(net, nullptr, obs_config(o));
+    session->start(settle + duration);
+  }
   engage_threads(sim, o.threads);
   sim.run_until(settle);
   start_load();
   sim.run_until(settle + duration);
+  finish_obs(session.get(), o);
   double worst = 0;
   for (auto& c : clients) {
     const auto& pts = c->true_series().points();
@@ -552,5 +666,10 @@ int main(int argc, char** argv) {
   } catch (const UsageError& e) {
     std::fprintf(stderr, "dtpsim: %s\n%s", e.what(), kUsage);
     return 2;
+  } catch (const std::exception& e) {
+    // Runtime failures (e.g. an observability or summary file that cannot be
+    // written) fail loudly with a distinct status instead of a silent 0.
+    std::fprintf(stderr, "dtpsim: %s\n", e.what());
+    return 1;
   }
 }
