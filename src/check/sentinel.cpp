@@ -367,6 +367,11 @@ RunDigest Sentinel::digest() const {
   for (const auto& m : port_mons_) {
     d.mix(m->port->frames_sent());
     d.mix(m->port->control_blocks_sent());
+    // CDC activity pins the bridged engine's RNG stream positions: a fused
+    // arrival that drew its metastability sample at the wrong point shows up
+    // here even when every message still lands on the right tick.
+    d.mix(m->port->fifo_crossings());
+    d.mix(m->port->fifo_extra_cycles());
   }
   for (const DeviceMon& m : device_mons_) {
     const dtp::Agent* agent = dtp_.agent_of(m.dev);

@@ -41,6 +41,8 @@ PortLogic::PortLogic(Agent& agent, phy::PhyPort& port, std::size_t index)
 PortLogic::~PortLogic() {
   auto& sim = agent_.simulator();
   sim.cancel(beacon_timer_);
+  sim.bridge_cancel(beacon_step_);
+  beacon_step_ = {};
   sim.cancel(init_retry_);
   // Every one of these captures `this`; the PHY port outlives us (it belongs
   // to the device, we belong to the agent), so they must go.
@@ -108,6 +110,8 @@ void PortLogic::handle_link_down() {
   init_echo_wait_.reset();
   auto& sim = agent_.simulator();
   sim.cancel(beacon_timer_);
+  sim.bridge_cancel(beacon_step_);
+  beacon_step_ = {};
   sim.cancel(init_retry_);
   agent_.port_went_down(index_);
 }
@@ -223,8 +227,52 @@ void PortLogic::schedule_beacon() {
   sim::ScopedAffinity aff(port_.node());
   const auto& osc = agent_.device().oscillator();
   const std::int64_t due = osc.tick_at(sim.now()) + agent_.params().beacon_interval_ticks;
-  beacon_timer_ = sim.schedule_at(osc.edge_of_tick(due), [this] { send_beacon(); },
+  const fs_t at = osc.edge_of_tick(due);
+  if (sim.bridged()) {
+    // POD step at the timer's exact (time, key) position. Overwriting the
+    // token without cancelling mirrors the exact handle semantics: a stale
+    // chain keeps firing until its state check kills it.
+    sim::EventQueue::BridgeStep step;
+    step.fire = [](void* client, const sim::EventQueue::BridgeStep&, fs_t) {
+      static_cast<PortLogic*>(client)->bridge_fire_beacon();
+    };
+    step.client = this;
+    step.node = port_.node();
+    step.cat = sim::EventCategory::kBeacon;
+    step.kind = sim::EventQueue::BridgeKind::kTx;
+    beacon_step_ = sim.bridge_schedule(port_.node(), at, step);
+    return;
+  }
+  beacon_timer_ = sim.schedule_at(at, [this] { send_beacon(); },
                                   sim::EventCategory::kBeacon);
+}
+
+void PortLogic::bridge_fire_beacon() {
+  if (state_ != PortState::kSynced) return;
+  const DtpParams& p = agent_.params();
+  // Peek the MSB cadence *before* incrementing: an MSB-due beacon queues a
+  // second control block, which the fused single-slot path cannot carry.
+  const bool msb_due =
+      p.msb_every_n_beacons > 0 &&
+      beacons_since_msb_ + 1 >= p.msb_every_n_beacons;
+  if (msb_due || !port_.control_slot_fusible(this)) {
+    // Fall back to the exact body wholesale; its request_control_slot /
+    // schedule_control_service machinery consumes the same sequence numbers
+    // the exact engine would, and schedule_beacon() re-arms bridged.
+    send_beacon();
+    return;
+  }
+  // Fused quiet path, preserving the exact engine's sequence-number order:
+  // service slot first (request_control_slot inside send_beacon), then the
+  // next timer (schedule_beacon at its end), then the service body fires.
+  port_.fuse_reserve_control();
+  if (p.msb_every_n_beacons > 0) ++beacons_since_msb_;
+  schedule_beacon();
+  port_.fuse_fire_control([this](fs_t, std::int64_t tx_tick) {
+    const WideCounter gc = agent_.global_at_tick(tx_tick);
+    ++stats_.beacons_sent;
+    return encode_bits({MessageType::kBeacon, gc.lsb53()}, agent_.params().parity);
+  });
 }
 
 void PortLogic::send_beacon() {

@@ -149,6 +149,12 @@ class PortLogic {
   void arm_init_retry();
   void schedule_beacon();
   void send_beacon();
+  /// Bridged replacement for the beacon timer event (T3): runs send_beacon's
+  /// quiet path fused inline when nothing can interleave, and falls back to
+  /// send_beacon() wholesale otherwise (MSB due, line busy, off-lattice,
+  /// same-instant interloper). Fires at the exact (time, key) the timer
+  /// event would have.
+  void bridge_fire_beacon();
 
   /// Single gate for every state change: counts the transition and emits a
   /// trace instant when observability is attached.
@@ -170,6 +176,7 @@ class PortLogic {
   fs_t faulted_at_ = 0;  ///< when the detector last tripped (cooldown anchor)
   PortStats stats_;
   sim::EventHandle beacon_timer_;
+  sim::Simulator::BridgeToken beacon_step_;  ///< bridged-mode beacon timer
   sim::EventHandle init_retry_;
   obs::Hub* obs_hub_ = nullptr;  ///< trace attachment; null in bare runs
   std::uint32_t obs_track_ = 0;

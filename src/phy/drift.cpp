@@ -19,6 +19,9 @@ void DriftProcess::step() {
   if (ppm_ > params_.bound_ppm) ppm_ = 2 * params_.bound_ppm - ppm_;
   if (ppm_ < -params_.bound_ppm) ppm_ = -2 * params_.bound_ppm - ppm_;
   osc_.set_ppm_at(sim_.now(), ppm_);
+  // Continue the walk from the value the integer period actually realizes,
+  // so current_ppm() and osc_.ppm() cannot drift apart across steps.
+  ppm_ = osc_.ppm();
 }
 
 }  // namespace dtpsim::phy

@@ -1,16 +1,50 @@
 #include "phy/oscillator.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace dtpsim::phy {
 
+namespace {
+
+/// The exact double Oscillator::ppm() reports for an integer period — the
+/// round-trip below must compare against this, not the analytic inverse.
+double ppm_of_period(fs_t nominal_period, fs_t period) {
+  return (static_cast<double>(nominal_period) / static_cast<double>(period) - 1.0) * 1e6;
+}
+
+/// Widened result checked back into the femtosecond range. Bridged
+/// fast-forward legitimately asks for edges near the int64 horizon
+/// (~2.5 simulated hours); wrapping there would silently reorder events.
+fs_t narrow_or_throw(__int128 t, const char* what) {
+  if (t > std::numeric_limits<fs_t>::max() || t < std::numeric_limits<fs_t>::min())
+    throw std::overflow_error(what);
+  return static_cast<fs_t>(t);
+}
+
+}  // namespace
+
 fs_t period_from_ppm(fs_t nominal_period, double ppm) {
-  // f = f_nom * (1 + ppm/1e6)  =>  P = P_nom / (1 + ppm/1e6).
+  // f = f_nom * (1 + ppm/1e6)  =>  P = P_nom / (1 + ppm/1e6). The division
+  // and llround land within one unit of the best integer period; picking the
+  // candidate whose ppm() is closest to the request makes
+  // set_ppm_at(t, osc.ppm()) an exact no-op on the integer period (the true
+  // period is always among the candidates and has distance zero).
   const double p = static_cast<double>(nominal_period) / (1.0 + ppm * 1e-6);
   const auto rounded = static_cast<fs_t>(std::llround(p));
-  if (rounded <= 0) throw std::invalid_argument("period_from_ppm: non-positive period");
-  return rounded;
+  fs_t best = 0;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (fs_t cand : {rounded - 1, rounded, rounded + 1}) {
+    if (cand <= 0) continue;
+    const double err = std::abs(ppm_of_period(nominal_period, cand) - ppm);
+    if (err < best_err) {
+      best_err = err;
+      best = cand;
+    }
+  }
+  if (best <= 0) throw std::invalid_argument("period_from_ppm: non-positive period");
+  return best;
 }
 
 Oscillator::Oscillator(fs_t nominal_period, double ppm, fs_t phase)
@@ -31,29 +65,47 @@ void Oscillator::check_time(fs_t t) const {
 
 std::int64_t Oscillator::tick_at(fs_t t) const {
   check_time(t);
+  // t >= anchor_time_, so the difference only overflows when the anchor
+  // phase is negative and t sits within |anchor| of the horizon.
+  if (anchor_time_ < 0 && t > std::numeric_limits<fs_t>::max() + anchor_time_)
+    throw std::overflow_error("Oscillator: tick_at past the femtosecond horizon");
   return anchor_tick_ + (t - anchor_time_) / period_;
 }
 
 fs_t Oscillator::edge_of_tick(std::int64_t k) const {
   if (k < anchor_tick_) throw std::logic_error("Oscillator: tick before anchor");
-  return anchor_time_ + (k - anchor_tick_) * period_;
+  const __int128 e = static_cast<__int128>(anchor_time_) +
+                     static_cast<__int128>(k - anchor_tick_) * period_;
+  return narrow_or_throw(e, "Oscillator: edge_of_tick past the femtosecond horizon");
 }
 
 fs_t Oscillator::next_edge_at_or_after(fs_t t) const {
   check_time(t);
+  if (anchor_time_ < 0 && t > std::numeric_limits<fs_t>::max() + anchor_time_)
+    throw std::overflow_error("Oscillator: next_edge past the femtosecond horizon");
   const fs_t since = t - anchor_time_;
-  const fs_t k = (since + period_ - 1) / period_;  // ceil division
-  return anchor_time_ + k * period_;
+  // Ceil division without forming since + period - 1 (which wraps near the
+  // horizon): round up exactly when t is off-lattice.
+  const fs_t k = since / period_ + (since % period_ != 0 ? 1 : 0);
+  const __int128 e =
+      static_cast<__int128>(anchor_time_) + static_cast<__int128>(k) * period_;
+  return narrow_or_throw(e, "Oscillator: next_edge past the femtosecond horizon");
 }
 
 fs_t Oscillator::next_edge_after(fs_t t) const {
   const fs_t e = next_edge_at_or_after(t);
-  return e > t ? e : e + period_;
+  if (e > t) return e;
+  return narrow_or_throw(static_cast<__int128>(e) + period_,
+                         "Oscillator: next_edge past the femtosecond horizon");
 }
 
 void Oscillator::set_period_at(fs_t t, fs_t new_period) {
   if (new_period <= 0) throw std::invalid_argument("Oscillator: non-positive period");
   check_time(t);
+  // An unchanged period keeps the grid identical; skip the re-anchor so the
+  // drift walk's frequent no-op updates cannot creep the anchor toward the
+  // horizon guard.
+  if (new_period == period_) return;
   // Re-anchor on the last edge at or before t so past edges are preserved.
   const std::int64_t k = tick_at(t);
   anchor_time_ = edge_of_tick(k);

@@ -94,6 +94,84 @@ void PhyPort::schedule_control_service() {
       sim::EventCategory::kFrame);
 }
 
+bool PhyPort::control_slot_fusible(const void* tx_client) const {
+  if (!link_up() || !control_queue_.empty() || control_service_scheduled_)
+    return false;
+  const fs_t now = sim_.now();
+  if (line_free_ > now) return false;
+  // Off the edge lattice (a period change landed between edges): the exact
+  // engine would arm the service for a later slot, so fall back to it.
+  if (osc_.next_edge_at_or_after(now) != now) return false;
+  // A same-instant event ahead of the would-be service key (a global fault,
+  // this node's applies, a second chain on this port) could interleave in
+  // the exact engine; the fused path must yield to it.
+  return sim_.bridge_tx_fusible(node_, tx_client);
+}
+
+void PhyPort::fuse_reserve_control() { sim_.bridge_virtual_schedule(node_); }
+
+void PhyPort::fuse_fire_control(const ControlFactory& factory) {
+  // Mirrors the service event body under control_slot_fusible()'s
+  // preconditions: tx_start == now (on-lattice), queue empty, line free.
+  const fs_t tx_start = sim_.now();
+  sim_.bridge_virtual_fire(node_, sim::EventCategory::kFrame, tx_start);
+  const std::int64_t tx_tick = osc_.tick_at(tx_start);
+  const std::uint64_t bits = factory(tx_start, tx_tick);
+  if (probe_control_tx) probe_control_tx(bits, tx_start);
+  const fs_t tx_end = osc_.edge_of_tick(tx_tick + 1);
+  line_free_ = tx_end;
+  ++control_sent_;
+  cable_->transmit_control(*this, bits, tx_end);
+  // The exact body ends with schedule_control_service(); keep it for the
+  // case where the factory itself queued a follow-up request.
+  schedule_control_service();
+}
+
+void PhyPort::bridge_arrival_step(void* client, const sim::EventQueue::BridgeStep& s,
+                                  fs_t t) {
+  static_cast<PhyPort*>(client)->bridge_arrival(s.a, t, (s.d & 1) != 0);
+}
+
+void PhyPort::bridge_arrival(std::uint64_t bits56, fs_t wire_arrival, bool corrupted) {
+  // Mirrors deliver_control: the CDC crossing draws its RNG at the arrival
+  // instant, then visibility is armed for the crossing's edge. When nothing
+  // can fire in between — and the edge is inside the active run horizon —
+  // the visibility event is fused inline instead of re-entering the heap.
+  const CrossingResult crossing = fifo_.cross(osc_, wire_arrival);
+  ++fifo_crossings_;
+  fifo_extra_cycles_ += static_cast<std::uint64_t>(crossing.random_extra);
+  if (sim_.bridge_fusible_at(node_, crossing.visible_time)) {
+    sim_.bridge_virtual_schedule(node_);
+    sim_.bridge_virtual_fire(node_, sim::EventCategory::kFrame,
+                             crossing.visible_time);
+    bridge_apply(ControlRx{bits56, wire_arrival, crossing, corrupted});
+    return;
+  }
+  sim::EventQueue::BridgeStep step;
+  step.fire = &PhyPort::bridge_apply_step;
+  step.client = this;
+  step.a = bits56;
+  step.b = wire_arrival;
+  step.c = crossing.visible_tick;
+  step.d = (crossing.random_extra & 1) | (corrupted ? 2 : 0);
+  step.node = node_;
+  step.cat = sim::EventCategory::kFrame;
+  step.kind = sim::EventQueue::BridgeKind::kApply;
+  sim_.bridge_schedule(node_, crossing.visible_time, step);
+}
+
+void PhyPort::bridge_apply_step(void* client, const sim::EventQueue::BridgeStep& s,
+                                fs_t t) {
+  const CrossingResult crossing{s.c, t, static_cast<int>(s.d & 1)};
+  static_cast<PhyPort*>(client)->bridge_apply(
+      ControlRx{s.a, s.b, crossing, (s.d & 2) != 0});
+}
+
+void PhyPort::bridge_apply(const ControlRx& rx) {
+  if (probe_control_rx) probe_control_rx(rx);
+  if (on_control) on_control(rx);
+}
+
 fs_t PhyPort::frame_clear_time() const {
   return std::max(frame_allowed_, line_free_);
 }
@@ -172,9 +250,10 @@ void Cable::disconnect() {
   for (std::size_t i = 0; i < ring_count_; ++i)
     sim_.cancel(ring_[(ring_head_ + i) & mask]);
   ring_head_ = ring_count_ = 0;
-  // Cross-shard deliveries went through mailboxes and have no handle; they
-  // are tagged with this cable and purged directly from the shard queues.
-  if (sim_.parallel()) sim_.purge_deliveries(this);
+  // Cross-shard deliveries went through mailboxes, and bridged arrivals are
+  // POD steps; neither has a handle. Both are tagged with this cable and
+  // purged directly from the queues.
+  if (sim_.parallel() || sim_.bridged()) sim_.purge_deliveries(this);
   a_.link_lost();
   b_.link_lost();
 }
@@ -229,6 +308,21 @@ void Cable::transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end) {
   const fs_t arrival = tx_end + params_.propagation_delay;
   const std::uint64_t key =
       (static_cast<std::uint64_t>(dir_id_[dir]) << 32) | tx_seq_[dir]++;
+  if (sim_.bridged()) {
+    // POD arrival step on the destination queue at the same (time, link key)
+    // the exact delivery event would occupy. Cross-shard sends from a worker
+    // still take the exact mailbox path below.
+    sim::EventQueue::BridgeStep step;
+    step.fire = &PhyPort::bridge_arrival_step;
+    step.client = &to;
+    step.owner = this;  // disconnect() purges in-flight deliveries by owner
+    step.a = bits56;
+    step.d = corrupted ? 1 : 0;
+    step.node = to.node();
+    step.cat = sim::EventCategory::kFrame;
+    step.kind = sim::EventQueue::BridgeKind::kArrival;
+    if (sim_.bridge_deliver_link(to.node(), arrival, key, step)) return;
+  }
   track(sim_.deliver_link(
       from.node(), to.node(), arrival,
       [&to, bits56, arrival, corrupted] { to.deliver_control(bits56, arrival, corrupted); },

@@ -102,6 +102,32 @@ class PhyPort {
   /// (immediately if the line is idle, in the next inter-packet gap if not).
   void request_control_slot(ControlFactory factory);
 
+  // --- Bridged quiet path (Simulator::EngineMode::kBridged; DESIGN.md §12) --
+  //
+  // When the line is idle and on-lattice, a control slot requested "now"
+  // would be granted by a service event at this very instant. The fused path
+  // runs that service inline — same sequence-number positions, same counter
+  // bumps — skipping the event machinery entirely. Callers must check
+  // fusibility, reserve (at the position request_control_slot would consume
+  // the service's sequence number), then fire.
+
+  /// True iff a slot requested right now would be serviced at this exact
+  /// instant with nothing able to interleave: link up, no queued factories,
+  /// no armed service event, line free, on a tick edge, and no same-instant
+  /// event pending ahead of the would-be service key. `tx_client` identifies
+  /// the caller's beacon chain (its bridge-step client pointer) so the gate
+  /// can ignore sibling ports' benign timers while still refusing to run
+  /// ahead of a second chain on the same port.
+  bool control_slot_fusible(const void* tx_client) const;
+
+  /// Account for the fused service event's schedule (consumes its sequence
+  /// number). Must run exactly where request_control_slot would have armed.
+  void fuse_reserve_control();
+
+  /// Run the fused service inline: fire accounting, factory at (now, tick),
+  /// TX probe, line bookkeeping, and cable transmission.
+  void fuse_fire_control(const ControlFactory& factory);
+
   /// Number of factories waiting for an idle block.
   std::size_t pending_control() const { return control_queue_.size(); }
 
@@ -166,6 +192,18 @@ class PhyPort {
   void deliver_control(std::uint64_t bits56, fs_t tx_end, bool corrupted);
   void deliver_frame(FrameRx rx);
   void schedule_control_service();
+
+  // Bridged-step trampolines and bodies. The arrival step replaces the link
+  // delivery event (CDC crossing at the wire-arrival instant); the apply
+  // step replaces the visibility event (probe + on_control at the crossing's
+  // visible edge). Payload packing: a = bits56, b = wire arrival, c =
+  // visible tick, d = bit0 random_extra | bit1 corrupted.
+  static void bridge_arrival_step(void* client,
+                                  const sim::EventQueue::BridgeStep& s, fs_t t);
+  static void bridge_apply_step(void* client,
+                                const sim::EventQueue::BridgeStep& s, fs_t t);
+  void bridge_arrival(std::uint64_t bits56, fs_t wire_arrival, bool corrupted);
+  void bridge_apply(const ControlRx& rx);
 
   sim::Simulator& sim_;
   Oscillator& osc_;

@@ -49,7 +49,8 @@ EventQueue::Handle EventQueue::insert(fs_t t, Callback fn, EventCategory cat,
   s.node = node;
   s.owner = owner;
   heap_push(HeapEntry{t, key, slot});
-  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+  if (heap_.size() + bheap_.size() > peak_pending_)
+    peak_pending_ = heap_.size() + bheap_.size();
   return Handle{slot, s.gen};
 }
 
@@ -78,6 +79,15 @@ std::size_t EventQueue::purge_owner(const void* owner) {
       ++purged;
     }
   }
+  for (std::uint32_t idx = 0; idx < bridge_slots_.size(); ++idx) {
+    BridgeSlot& s = bridge_slots_[idx];
+    if (s.heap_pos != kNoHeapPos && s.step.owner == owner) {
+      bheap_remove(s.heap_pos);
+      bridge_release(idx);
+      ++cancelled_;
+      ++purged;
+    }
+  }
   return purged;
 }
 
@@ -85,21 +95,46 @@ std::uint64_t EventQueue::run(fs_t horizon, bool inclusive) {
   std::uint64_t fired = 0;
   EventQueue* const prev_queue = detail::tls_queue;
   detail::tls_queue = this;
-  while (!heap_.empty()) {
-    const fs_t t = heap_.front().time;
+  const bool prev_running = running_;
+  const fs_t prev_horizon = run_horizon_;
+  const bool prev_inclusive = run_inclusive_;
+  running_ = true;
+  run_horizon_ = horizon;
+  run_inclusive_ = inclusive;
+  for (;;) {
+    const bool bfirst = bridge_first();
+    fs_t t;
+    if (bfirst) {
+      t = bheap_.front().time;
+    } else if (!heap_.empty()) {
+      t = heap_.front().time;
+    } else {
+      break;
+    }
     if (inclusive ? t > horizon : t >= horizon) break;
-    fire_top();
+    if (bfirst) {
+      fire_bridge_top();
+    } else {
+      fire_top();
+    }
     ++fired;
   }
+  running_ = prev_running;
+  run_horizon_ = prev_horizon;
+  run_inclusive_ = prev_inclusive;
   detail::tls_queue = prev_queue;
   return fired;
 }
 
 bool EventQueue::fire_one() {
-  if (heap_.empty()) return false;
+  if (heap_.empty() && bheap_.empty()) return false;
   EventQueue* const prev_queue = detail::tls_queue;
   detail::tls_queue = this;
-  fire_top();
+  if (bridge_first()) {
+    fire_bridge_top();
+  } else {
+    fire_top();
+  }
   detail::tls_queue = prev_queue;
   return true;
 }
@@ -121,6 +156,210 @@ void EventQueue::fire_top() {
   detail::tls_affinity = node;
   fn();
   detail::tls_affinity = prev_affinity;
+}
+
+void EventQueue::fire_bridge_top() {
+  const BridgeEntry top = bheap_pop_top();
+  // Copy the POD out and free the slab entry before invoking, mirroring
+  // fire_top: the step may arm its successor into the freed entry.
+  const BridgeStep step = bridge_slots_[top.idx].step;
+  bridge_release(top.idx);
+  now_ = top.time;
+  ++executed_;
+  ++executed_by_category_[static_cast<std::size_t>(step.cat)];
+  const std::int32_t prev_affinity = detail::tls_affinity;
+  detail::tls_affinity = step.node;
+  step.fire(step.client, step, top.time);
+  detail::tls_affinity = prev_affinity;
+}
+
+std::uint64_t EventQueue::bridge_schedule(fs_t t, const BridgeStep& step) {
+  ++scheduled_;
+  return bridge_insert(t, node_class_key(next_seq_++, true), step);
+}
+
+std::uint64_t EventQueue::bridge_schedule_link(fs_t t, std::uint64_t link_sub,
+                                               const BridgeStep& step) {
+  ++scheduled_;
+  return bridge_insert(t, link_class_key(link_sub), step);
+}
+
+std::uint64_t EventQueue::bridge_insert(fs_t t, std::uint64_t key,
+                                        const BridgeStep& step) {
+  if (t < now_) throw std::logic_error("EventQueue: bridged step into the past");
+  if (step.fire == nullptr)
+    throw std::invalid_argument("EventQueue: bridged step without a fire fn");
+  std::uint32_t idx;
+  if (!bridge_free_.empty()) {
+    idx = bridge_free_.back();
+    bridge_free_.pop_back();
+  } else {
+    bridge_slots_.emplace_back();
+    idx = static_cast<std::uint32_t>(bridge_slots_.size() - 1);
+  }
+  BridgeSlot& s = bridge_slots_[idx];
+  s.step = step;
+  s.token = ++bridge_next_token_;
+  if (step.node >= 0) {
+    if (static_cast<std::size_t>(step.node) >= node_pending_.size())
+      node_pending_.resize(static_cast<std::size_t>(step.node) + 1);
+    node_pending_[static_cast<std::size_t>(step.node)].push_back(
+        NodePending{t, step.client, idx, step.kind});
+  }
+  bheap_push(BridgeEntry{t, key, idx});
+  const std::size_t depth = heap_.size() + bheap_.size();
+  if (depth > peak_pending_) peak_pending_ = depth;
+  return s.token;
+}
+
+bool EventQueue::bridge_cancel(std::uint64_t token) {
+  if (token == 0) return false;
+  // O(slab), but the slab only ever holds in-flight quiet-path steps and
+  // cancels are rare (link teardown).
+  for (std::uint32_t idx = 0; idx < bridge_slots_.size(); ++idx) {
+    BridgeSlot& s = bridge_slots_[idx];
+    if (s.heap_pos != kNoHeapPos && s.token == token) {
+      bheap_remove(s.heap_pos);
+      bridge_release(idx);
+      ++cancelled_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t EventQueue::bridge_virtual_schedule() {
+  ++scheduled_;
+  return next_seq_++;
+}
+
+void EventQueue::bridge_virtual_fire(EventCategory cat, fs_t t) {
+  if (t > now_) now_ = t;
+  ++executed_;
+  ++executed_by_category_[static_cast<std::size_t>(cat)];
+  ++fused_;
+}
+
+bool EventQueue::bridge_tx_fusible(std::int32_t node, const void* tx_client) const {
+  // Exact-heap events at this instant (global faults, fallback services on
+  // any node — rare in quiet spans) fire in key order; yield to them.
+  const std::uint64_t k = node_class_key(next_seq_, true);
+  if (!heap_.empty()) {
+    const HeapEntry& f = heap_.front();
+    if (f.time < now_ || (f.time == now_ && f.key < k)) return false;
+  }
+  if (node >= 0 && static_cast<std::size_t>(node) < node_pending_.size()) {
+    for (const NodePending& p : node_pending_[node]) {
+      if (p.time > now_) continue;
+      if (p.time < now_) return false;  // cannot happen mid-fire; be safe
+      switch (p.kind) {
+        case BridgeKind::kTx:
+          // Sibling ports of one device share its oscillator, so their
+          // beacon timers land on the same instants; a timer body touches
+          // only its own port and cable, so fusing ahead of it is
+          // unobservable. The one exception is a second chain on the SAME
+          // port (a re-arm raced a not-yet-cancelled step): the exact
+          // engine fires both services, so the fused path must not.
+          if (p.client == tx_client) return false;
+          break;
+        case BridgeKind::kArrival:
+          break;  // link-class key: fires after any node-class event anyway
+        default:
+          return false;  // an apply (or unclassified step) must go first
+      }
+    }
+  }
+  return true;
+}
+
+bool EventQueue::bridge_apply_fusible(std::int32_t node, fs_t t) const {
+  const std::uint64_t k = node_class_key(next_seq_, true);
+  if (!heap_.empty()) {
+    const HeapEntry& f = heap_.front();
+    if (f.time < t || (f.time == t && f.key < k)) return false;
+  }
+  if (node >= 0 && static_cast<std::size_t>(node) < node_pending_.size()) {
+    for (const NodePending& p : node_pending_[node]) {
+      if (p.time < t) return false;
+      // Same-instant: pending timers and applies carry node-class keys
+      // allocated before ours, so the exact engine fires them first and
+      // they touch the agent state this apply is about to update. Arrivals
+      // sort behind every node-class key and commute.
+      if (p.time == t && p.kind != BridgeKind::kArrival) return false;
+    }
+  }
+  return true;
+}
+
+void EventQueue::bridge_release(std::uint32_t idx) {
+  BridgeSlot& s = bridge_slots_[idx];
+  const std::int32_t node = s.step.node;
+  if (node >= 0 && static_cast<std::size_t>(node) < node_pending_.size()) {
+    std::vector<NodePending>& v = node_pending_[node];
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i].idx == idx) {
+        v[i] = v.back();
+        v.pop_back();
+        break;
+      }
+    }
+  }
+  s.step = BridgeStep{};
+  s.token = 0;
+  s.heap_pos = kNoHeapPos;
+  bridge_free_.push_back(idx);
+}
+
+void EventQueue::bheap_push(BridgeEntry e) {
+  bheap_.emplace_back();  // make room; bsift_up fills it
+  bsift_up(bheap_.size() - 1, e);
+}
+
+EventQueue::BridgeEntry EventQueue::bheap_pop_top() {
+  const BridgeEntry top = bheap_.front();
+  bridge_slots_[top.idx].heap_pos = kNoHeapPos;
+  const BridgeEntry last = bheap_.back();
+  bheap_.pop_back();
+  if (!bheap_.empty()) bsift_down(0, last);
+  return top;
+}
+
+void EventQueue::bheap_remove(std::uint32_t pos) {
+  bridge_slots_[bheap_[pos].idx].heap_pos = kNoHeapPos;
+  const BridgeEntry last = bheap_.back();
+  bheap_.pop_back();
+  if (pos == bheap_.size()) return;  // removed the tail
+  if (pos > 0 && bearlier(last, bheap_[(pos - 1) / kArity])) {
+    bsift_up(pos, last);
+  } else {
+    bsift_down(pos, last);
+  }
+}
+
+void EventQueue::bsift_up(std::size_t pos, BridgeEntry e) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!bearlier(e, bheap_[parent])) break;
+    bplace(pos, bheap_[parent]);
+    pos = parent;
+  }
+  bplace(pos, e);
+}
+
+void EventQueue::bsift_down(std::size_t pos, BridgeEntry e) {
+  const std::size_t n = bheap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c)
+      if (bearlier(bheap_[c], bheap_[best])) best = c;
+    if (!bearlier(bheap_[best], e)) break;
+    bplace(pos, bheap_[best]);
+    pos = best;
+  }
+  bplace(pos, e);
 }
 
 std::vector<EventQueue::Extracted> EventQueue::extract_node_events() {
@@ -161,8 +400,9 @@ void EventQueue::accumulate(SimStats& st) const {
   st.cancelled += cancelled_;
   for (std::size_t i = 0; i < kEventCategoryCount; ++i)
     st.executed_by_category[i] += executed_by_category_[i];
-  st.pending += heap_.size();
+  st.pending += heap_.size() + bheap_.size();
   st.peak_pending += peak_pending_;
+  st.fused += fused_;
 }
 
 std::uint32_t EventQueue::acquire_slot() {

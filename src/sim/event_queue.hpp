@@ -59,6 +59,7 @@ struct SimStats {
   std::uint64_t scheduled = 0;  ///< total schedule_at/schedule_in calls
   std::uint64_t executed = 0;   ///< events fired
   std::uint64_t cancelled = 0;  ///< events removed before firing
+  std::uint64_t fused = 0;      ///< bridged events executed without a heap pass
   std::uint64_t executed_by_category[kEventCategoryCount] = {};
   std::size_t pending = 0;       ///< events in the queue right now
   std::size_t peak_pending = 0;  ///< high-water mark of the queue depth
@@ -116,9 +117,13 @@ class EventQueue {
   void advance_now(fs_t t) {
     if (t > now_) now_ = t;
   }
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
-  fs_t next_time() const { return heap_.empty() ? kNoEventTime : heap_.front().time; }
+  bool empty() const { return heap_.empty() && bheap_.empty(); }
+  std::size_t size() const { return heap_.size() + bheap_.size(); }
+  fs_t next_time() const {
+    fs_t t = heap_.empty() ? kNoEventTime : heap_.front().time;
+    if (!bheap_.empty() && bheap_.front().time < t) t = bheap_.front().time;
+    return t;
+  }
 
   /// Schedule with an automatic (class, sequence) key. `node` is the device
   /// the event belongs to (-1 = global); `owner` tags the event for
@@ -156,6 +161,94 @@ class EventQueue {
 
   /// Fire exactly one event if any is pending.
   bool fire_one();
+
+  // --- Bridged fast-forward steps (DESIGN.md §12) ---------------------------
+  //
+  // A bridged step is a POD replacement for one quiet-path event: instead of
+  // a generation-counted slot holding a Callback closure, the step stores a
+  // bare function pointer plus a few payload words in its own slab, merged
+  // with the real heap by (time, key). Because a step is armed at the exact
+  // call position where the event it replaces would have consumed a sequence
+  // number — and fires at the same (time, key) — every counter, RNG draw
+  // position, and tie order is bit-identical to the cycle-exact engine.
+
+  /// What a bridged step does to its node's state. The fusion gates use this
+  /// to decide which *pending* steps a fused event may run ahead of: steps on
+  /// other nodes are state-disjoint by construction (each node's state is
+  /// only touched by its own events), so only same-node pendings matter, and
+  /// among those the kind tells the gate whether firing order is observable.
+  enum class BridgeKind : std::uint8_t {
+    kOther = 0,  ///< unclassified: gates treat it as blocking
+    kTx,         ///< beacon timer: reads/writes only its own port + cable
+    kArrival,    ///< cable delivery: link-class key, fires after node events
+    kApply,      ///< CDC visibility: delivers control, mutates agent counters
+  };
+
+  /// One bridged step. `fire(client, step, t)` runs when the step's (time,
+  /// key) reaches the front; `t` is the step's time (== now() by then). The
+  /// payload words a/b/c/d are opaque to the queue.
+  struct BridgeStep {
+    void (*fire)(void* client, const BridgeStep& step, fs_t t) = nullptr;
+    void* client = nullptr;
+    const void* owner = nullptr;  ///< purge_owner tag (cable deliveries)
+    std::uint64_t a = 0;          ///< payload word (e.g. 56-bit idle block)
+    fs_t b = 0;                   ///< payload time (e.g. wire arrival)
+    std::int64_t c = 0;           ///< payload index (e.g. visible tick)
+    std::int32_t d = 0;           ///< payload flags (e.g. extra | corrupted)
+    std::int32_t node = -1;       ///< affinity the fire runs under
+    EventCategory cat = EventCategory::kGeneric;
+    BridgeKind kind = BridgeKind::kOther;
+  };
+
+  /// Arm a node-class step: consumes the next sequence number and counts as
+  /// scheduled, exactly like schedule() would for the event it replaces.
+  /// Returns a cancellation token (monotonic per queue, never reused; 0 is
+  /// reserved invalid). Token semantics mirror Handle generations: a token
+  /// for a fired step silently no-ops in bridge_cancel.
+  std::uint64_t bridge_schedule(fs_t t, const BridgeStep& step);
+
+  /// Arm a link-class step with an explicit delivery subkey, like
+  /// schedule_link.
+  std::uint64_t bridge_schedule_link(fs_t t, std::uint64_t link_sub,
+                                     const BridgeStep& step);
+
+  /// Cancel a pending step by token; counts as cancelled. Stale tokens
+  /// (fired or already cancelled) return false.
+  bool bridge_cancel(std::uint64_t token);
+
+  /// Account for an event that is fused inline and never enters any heap:
+  /// consume a sequence number and count a schedule. Must be called at the
+  /// exact position where the replaced event's schedule call would run.
+  std::uint64_t bridge_virtual_schedule();
+
+  /// Count the firing of a fused event and move the clock to `t`.
+  void bridge_virtual_fire(EventCategory cat, fs_t t);
+
+  /// True when a control-service event fused inline *right now* by the
+  /// beacon timer of `tx_client` (a PortLogic) on `node` cannot be observed
+  /// firing out of order. Exact-heap events at this instant block (global
+  /// faults, fallback services); among same-node pending bridge steps only
+  /// another port's beacon timer is benign — a timer body touches nothing
+  /// outside its own port and cable, so the fused service commutes with it.
+  bool bridge_tx_fusible(std::int32_t node, const void* tx_client) const;
+
+  /// True when a CDC visibility event for `node` fused inline for instant
+  /// `t` (>= now) cannot be observed firing out of order: nothing in the
+  /// exact heap fires before its (t, key) slot, and no same-node bridge step
+  /// is pending at or before `t` — a pending timer or apply there would, in
+  /// the exact engine, run before the visibility event and read or write the
+  /// agent counters it is about to update. Same-node *arrivals* at exactly
+  /// `t` are benign: their link-class key sorts after every node-class key.
+  bool bridge_apply_fusible(std::int32_t node, fs_t t) const;
+
+  /// True while run() is draining and `t` falls inside its horizon: fusing
+  /// a future event across [now, t] is only sound when this run call would
+  /// have fired it anyway (epoch bounds in parallel mode).
+  bool bridge_within_horizon(fs_t t) const {
+    return running_ && (run_inclusive_ ? t <= run_horizon_ : t < run_horizon_);
+  }
+
+  std::size_t bridge_pending() const { return bheap_.size(); }
 
   // --- Sharding support (Simulator::set_threads) ---------------------------
 
@@ -225,6 +318,39 @@ class EventQueue {
     return a.key < b.key;
   }
 
+  /// Slab entry for a bridged step; `heap_pos` == kNoHeapPos marks free.
+  struct BridgeSlot {
+    BridgeStep step{};
+    std::uint64_t token = 0;
+    std::uint32_t heap_pos = kNoHeapPos;
+  };
+
+  /// Bridge heap entry: same (time, key) order as HeapEntry, indexing the
+  /// bridge slab. Kept as a second heap so the exact hot path never pays for
+  /// the bridge when it is empty.
+  struct BridgeEntry {
+    fs_t time;
+    std::uint64_t key;
+    std::uint32_t idx;
+  };
+
+  static bool bearlier(const BridgeEntry& a, const BridgeEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  /// Per-node view of pending bridge steps, so the fusion gates can answer
+  /// "is anything of *this node* pending at or before t" without scanning a
+  /// heap whose front is usually some other node's step. A node has at most
+  /// a handful of pendings (one timer per port, in-flight deliveries), so a
+  /// small vector with swap-remove beats any ordered structure.
+  struct NodePending {
+    fs_t time;
+    const void* client;
+    std::uint32_t idx;  ///< bridge slab index, for removal
+    BridgeKind kind;
+  };
+
   Handle insert(fs_t t, Callback fn, EventCategory cat, std::int32_t node,
                 const void* owner, std::uint64_t key);
   std::uint32_t acquire_slot();
@@ -240,6 +366,27 @@ class EventQueue {
   }
   void fire_top();
 
+  std::uint64_t bridge_insert(fs_t t, std::uint64_t key, const BridgeStep& step);
+  void bridge_release(std::uint32_t idx);
+  void bheap_push(BridgeEntry e);
+  BridgeEntry bheap_pop_top();
+  void bheap_remove(std::uint32_t pos);
+  void bsift_up(std::size_t pos, BridgeEntry e);
+  void bsift_down(std::size_t pos, BridgeEntry e);
+  void bplace(std::size_t pos, BridgeEntry e) {
+    bheap_[pos] = e;
+    bridge_slots_[e.idx].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+  void fire_bridge_top();
+  /// True when the bridge front sorts before the real-heap front.
+  bool bridge_first() const {
+    if (bheap_.empty()) return false;
+    if (heap_.empty()) return true;
+    const BridgeEntry& b = bheap_.front();
+    const HeapEntry& h = heap_.front();
+    return b.time != h.time ? b.time < h.time : b.key < h.key;
+  }
+
   fs_t now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
@@ -251,6 +398,15 @@ class EventQueue {
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;
   std::unordered_map<std::uint32_t, Forward> forwards_;
+  std::vector<BridgeSlot> bridge_slots_;
+  std::vector<std::uint32_t> bridge_free_;
+  std::vector<BridgeEntry> bheap_;
+  std::vector<std::vector<NodePending>> node_pending_;  ///< by node id
+  std::uint64_t bridge_next_token_ = 0;
+  std::uint64_t fused_ = 0;  ///< virtual fires (events that skipped the heap)
+  bool running_ = false;       ///< inside run(); gates future-instant fusion
+  fs_t run_horizon_ = 0;       ///< active run() horizon
+  bool run_inclusive_ = false; ///< active run() horizon inclusivity
 };
 
 }  // namespace dtpsim::sim

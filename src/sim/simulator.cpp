@@ -239,6 +239,11 @@ void Simulator::register_edge(std::int32_t a, std::int32_t b, fs_t delay) {
 
 void Simulator::set_threads(unsigned threads) {
   if (engine_) throw std::logic_error("Simulator::set_threads: already parallel");
+  if (global_q_.bridge_pending() > 0)
+    throw std::logic_error(
+        "Simulator::set_threads: bridged steps pending — shard before running "
+        "a bridged simulation (bridged steps carry raw pointers, not "
+        "migratable slots)");
   if (threads <= 1 || node_weights_.empty()) return;
   PartitionInput in;
   in.nodes = static_cast<std::int32_t>(node_weights_.size());
@@ -319,6 +324,82 @@ EventHandle Simulator::deliver_link(std::int32_t src_node, std::int32_t dst_node
                                std::move(fn)});
   (void)src_node;
   return EventHandle();  // mailbox-routed: cancellation via purge_deliveries
+}
+
+EventQueue& Simulator::bridge_context_queue(std::int32_t node) {
+  // Inside an event, the firing queue *is* where exact scheduling for the
+  // event's own node would land (route_schedule invariants); outside one,
+  // fall back to explicit routing.
+  if (EventQueue* q = detail::tls_queue) return *q;
+  if (!engine_ || node < 0) return global_q_;
+  return engine_->shard_queue(engine_->shard_of(node));
+}
+
+const EventQueue& Simulator::bridge_context_queue(std::int32_t node) const {
+  if (const EventQueue* q = detail::tls_queue) return *q;
+  if (!engine_ || node < 0) return global_q_;
+  return engine_->shard_queue(engine_->shard_of(node));
+}
+
+Simulator::BridgeToken Simulator::bridge_schedule(std::int32_t node, fs_t t,
+                                                  const EventQueue::BridgeStep& step) {
+  // Mirrors route_schedule exactly, so the step consumes the same sequence
+  // number from the same queue as the event it replaces.
+  if (!engine_) return BridgeToken{0, global_q_.bridge_schedule(t, step)};
+  if (ShardRt* cur = detail::tls_shard) {
+    if (node < 0 || engine_->shard_of(node) != cur->index)
+      throw std::logic_error("Simulator: worker bridged step outside its shard");
+    return BridgeToken{static_cast<std::uint32_t>(1 + cur->index),
+                       cur->queue.bridge_schedule(t, step)};
+  }
+  if (node < 0) return BridgeToken{0, global_q_.bridge_schedule(t, step)};
+  const std::int32_t s = engine_->shard_of(node);
+  return BridgeToken{static_cast<std::uint32_t>(1 + s),
+                     engine_->shard_queue(s).bridge_schedule(t, step)};
+}
+
+bool Simulator::bridge_cancel(BridgeToken tok) {
+  if (!tok.valid()) return false;
+  return queue_at(tok.queue).bridge_cancel(tok.token);
+}
+
+bool Simulator::bridge_deliver_link(std::int32_t dst_node, fs_t arrival,
+                                    std::uint64_t link_sub,
+                                    const EventQueue::BridgeStep& step) {
+  // Mirrors deliver_link's three-way routing; the cross-shard worker case
+  // keeps the exact mailbox path (Callback hand-off), so it reports false.
+  if (!engine_ || dst_node < 0) {
+    global_q_.bridge_schedule_link(arrival, link_sub, step);
+    return true;
+  }
+  const std::int32_t dst_shard = engine_->shard_of(dst_node);
+  ShardRt* cur = detail::tls_shard;
+  if (cur == nullptr) {
+    engine_->shard_queue(dst_shard).bridge_schedule_link(arrival, link_sub, step);
+    return true;
+  }
+  if (cur->index == dst_shard) {
+    cur->queue.bridge_schedule_link(arrival, link_sub, step);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::bridge_virtual_schedule(std::int32_t node) {
+  return bridge_context_queue(node).bridge_virtual_schedule();
+}
+
+void Simulator::bridge_virtual_fire(std::int32_t node, EventCategory cat, fs_t t) {
+  bridge_context_queue(node).bridge_virtual_fire(cat, t);
+}
+
+bool Simulator::bridge_tx_fusible(std::int32_t node, const void* tx_client) const {
+  return bridge_context_queue(node).bridge_tx_fusible(node, tx_client);
+}
+
+bool Simulator::bridge_fusible_at(std::int32_t node, fs_t t) const {
+  const EventQueue& q = bridge_context_queue(node);
+  return q.bridge_within_horizon(t) && q.bridge_apply_fusible(node, t);
 }
 
 std::size_t Simulator::purge_deliveries(const void* owner) {

@@ -216,6 +216,58 @@ class Simulator {
   fs_t lookahead() const;
   ParallelStats parallel_stats() const;
 
+  // --- Engine mode (quiet-path fast-forward; DESIGN.md §12) -----------------
+
+  /// kExact drives every protocol action through generation-counted events.
+  /// kBridged lets the quiet PHY path (beacon cadence, control deliveries,
+  /// CDC visibility) advance through analytic POD steps that fire at the
+  /// exact same (time, key) positions — RunDigest-bit-identical, ~an order
+  /// of magnitude fewer event-machinery costs on quiet intervals.
+  enum class EngineMode : std::uint8_t { kExact, kBridged };
+
+  /// Select the engine mode. Consulted at arm time, so switching mid-run
+  /// only affects work scheduled afterwards.
+  void set_engine(EngineMode mode) { engine_mode_ = mode; }
+  EngineMode engine_mode() const { return engine_mode_; }
+  bool bridged() const { return engine_mode_ == EngineMode::kBridged; }
+
+  /// Cancellation token for a bridged step; (queue, per-queue token).
+  struct BridgeToken {
+    std::uint32_t queue = 0;
+    std::uint64_t token = 0;
+    bool valid() const { return token != 0; }
+  };
+
+  /// Arm a node-class bridged step for `node` at `t`, routed to the same
+  /// queue (and consuming the same sequence number) schedule_at would use.
+  BridgeToken bridge_schedule(std::int32_t node, fs_t t,
+                              const EventQueue::BridgeStep& step);
+
+  /// Cancel a pending bridged step; stale tokens no-op (like cancel()).
+  bool bridge_cancel(BridgeToken tok);
+
+  /// Bridged link delivery: push a POD arrival step on the destination's
+  /// queue when the current context may touch it directly. Returns false
+  /// for a cross-shard send from a worker — the caller must fall back to
+  /// the exact deliver_link (mailbox) path.
+  bool bridge_deliver_link(std::int32_t dst_node, fs_t arrival,
+                           std::uint64_t link_sub,
+                           const EventQueue::BridgeStep& step);
+
+  /// Accounting for an event fused inline on `node`'s queue: consume its
+  /// sequence number / count its firing without any heap traffic.
+  std::uint64_t bridge_virtual_schedule(std::int32_t node);
+  void bridge_virtual_fire(std::int32_t node, EventCategory cat, fs_t t);
+
+  /// True when `tx_client`'s beacon timer on `node` may fuse its control
+  /// service inline at the current instant (see EventQueue::bridge_tx_fusible).
+  bool bridge_tx_fusible(std::int32_t node, const void* tx_client) const;
+
+  /// True when a CDC visibility event for `node` may be fused inline for the
+  /// *future* instant `t`: nothing of this node fires before its slot, and
+  /// `t` is inside the active run horizon (epoch bound in parallel mode).
+  bool bridge_fusible_at(std::int32_t node, fs_t t) const;
+
   /// Schedule a link delivery from `src_node`'s port to `dst_node` at
   /// `arrival`. `link_key` is the (edge direction << 32 | message index)
   /// tie-break key; `owner` tags the event for purge_deliveries. Returns an
@@ -244,6 +296,10 @@ class Simulator {
   }
   EventQueue& queue_at(std::uint32_t q);
   const EventQueue& queue_at(std::uint32_t q) const;
+  /// Queue the currently-executing event context owns for `node` — the
+  /// bridge's fused accounting must hit the queue exact scheduling would.
+  EventQueue& bridge_context_queue(std::int32_t node);
+  const EventQueue& bridge_context_queue(std::int32_t node) const;
   /// Route a schedule call to the right queue for (affinity, context).
   EventHandle route_schedule(fs_t t, Callback fn, EventCategory cat,
                              std::int32_t node);
@@ -257,6 +313,7 @@ class Simulator {
 
   std::uint64_t seed_;
   Rng root_rng_;
+  EngineMode engine_mode_ = EngineMode::kExact;
   std::chrono::steady_clock::duration run_wall_{0};
   EventQueue global_q_;
   std::unique_ptr<ParallelEngine> engine_;

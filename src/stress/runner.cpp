@@ -58,6 +58,7 @@ CampaignResult run_campaign(const StressSpec& spec) { return run_campaign(spec, 
 
 CampaignResult run_campaign(const StressSpec& spec, const ObsOptions* obs) {
   sim::Simulator sim(spec.sim_seed);
+  if (spec.bridged) sim.set_engine(sim::Simulator::EngineMode::kBridged);
 
   net::NetworkParams np;
   np.ppm_spread = spec.ppm_spread;
@@ -133,23 +134,29 @@ CampaignResult run_campaign(const StressSpec& spec, const ObsOptions* obs) {
 }
 
 CampaignResult run_differential(const StressSpec& spec) {
-  if (spec.threads <= 1) return run_campaign(spec);
-  StressSpec serial = spec;
-  serial.threads = 1;
-  const CampaignResult base = run_campaign(serial);
-  CampaignResult par = run_campaign(spec);
-  if (!(base.digest == par.digest)) {
+  // The baseline is always the serial cycle-exact engine: both the parallel
+  // conservative engine and the tick-bridging engine promise bit-identical
+  // RunDigests against it, separately and combined.
+  if (spec.threads <= 1 && !spec.bridged) return run_campaign(spec);
+  StressSpec base_spec = spec;
+  base_spec.threads = 1;
+  base_spec.bridged = false;
+  const CampaignResult base = run_campaign(base_spec);
+  CampaignResult var = run_campaign(spec);
+  if (!(base.digest == var.digest)) {
+    const std::string mode = std::to_string(spec.threads) + "-thread " +
+                             (spec.bridged ? "bridged" : "exact");
     check::Violation v;
     v.kind = check::InvariantKind::kDigestMismatch;
     v.at = spec.horizon;
     v.device = "network";
-    v.observed = static_cast<double>(par.shards);
+    v.observed = static_cast<double>(var.shards);
     v.bound = 1.0;
-    v.detail = "serial digest " + base.digest.hex() + " != " +
-               std::to_string(spec.threads) + "-thread digest " + par.digest.hex();
-    par.violations.push_back(std::move(v));
+    v.detail = "serial-exact digest " + base.digest.hex() + " != " + mode +
+               " digest " + var.digest.hex();
+    var.violations.push_back(std::move(v));
   }
-  return par;
+  return var;
 }
 
 BatchOutcome run_batch(std::uint64_t seed, std::uint32_t count,
@@ -157,8 +164,9 @@ BatchOutcome run_batch(std::uint64_t seed, std::uint32_t count,
   BatchOutcome out;
   for (std::uint32_t i = 0; i < count; ++i) {
     const StressSpec spec = generate(seed, i, limits);
-    CampaignResult r =
-        differential && spec.threads > 1 ? run_differential(spec) : run_campaign(spec);
+    CampaignResult r = differential && (spec.threads > 1 || spec.bridged)
+                           ? run_differential(spec)
+                           : run_campaign(spec);
     ++out.campaigns;
     out.events_executed += r.events_executed;
     if (!r.clean()) out.failures.push_back(std::move(r));

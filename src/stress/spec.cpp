@@ -46,7 +46,7 @@ double spec_size(const StressSpec& s) {
   for (const auto& f : s.faults) size += 50.0 * f.count;
   size += 10.0 * static_cast<double>(spec_device_count(s));
   size += static_cast<double>(s.horizon) / static_cast<double>(from_ms(1));
-  size += 2.0 * s.threads + s.n_flows;
+  size += 2.0 * s.threads + s.n_flows + (s.bridged ? 2.0 : 0.0);
   return size;
 }
 
@@ -132,7 +132,8 @@ std::string to_text(const StressSpec& s) {
   out << "load flows=" << s.n_flows << " bytes=" << s.frame_bytes
       << " saturate=" << (s.saturate ? 1 : 0) << " gbps=" << fmt_f64(s.rate_gbps) << "\n";
   out << "run threads=" << s.threads << " settle=" << s.settle
-      << " horizon=" << s.horizon << "\n";
+      << " horizon=" << s.horizon << " engine=" << (s.bridged ? "bridged" : "exact")
+      << "\n";
   out << "sentinel bound=" << fmt_f64(s.offset_bound_ticks)
       << " sample=" << s.sample_period << "\n";
   for (const auto& f : s.faults) out << chaos::fault_to_line(f) << "\n";
@@ -194,6 +195,16 @@ StressSpec spec_from_text(const std::string& text) {
       s.threads = static_cast<std::uint32_t>(parse_u64("threads", take(kv, section, "threads")));
       s.settle = parse_i64("settle", take(kv, section, "settle"));
       s.horizon = parse_i64("horizon", take(kv, section, "horizon"));
+      // Optional for files written before the bridged engine existed.
+      if (auto it = kv.find("engine"); it != kv.end()) {
+        if (it->second == "bridged") {
+          s.bridged = true;
+        } else if (it->second != "exact") {
+          throw std::invalid_argument("stress: engine must be exact or bridged, got '" +
+                                      it->second + "'");
+        }
+        kv.erase(it);
+      }
     } else if (section == "sentinel") {
       seen[5] = true;
       s.offset_bound_ticks = parse_f64("bound", take(kv, section, "bound"));
@@ -415,6 +426,10 @@ StressSpec generate(std::uint64_t seed, std::uint32_t index, const StressLimits&
     last_recovery = std::max(last_recovery, fault_end(f) + recovery_margin(f.kind));
     s.faults.push_back(std::move(f));
   }
+
+  // Drawn last so existing (seed, index) pairs keep every field above
+  // bit-identical to what they sampled before the bridged engine existed.
+  s.bridged = limits.allow_bridged && r.bernoulli(0.25);
 
   // Horizon: convergence demonstrated before faults, recovery demonstrated
   // after the last one (the offset monitor needs its settle streak back).

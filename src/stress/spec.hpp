@@ -52,6 +52,7 @@ struct StressSpec {
 
   // --- Execution -------------------------------------------------------------
   std::uint32_t threads = 1;   ///< 1 = serial; 2/4 = parallel conservative
+  bool bridged = false;        ///< tick-bridging engine (EngineMode::kBridged)
   fs_t settle = from_ms(3);    ///< convergence time before faults may land
   fs_t horizon = from_ms(5);   ///< absolute end of the run
 
@@ -88,6 +89,7 @@ struct StressLimits {
   std::uint32_t max_flows = 4;
   std::uint32_t max_tree_switches = 8;
   bool allow_parallel = true;
+  bool allow_bridged = true;
 };
 
 /// Deterministically sample campaign `index` of master seed `seed`.

@@ -4,11 +4,29 @@
 #include <gtest/gtest.h>
 
 #include "dtp_test_util.hpp"
+#include "phy/drift.hpp"
 
 namespace dtpsim::dtp {
 namespace {
 
 using namespace dtpsim::literals;
+
+TEST(OscillatorDrift, WalkStateEqualsQuantizedOscillatorPpm) {
+  // The walk must continue from the ppm the integer period actually
+  // realizes: current_ppm() and osc.ppm() are the same value after every
+  // step, not merely close, or long campaigns accumulate quantization bias.
+  sim::Simulator sim(204);
+  phy::Oscillator osc(6'400'000, 23.0);
+  phy::DriftParams dp;
+  dp.step_ppm = 5.0;
+  dp.update_interval = 1_us;
+  phy::DriftProcess drift(sim, osc, dp, sim.fork_rng(7));
+  drift.start();
+  for (int i = 0; i < 500; ++i) {
+    sim.run_until(sim.now() + 1_us);
+    ASSERT_EQ(drift.current_ppm(), osc.ppm()) << "step " << i;
+  }
+}
 
 TEST(LinkDynamics, DisconnectDropsToDown) {
   sim::Simulator sim(201);

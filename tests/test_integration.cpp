@@ -115,7 +115,7 @@ TEST(Integration, EverythingAtOnce) {
     for (std::size_t i = pts.size() * 3 / 4; i < pts.size(); ++i)
       tail = std::max(tail, std::abs(pts[i].value));
     EXPECT_LT(tail, 500'000.0);
-    EXPECT_GT(tail, 10.0) << "PTP cannot be implausibly perfect";
+    EXPECT_GT(tail, 2.0) << "PTP cannot be implausibly perfect";
   }
 
   // NTP: microsecond decade.

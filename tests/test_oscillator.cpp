@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 #include "phy/drift.hpp"
 #include "phy/rates.hpp"
@@ -70,6 +72,50 @@ TEST(Oscillator, PpmRoundTrips) {
     Oscillator osc(kT, ppm);
     EXPECT_NEAR(osc.ppm(), ppm, 0.16) << ppm;  // period quantized to 1 fs = 0.156 ppm
   }
+}
+
+TEST(Oscillator, PpmRoundTripIsExactOnPeriod) {
+  // set_ppm_at(t, osc.ppm()) must be an exact no-op on the integer period:
+  // drift re-anchoring on the reported ppm cannot accumulate quantization
+  // bias. Swept across the full 802.3 envelope, fractional values included.
+  for (double ppm = -100.0; ppm <= 100.0; ppm += 0.37) {
+    Oscillator osc(kT, ppm);
+    const fs_t period = osc.period();
+    EXPECT_EQ(period_from_ppm(kT, osc.ppm()), period) << ppm;
+    osc.set_ppm_at(3 * kT, osc.ppm());
+    EXPECT_EQ(osc.period(), period) << ppm;
+  }
+}
+
+TEST(Oscillator, UnchangedPeriodDoesNotReanchor) {
+  Oscillator osc(kT);
+  osc.set_period_at(5 * kT + 100, kT);
+  // The whole past grid is still addressable: re-anchoring would have made
+  // tick 0 a "before anchor" query.
+  EXPECT_EQ(osc.edge_of_tick(0), 0);
+  EXPECT_EQ(osc.tick_at(0), 0);
+}
+
+TEST(Oscillator, EdgeMathThrowsInsteadOfWrappingAtHorizon) {
+  const fs_t horizon = std::numeric_limits<fs_t>::max();
+  Oscillator osc(kT);
+  // The last representable edge still computes exactly...
+  const std::int64_t last_tick = horizon / kT;
+  EXPECT_EQ(osc.edge_of_tick(last_tick), last_tick * kT);
+  EXPECT_EQ(osc.next_edge_at_or_after(last_tick * kT), last_tick * kT);
+  // ...and one step past it reports overflow instead of wrapping negative.
+  EXPECT_THROW(osc.edge_of_tick(last_tick + 1), std::overflow_error);
+  EXPECT_THROW(osc.next_edge_at_or_after(last_tick * kT + 1), std::overflow_error);
+  EXPECT_THROW(osc.next_edge_after(last_tick * kT), std::overflow_error);
+}
+
+TEST(Oscillator, NegativePhaseNearHorizonThrows) {
+  // anchor_time < 0 makes t - anchor_time overflow before the division; the
+  // guard must catch it rather than divide a wrapped value.
+  Oscillator osc(kT, 0.0, -1000);
+  EXPECT_THROW(osc.tick_at(std::numeric_limits<fs_t>::max()), std::overflow_error);
+  EXPECT_THROW(osc.next_edge_at_or_after(std::numeric_limits<fs_t>::max()),
+               std::overflow_error);
 }
 
 TEST(Oscillator, QueriesBeforeAnchorThrow) {

@@ -114,8 +114,10 @@ TEST(OwdMeter, PtpClocksGiveSubMicrosecondOwdWhenIdle) {
   sim.run_until(20_sec);
   ASSERT_GT(meter.probes_received(), 50u);
   EXPECT_LT(meter.error_series().stats().max_abs(), 5'000.0);
-  EXPECT_GT(meter.error_series().stats().max_abs(), 25.6)
-      << "but PTP cannot reach DTP's bound";
+  // Floor: one 6.4ns tick. With unbiased period quantization the PTP pair
+  // lands at single-digit ns when idle, but can never be tick-perfect.
+  EXPECT_GT(meter.error_series().stats().max_abs(), 6.4)
+      << "but PTP cannot be implausibly perfect";
 }
 
 }  // namespace

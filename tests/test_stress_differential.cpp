@@ -1,6 +1,7 @@
-// Serial-vs-parallel differential harness: the same campaign run with 1, 2
-// and 4 worker threads must produce bit-identical sentinel digests (offset
-// samples, event counts, frame counts, agent adjustments). Carries the
+// Engine differential harness: the same campaign run with 2/4 worker
+// threads, with the tick-bridging engine, or both, must produce sentinel
+// digests bit-identical to the serial cycle-exact run (offset samples, event
+// counts, frame counts, FIFO crossings, agent adjustments). Carries the
 // "parallel" label so the sanitize-threads preset runs it under TSan.
 
 #include <gtest/gtest.h>
@@ -69,11 +70,69 @@ TEST(StressDifferential, FourThreadWithFaultsMatchesSerial) {
   for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
 }
 
+TEST(StressDifferential, BridgedSerialDigestMatchesExact) {
+  stress::StressSpec s = differential_spec(1);
+  s.bridged = true;
+  const stress::CampaignResult r = stress::run_differential(s);
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+}
+
+TEST(StressDifferential, BridgedTwoThreadDigestMatchesExactSerial) {
+  stress::StressSpec s = differential_spec(2);
+  s.bridged = true;
+  const stress::CampaignResult r = stress::run_differential(s);
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+  EXPECT_GT(r.shards, 1);
+}
+
+TEST(StressDifferential, BridgedFourThreadWithFaultsMatchesExactSerial) {
+  stress::StressSpec s = differential_spec(4);
+  s.bridged = true;
+  // Faults land inside bridged quiet spans: the flap exercises the purge /
+  // bridge_cancel paths, the BER burst corrupts blocks riding as bridged
+  // arrival steps.
+  chaos::FaultDescriptor flap;
+  flap.kind = chaos::FaultKind::kLinkFlap;
+  flap.a = "S0";
+  flap.b = "S2";
+  flap.at = from_ms(3) + from_us(300);
+  flap.duration = from_us(80);
+  s.faults.push_back(flap);
+
+  chaos::FaultDescriptor ber;
+  ber.kind = chaos::FaultKind::kBerBurst;
+  ber.a = "S1";
+  ber.b = "S4";
+  ber.at = from_ms(3) + from_us(500);
+  ber.duration = from_us(120);
+  ber.magnitude = 1e-5;
+  s.faults.push_back(ber);
+
+  s.horizon = stress::fault_end(ber) + stress::recovery_margin(ber.kind) + from_us(300);
+
+  const stress::CampaignResult r = stress::run_differential(s);
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+}
+
 TEST(StressDifferential, GeneratedParallelCampaignsMatchSerial) {
   int checked = 0;
   for (std::uint32_t i = 0; i < 32 && checked < 2; ++i) {
     const stress::StressSpec s = stress::generate(/*seed=*/97, i);
     if (s.threads <= 1) continue;
+    ++checked;
+    const stress::CampaignResult r = stress::run_differential(s);
+    for (const auto& v : r.violations)
+      ADD_FAILURE() << "campaign " << i << ": " << v.to_string() << "\nrepro:\n"
+                    << stress::to_text(s);
+  }
+  EXPECT_EQ(checked, 2);
+}
+
+TEST(StressDifferential, GeneratedBridgedCampaignsMatchExactSerial) {
+  int checked = 0;
+  for (std::uint32_t i = 0; i < 64 && checked < 2; ++i) {
+    const stress::StressSpec s = stress::generate(/*seed=*/97, i);
+    if (!s.bridged) continue;
     ++checked;
     const stress::CampaignResult r = stress::run_differential(s);
     for (const auto& v : r.violations)

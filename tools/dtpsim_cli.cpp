@@ -61,6 +61,9 @@ constexpr const char* kUsage =
     "  --ber=P              uniform cable bit-error rate (default 0)\n"
     "  --chaos=flap|storm|crash|ber|rogue|canonical  fault-injection demo\n"
     "  --threads=N          parallel conservative engine workers (default 1)\n"
+    "  --engine=exact|bridged  event engine: cycle-exact, or analytic\n"
+    "                       tick-bridging fast-forward for quiet PHY time\n"
+    "                       (bit-identical results; default exact)\n"
     "  --stress=N           run N randomized invariant-checked campaigns from\n"
     "                       --seed; failures write dtpsim-repro-<seed>-<i>.txt\n"
     "                       (+ a shrunken -min.txt) and exit 1\n"
@@ -89,6 +92,7 @@ struct Options {
   bool drift = false;
   double ber = 0.0;
   unsigned threads = 1;
+  bool bridged = false;  ///< --engine=bridged
   std::uint32_t stress = 0;  ///< 0 = off; N = campaign count
   std::string repro;         ///< non-empty = replay this file
   std::string json_out;      ///< non-empty = write JSON summary here
@@ -156,8 +160,8 @@ Options parse(int argc, char** argv) {
 
     if (!one_of(key, {"help", "drift", "topology", "protocol", "load", "chaos",
                       "nodes", "hops", "seconds", "seed", "beacon", "rate", "ber",
-                      "threads", "stress", "repro", "json-out", "trace", "metrics",
-                      "metrics-interval"}))
+                      "threads", "engine", "stress", "repro", "json-out", "trace",
+                      "metrics", "metrics-interval"}))
       throw UsageError("unknown flag '--" + key + "'");
     if (key == "help") continue;  // handled in main() before parsing
     if (key == "drift") {
@@ -210,6 +214,10 @@ Options parse(int argc, char** argv) {
       const long long n = parse_int(key, value);
       if (n < 1 || n > 64) throw UsageError("--threads must be in [1, 64]");
       o.threads = static_cast<unsigned>(n);
+    } else if (key == "engine") {
+      if (!one_of(value, {"exact", "bridged"}))
+        throw UsageError("--engine must be exact|bridged, got '" + value + "'");
+      o.bridged = value == "bridged";
     } else if (key == "stress") {
       const long long n = parse_int(key, value);
       if (n < 1 || n > 1'000'000) throw UsageError("--stress must be in [1, 1000000]");
@@ -289,6 +297,7 @@ void engage_threads(sim::Simulator& sim, unsigned threads) {
 /// every probe reported and recovery matched the class's contract.
 int run_chaos(const Options& o) {
   sim::Simulator sim(o.seed);
+  if (o.bridged) sim.set_engine(sim::Simulator::EngineMode::kBridged);
   net::Network net(sim, chaos::CanonicalCampaign::net_params());
   auto tree = net::build_paper_tree(net);
   auto dtp = dtp::enable_dtp(net, chaos::CanonicalCampaign::dtp_params());
@@ -471,6 +480,7 @@ int run(const Options& o) {
   if (!o.chaos.empty()) return run_chaos(o);
 
   sim::Simulator sim(o.seed);
+  if (o.bridged) sim.set_engine(sim::Simulator::EngineMode::kBridged);
   net::NetworkParams np;
   np.rate = parse_rate(o.rate);
   np.cable.ber = o.ber;
