@@ -59,7 +59,11 @@ int main() {
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const double utc_ns = clients[i]->utc_at(sim.now()) / static_cast<double>(kFsPerNs);
     estimates.push_back(utc_ns);
-    std::printf("  host%zu: UTC estimate %+.1f ns from truth\n", i + 1, utc_ns - truth_ns);
+    // utc_at extrapolates forever once the broadcaster goes quiet; a real
+    // consumer must downgrade stale reads instead of trusting them.
+    std::printf("  host%zu: UTC estimate %+.1f ns from truth%s\n", i + 1,
+                utc_ns - truth_ns,
+                clients[i]->stale(sim.now()) ? "  [stale - degraded]" : "");
   }
   for (double a : estimates)
     for (double b : estimates) worst_pair = std::max(worst_pair, std::abs(a - b));

@@ -1,5 +1,7 @@
 #include "chaos/campaign.hpp"
 
+#include <stdexcept>
+
 namespace dtpsim::chaos {
 
 net::NetworkParams CanonicalCampaign::net_params() {
@@ -45,6 +47,46 @@ FaultPlan CanonicalCampaign::plan(const net::PaperTreeTopology& tree, fs_t t0) {
       .add(FaultSpec::node_crash(*tree.leaves[4], t0 + from_ms(9), from_us(400)))
       .add(FaultSpec::rogue_oscillator(*tree.leaves[7], t0 + from_ms(15), 500.0,
                                        from_ms(6), from_ms(2)));
+  return plan;
+}
+
+void SourceCampaign::build_hierarchy(dtp::TimeHierarchy& hierarchy,
+                                     net::Network& net, dtp::DtpNetwork& dtpnet,
+                                     const net::PaperTreeTopology& tree) {
+  (void)net;
+  auto agent_on = [&dtpnet](net::Host* h) {
+    dtp::Agent* a = dtpnet.agent_of(h);
+    if (a == nullptr) throw std::logic_error("source campaign: leaf without agent");
+    return a;
+  };
+  auto gps = dtp::TimeSourceParams::gps(1, source_period());
+  hierarchy.add_server(net.simulator(), *tree.leaves[0], *agent_on(tree.leaves[0]),
+                       gps);
+  auto upstream =
+      dtp::TimeSourceParams::upstream_island(2, 2, 150.0, source_period());
+  hierarchy.add_server(net.simulator(), *tree.leaves[3], *agent_on(tree.leaves[3]),
+                       upstream);
+  for (std::size_t i = 0; i < tree.leaves.size(); ++i) {
+    if (i == 0 || i == 3) continue;
+    hierarchy.add_client(*tree.leaves[i], *agent_on(tree.leaves[i]),
+                         hierarchy_params());
+  }
+}
+
+FaultPlan SourceCampaign::plan(const net::PaperTreeTopology& tree, fs_t t0) {
+  net::Host& gps = *tree.leaves[0];
+  net::Switch& root = *tree.root;
+  net::Switch& s3 = *tree.aggs[2];
+
+  FaultPlan plan;
+  plan.add(FaultSpec::gps_loss(gps, t0, from_ms(1)))
+      .add(FaultSpec::rogue_grandmaster(gps, t0 + from_ms(2) + from_us(500),
+                                        2000.0, from_ms(1) + from_us(500),
+                                        from_us(500)))
+      .add(FaultSpec::island_partition(root, s3, t0 + from_ms(6), from_ms(2)))
+      .add(FaultSpec::stratum_flap(gps, t0 + from_ms(11), 4, from_us(200), 5));
+  for (FaultSpec& spec : plan.faults)
+    spec.probe_threshold_ticks = threshold_ticks();
   return plan;
 }
 

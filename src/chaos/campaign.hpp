@@ -35,10 +35,12 @@
 ///     on an out-of-envelope part".
 
 #include <cstdint>
+#include <utility>
 
 #include "chaos/engine.hpp"
 #include "chaos/plan.hpp"
 #include "dtp/config.hpp"
+#include "dtp/hierarchy.hpp"
 #include "net/topology.hpp"
 
 namespace dtpsim::chaos {
@@ -70,6 +72,65 @@ struct CanonicalCampaign {
   /// flows loading every link (same pattern as the Fig. 6 benchmarks).
   static void start_heavy_load(net::Network& net, const net::PaperTreeTopology& tree,
                                std::uint32_t frame_bytes);
+};
+
+/// The canonical *source-level* campaign: one instance of every hierarchy
+/// fault class on the Fig. 5 tree, run by `bench_source_failover`, the
+/// campaign test, and `dtpsim --chaos=source`.
+///
+/// The hierarchy: a stratum-1 GPS source on the first leaf under S1, a
+/// stratum-2 upstream-island source on the first leaf under S2, and a
+/// `HierarchyClient` on every other leaf. Both sources therefore sit outside
+/// S3's subtree, so cutting the S0--S3 trunk strands S3's three clients with
+/// no source at all — the holdover case.
+///
+///   t0+0      gps_loss      GPS reference dark 1 ms; clients must fail over
+///                           to the stratum-2 source within 2 broadcast
+///                           intervals (staleness_factor 1.5 + detection lag)
+///   t0+2.5ms  rogue_gm      GPS broadcasts UTC shifted +2 us; every client
+///                           must quarantine it within 1.5 ms; the lie is
+///                           cleared 0.5 ms after quarantine is observed
+///   t0+6ms    island_partition  S0--S3 dark 2 ms; S3's clients ride holdover
+///                           (uncertainty growing, sentinel-checked honest),
+///                           then reconverge after the heal
+///   t0+11ms   stratum_flap  the GPS advertises stratum 5 and back, 4
+///                           toggles, one per 200 us; selection must track
+///                           deterministically with no backward served step
+///
+/// Source broadcasts run at 100 us, so probe units ("beacon intervals" in
+/// the report) are 100 us here, not the PHY beacon.
+struct SourceCampaign {
+  static net::NetworkParams net_params() { return CanonicalCampaign::net_params(); }
+  static dtp::DtpParams dtp_params() { return CanonicalCampaign::dtp_params(); }
+  static ChaosParams chaos_params() { return CanonicalCampaign::chaos_params(); }
+  static dtp::HierarchyParams hierarchy_params() { return {}; }
+
+  /// Source broadcast cadence (the campaign's reporting unit).
+  static fs_t source_period() { return from_us(100); }
+
+  /// Served-UTC reconvergence threshold. The link probes use the one-hop
+  /// ±4T criterion; a hierarchy client serves time *across the tree*, so
+  /// |served − true| inherits the pairwise 4TD envelope between server and
+  /// client — D = 4 hops on the Fig. 5 tree (leaf, agg, root, agg, leaf).
+  static double threshold_ticks() { return 16.0; }
+  static fs_t settle_time() { return from_ms(3); }
+  static fs_t end_time(fs_t t0) { return t0 + from_ms(18); }
+
+  /// GPS (stratum 1, id 1) on `leaves[0]`, upstream island (stratum 2,
+  /// id 2) on `leaves[3]`, a client on every other leaf. Servers are not
+  /// started — call `hierarchy.start()` when the run begins.
+  static void build_hierarchy(dtp::TimeHierarchy& hierarchy, net::Network& net,
+                              dtp::DtpNetwork& dtpnet,
+                              const net::PaperTreeTopology& tree);
+
+  static FaultPlan plan(const net::PaperTreeTopology& tree, fs_t t0);
+
+  /// The island-partition window (plus DTP re-sync margin) — the one fault
+  /// here that disturbs the *network* layer, so sentinel offset/runaway
+  /// monitors need a blackout over it. The UTC checks take no blackout.
+  static std::pair<fs_t, fs_t> island_blackout(fs_t t0) {
+    return {t0 + from_ms(6), t0 + from_ms(8) + from_ms(1)};
+  }
 };
 
 }  // namespace dtpsim::chaos

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "dtp/daemon.hpp"
+#include "dtp/hierarchy.hpp"
 #include "obs/hub.hpp"
 #include "obs/json.hpp"
 
@@ -314,7 +315,175 @@ void ChaosEngine::schedule_fault(const FaultSpec& spec) {
       });
       break;
     }
+    case FaultKind::kGpsLoss: {
+      dtp::UtcSourceServer* srv = require_server(spec);
+      // Failover is measured from the *loss*, not the heal: the probe goes
+      // valid only once every client is locked to a different source.
+      sim_.schedule_at(spec.at, [this, spec, srv] {
+        mark("fault:gps_loss " + spec.device->name());
+        srv->set_down(true);
+        ProbeResult seed = make_seed(spec, spec.at);
+        start_hierarchy_probe(spec, std::move(seed), srv->params().period,
+                              static_cast<int>(srv->params().source_id));
+      });
+      sim_.schedule_at(spec.at + spec.duration, [this, spec, srv] {
+        mark("heal:gps_restore " + spec.device->name());
+        srv->set_down(false);
+      });
+      break;
+    }
+    case FaultKind::kRogueGrandmaster: {
+      dtp::UtcSourceServer* srv = require_server(spec);
+      sim_.schedule_at(spec.at, [this, spec, srv] {
+        mark("fault:rogue_grandmaster " + spec.device->name());
+        srv->set_lie_ns(spec.magnitude);
+        watch_rogue_gm(spec, srv);
+      });
+      break;
+    }
+    case FaultKind::kIslandPartition: {
+      if (hierarchy_ == nullptr)
+        throw std::invalid_argument(
+            "chaos: island_partition without a time hierarchy (set_hierarchy)");
+      Link* l = &require_link(spec);
+      sim_.schedule_at(spec.at, [this, l] { take_link_down(*l); });
+      sim_.schedule_at(spec.at + spec.duration, [this, l, spec] {
+        bring_link_up(*l);
+        // Reconvergence after heal: everyone locked again, served UTC back
+        // within the threshold, and (sentinel-checked) no backward steps on
+        // the way. The islanded clients rode holdover in between.
+        fs_t period = beacon_interval_;
+        if (!hierarchy_->servers().empty())
+          period = hierarchy_->servers().front()->params().period;
+        start_hierarchy_probe(spec, make_seed(spec, sim_.now()), period, -1);
+      });
+      break;
+    }
+    case FaultKind::kStratumFlap: {
+      dtp::UtcSourceServer* srv = require_server(spec);
+      const int flaps = std::max(1, spec.count);
+      for (int i = 0; i < flaps; ++i) {
+        sim_.schedule_at(spec.at + i * spec.period, [this, spec, srv, i] {
+          const bool degrade = (i % 2) == 0;
+          const int s = degrade ? static_cast<int>(spec.magnitude)
+                                : srv->params().stratum;
+          mark("fault:stratum_flap " + spec.device->name() + " -> " +
+               std::to_string(s));
+          srv->set_stratum(s);
+        });
+      }
+      sim_.schedule_at(spec.at + flaps * spec.period, [this, spec, srv] {
+        mark("heal:stratum_restore " + spec.device->name());
+        srv->set_stratum(srv->params().stratum);
+        start_hierarchy_probe(spec, make_seed(spec, sim_.now()),
+                              srv->params().period, -1);
+      });
+      break;
+    }
   }
+}
+
+dtp::UtcSourceServer* ChaosEngine::require_server(const FaultSpec& spec) const {
+  if (hierarchy_ == nullptr)
+    throw std::invalid_argument(
+        "chaos: source fault without a time hierarchy (set_hierarchy)");
+  if (!spec.device)
+    throw std::invalid_argument("chaos: source fault without a device");
+  dtp::UtcSourceServer* srv = hierarchy_->server_on(spec.device->name());
+  if (srv == nullptr)
+    throw std::invalid_argument("chaos: no time source server hosted on '" +
+                                spec.device->name() + "'");
+  return srv;
+}
+
+void ChaosEngine::start_hierarchy_probe(const FaultSpec& spec, ProbeResult seed,
+                                        fs_t source_period, int exclude_source) {
+  RecoveryProbe::Params pp;
+  pp.threshold_ticks = spec.probe_threshold_ticks > 0 ? spec.probe_threshold_ticks
+                                                      : params_.converge_threshold_ticks;
+  pp.consecutive_ok = params_.consecutive_ok;
+  pp.sample_period =
+      spec.probe_sample_period > 0 ? spec.probe_sample_period : source_period / 8;
+  pp.timeout = spec.probe_timeout > 0 ? spec.probe_timeout : 50 * source_period;
+  // Source faults report in *broadcast* intervals: the source layer's
+  // reaction time is paced by its own beacon, not the PHY one.
+  pp.beacon_interval = source_period;
+  pp.stall_ceiling_ticks = 0;  // not a neighbor-offset probe
+  const double tick_fs =
+      static_cast<double>(net_.devices().front()->oscillator().nominal_period());
+  probes_.push_back(std::make_unique<RecoveryProbe>(
+      sim_, pp,
+      [this, exclude_source, tick_fs] {
+        ProbeSample s;
+        if (hierarchy_ == nullptr) return s;
+        const fs_t now = sim_.now();
+        bool any = false, all_ok = true;
+        for (const auto& c : hierarchy_->clients()) {
+          any = true;
+          const dtp::ServedTime st = c->serve(now);
+          if (!st.available || st.status != dtp::HierarchyStatus::kLocked ||
+              (exclude_source >= 0 && st.source_id == exclude_source)) {
+            all_ok = false;
+            continue;
+          }
+          s.worst_abs = std::max(
+              s.worst_abs, std::abs(st.utc - static_cast<double>(now)) / tick_fs);
+        }
+        s.valid = any && all_ok;
+        return s;
+      },
+      std::move(seed), [this](const ProbeResult& r) { record_result(r); }));
+  probes_.back()->start();
+}
+
+bool ChaosEngine::rogue_gm_deselected(std::uint32_t rogue_id) const {
+  bool any = false;
+  const fs_t now = sim_.now();
+  for (const auto& c : hierarchy_->clients()) {
+    any = true;
+    const dtp::ServedTime st = c->serve(now);  // re-evaluates selection
+    if (!st.available || st.status != dtp::HierarchyStatus::kLocked ||
+        st.source_id == static_cast<int>(rogue_id))
+      return false;
+  }
+  return any;
+}
+
+void ChaosEngine::watch_rogue_gm(const FaultSpec& spec, dtp::UtcSourceServer* srv) {
+  const fs_t deadline = spec.at + spec.duration;
+  sim_.schedule_at(sim_.now() + srv->params().period / 8,
+                   [this, spec, srv, deadline] { rogue_gm_poll(spec, srv, deadline); },
+                   sim::EventCategory::kProbe);
+}
+
+void ChaosEngine::rogue_gm_poll(const FaultSpec& spec, dtp::UtcSourceServer* srv,
+                                fs_t deadline) {
+  if (rogue_gm_deselected(srv->params().source_id)) {
+    mark("rogue_gm_deselected " + spec.device->name());
+    // Quarantine observed: every client is locked to a truthful source.
+    // After the operator reaction delay the grandmaster is fixed and the
+    // hierarchy must settle again (it may legitimately re-select the healed
+    // source — monotone serving covers the switch-back).
+    sim_.schedule_at(sim_.now() + spec.period, [this, spec, srv] {
+      mark("heal:rogue_gm_fixed " + spec.device->name());
+      srv->set_lie_ns(0.0);
+      ProbeResult seed = make_seed(spec, sim_.now());
+      seed.peer_isolated = true;
+      start_hierarchy_probe(spec, std::move(seed), srv->params().period, -1);
+    });
+    return;
+  }
+  if (sim_.now() >= deadline) {
+    // Detection failed — the lie went unnoticed; record the miss.
+    ProbeResult r = make_seed(spec, deadline);
+    r.peer_isolated = false;
+    r.converged = false;
+    record_result(r);
+    return;
+  }
+  sim_.schedule_at(sim_.now() + srv->params().period / 8,
+                   [this, spec, srv, deadline] { rogue_gm_poll(spec, srv, deadline); },
+                   sim::EventCategory::kProbe);
 }
 
 bool ChaosEngine::rogue_isolated(const net::Device& rogue) const {

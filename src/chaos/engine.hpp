@@ -29,6 +29,8 @@
 
 namespace dtpsim::dtp {
 class Daemon;
+class TimeHierarchy;
+class UtcSourceServer;
 }
 
 namespace dtpsim::obs {
@@ -104,6 +106,12 @@ class ChaosEngine {
   /// every chaos injection and probe callback already runs as a global event.
   void set_obs(obs::Hub* hub) { hub_ = hub; }
 
+  /// Attach the time hierarchy (null detaches). Required before scheduling
+  /// any source-level fault (kGpsLoss, kRogueGrandmaster, kIslandPartition,
+  /// kStratumFlap); those faults target servers by hosting-device name and
+  /// their probes measure the hierarchy's clients.
+  void set_hierarchy(dtp::TimeHierarchy* hierarchy) { hierarchy_ = hierarchy; }
+
  private:
   void schedule_fault(const FaultSpec& spec);
   Link& require_link(const FaultSpec& spec);
@@ -126,6 +134,19 @@ class ChaosEngine {
   /// Operator remediation: clear every kFaulty port in the network except
   /// those facing the rogue device (which stays quarantined).
   void remediate_collateral(const net::Device& rogue);
+  /// The hierarchy server hosted on spec.device; throws without one.
+  dtp::UtcSourceServer* require_server(const FaultSpec& spec) const;
+  /// Probe over the hierarchy's clients: every client must be kLocked (and,
+  /// when `exclude_source` >= 0, locked to some *other* source) with served
+  /// UTC within the threshold of true time. Reported in broadcast intervals
+  /// of `source_period` — the source layer's beacon.
+  void start_hierarchy_probe(const FaultSpec& spec, ProbeResult seed,
+                             fs_t source_period, int exclude_source);
+  /// Rogue-grandmaster watcher: true once no client selects `rogue_id`.
+  bool rogue_gm_deselected(std::uint32_t rogue_id) const;
+  void watch_rogue_gm(const FaultSpec& spec, dtp::UtcSourceServer* srv);
+  void rogue_gm_poll(const FaultSpec& spec, dtp::UtcSourceServer* srv,
+                     fs_t deadline);
   /// Global trace instant at sim-now (no-op without an attached hub).
   void mark(const std::string& name) const;
   /// Single funnel for probe completion: report, bookkeeping, obs emission.
@@ -141,8 +162,8 @@ class ChaosEngine {
   std::vector<std::unique_ptr<RecoveryProbe>> probes_;
   std::size_t faults_pending_ = 0;  ///< scheduled faults not yet reported
   CampaignReport report_;
-  obs::Hub* hub_ = nullptr;  ///< see set_obs
-
+  obs::Hub* hub_ = nullptr;                    ///< see set_obs
+  dtp::TimeHierarchy* hierarchy_ = nullptr;    ///< see set_hierarchy
 };
 
 }  // namespace dtpsim::chaos

@@ -12,6 +12,10 @@ const char* fault_class_name(FaultKind kind) {
     case FaultKind::kNodeCrash: return "node_crash";
     case FaultKind::kRogueOscillator: return "rogue_oscillator";
     case FaultKind::kPcieStorm: return "pcie_storm";
+    case FaultKind::kGpsLoss: return "gps_loss";
+    case FaultKind::kRogueGrandmaster: return "rogue_grandmaster";
+    case FaultKind::kIslandPartition: return "island_partition";
+    case FaultKind::kStratumFlap: return "stratum_flap";
   }
   return "?";
 }
@@ -108,6 +112,51 @@ FaultSpec FaultSpec::pcie_storm(dtp::Daemon& daemon, fs_t at, fs_t window,
   s.pcie_spike_prob = spike_prob;
   s.pcie_spike_mean = spike_mean;
   s.probe_threshold_ticks = threshold_ticks;
+  return s;
+}
+
+FaultSpec FaultSpec::gps_loss(net::Device& server_host, fs_t at, fs_t down_for) {
+  FaultSpec s;
+  s.kind = FaultKind::kGpsLoss;
+  s.at = at;
+  s.duration = down_for;
+  s.device = &server_host;
+  return s;
+}
+
+FaultSpec FaultSpec::rogue_grandmaster(net::Device& server_host, fs_t at,
+                                       double lie_ns, fs_t detect_deadline,
+                                       fs_t remediation_delay) {
+  FaultSpec s;
+  s.kind = FaultKind::kRogueGrandmaster;
+  s.at = at;
+  s.duration = detect_deadline;
+  s.period = remediation_delay;
+  s.magnitude = lie_ns;
+  s.device = &server_host;
+  return s;
+}
+
+FaultSpec FaultSpec::island_partition(net::Device& a, net::Device& b, fs_t at,
+                                      fs_t down_for) {
+  FaultSpec s;
+  s.kind = FaultKind::kIslandPartition;
+  s.at = at;
+  s.duration = down_for;
+  s.link_a = &a;
+  s.link_b = &b;
+  return s;
+}
+
+FaultSpec FaultSpec::stratum_flap(net::Device& server_host, fs_t at, int flaps,
+                                  fs_t flap_period, int alt_stratum) {
+  FaultSpec s;
+  s.kind = FaultKind::kStratumFlap;
+  s.at = at;
+  s.count = flaps;
+  s.period = flap_period;
+  s.magnitude = alt_stratum;
+  s.device = &server_host;
   return s;
 }
 

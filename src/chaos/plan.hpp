@@ -36,6 +36,13 @@ enum class FaultKind : std::uint8_t {
   kNodeCrash,        ///< agent torn down + links dark, later restarted
   kRogueOscillator,  ///< oscillator steps outside the 802.3 envelope
   kPcieStorm,        ///< PCIe latency storm against a daemon's MMIO reads
+
+  // Source-level faults (the time hierarchy's roots; need
+  // ChaosEngine::set_hierarchy).
+  kGpsLoss,           ///< a source's reference dies; its broadcasts stop
+  kRogueGrandmaster,  ///< a source broadcasts plausible-but-wrong UTC
+  kIslandPartition,   ///< a link cut isolates clients from every source
+  kStratumFlap,       ///< a source's advertised stratum flaps repeatedly
 };
 
 /// Stable snake_case identifier per class (JSON keys, report rows).
@@ -110,6 +117,34 @@ struct FaultSpec {
   static FaultSpec pcie_storm(dtp::Daemon& daemon, fs_t at, fs_t window,
                               fs_t extra_per_leg, double spike_prob,
                               fs_t spike_mean, double threshold_ticks);
+
+  // --- Source-level faults (time hierarchy) --------------------------------
+
+  /// The source hosted on `server_host` loses its reference at `at` (its
+  /// broadcasts stop); the reference returns after `down_for`. Clients must
+  /// fail over to the next-best source.
+  static FaultSpec gps_loss(net::Device& server_host, fs_t at, fs_t down_for);
+
+  /// The source hosted on `server_host` starts broadcasting UTC shifted by
+  /// `lie_ns` (well-formed packets, wrong time). Every client must stop
+  /// selecting it within `detect_deadline`; `remediation_delay` after the
+  /// quarantine is observed the source is fixed (lie cleared) and the
+  /// hierarchy must reconverge.
+  static FaultSpec rogue_grandmaster(net::Device& server_host, fs_t at,
+                                     double lie_ns, fs_t detect_deadline,
+                                     fs_t remediation_delay);
+
+  /// Cut the `a`--`b` link at `at` (partitioning an island away from its
+  /// sources; islanded clients enter holdover), heal after `down_for`.
+  static FaultSpec island_partition(net::Device& a, net::Device& b, fs_t at,
+                                    fs_t down_for);
+
+  /// The source on `server_host` flaps its advertised stratum to
+  /// `alt_stratum` and back, `flaps` times, one toggle per `flap_period`;
+  /// restored after the last toggle. Selection must track deterministically
+  /// and serving must never step backwards.
+  static FaultSpec stratum_flap(net::Device& server_host, fs_t at, int flaps,
+                                fs_t flap_period, int alt_stratum);
 };
 
 /// An ordered batch of faults. Order is cosmetic — each spec carries its own

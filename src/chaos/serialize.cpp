@@ -18,6 +18,8 @@ FaultKind kind_from_name(const std::string& name) {
       FaultKind::kLinkFlap,  FaultKind::kFlapStorm,       FaultKind::kPortFail,
       FaultKind::kBerBurst,  FaultKind::kBeaconLoss,      FaultKind::kNodeCrash,
       FaultKind::kRogueOscillator, FaultKind::kPcieStorm,
+      FaultKind::kGpsLoss,   FaultKind::kRogueGrandmaster,
+      FaultKind::kIslandPartition, FaultKind::kStratumFlap,
   };
   for (FaultKind k : all)
     if (name == fault_class_name(k)) return k;
@@ -31,6 +33,7 @@ bool is_link_fault(FaultKind k) {
     case FaultKind::kPortFail:
     case FaultKind::kBerBurst:
     case FaultKind::kBeaconLoss:
+    case FaultKind::kIslandPartition:
       return true;
     default:
       return false;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <unordered_map>
 
+#include "dtp/hierarchy.hpp"
 #include "net/device.hpp"
 #include "net/mac.hpp"
 #include "obs/hub.hpp"
@@ -36,6 +38,16 @@ struct Sentinel::DeviceMon {
   bool has_prev = false;
   WideCounter prev_gc;
   std::uint64_t prev_resets = 0;
+};
+
+/// Per-hierarchy-client sampler state (coordinator-only).
+struct Sentinel::HierarchyMon {
+  dtp::HierarchyClient* client = nullptr;
+  bool has_prev = false;
+  double prev_utc = 0.0;
+  double prev_uncertainty = 0.0;
+  fs_t prev_at = 0;
+  dtp::HierarchyStatus prev_status = dtp::HierarchyStatus::kAcquiring;
 };
 
 namespace {
@@ -152,6 +164,14 @@ Sentinel::~Sentinel() {
   }
 }
 
+void Sentinel::set_hierarchy(dtp::TimeHierarchy* hierarchy) {
+  hierarchy_ = hierarchy;
+  hier_mons_.clear();
+  if (hierarchy_ == nullptr) return;
+  for (const auto& c : hierarchy_->clients())
+    hier_mons_.push_back(HierarchyMon{c.get()});
+}
+
 void Sentinel::add_blackout(fs_t from, fs_t until) {
   blackouts_.emplace_back(from, until);
 }
@@ -214,6 +234,67 @@ void Sentinel::sample() {
   check_offsets(now);
   check_overhead(now);
   check_wrap_and_rate(now);
+  check_hierarchy(now);
+}
+
+void Sentinel::check_hierarchy(fs_t now) {
+  for (HierarchyMon& m : hier_mons_) {
+    const dtp::ServedTime st = m.client->serve(now);
+    const std::string name = m.client->host().name();
+    // The served timeline is observable output: fold it into the digest so
+    // a selection or holdover divergence between thread counts is caught.
+    auto mix_double = [this](double v) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      offsets_digest_.mix(bits);
+    };
+    offsets_digest_.mix(static_cast<std::uint64_t>(st.status));
+    offsets_digest_.mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(st.source_id)));
+    if (st.available) {
+      mix_double(st.utc);
+      mix_double(st.uncertainty);
+    }
+    if (!st.available) {
+      m.prev_status = st.status;
+      continue;
+    }
+    ++stats_.utc_checks;
+    // Backstep: never legal, fault window or not — a consumer that already
+    // read the earlier timestamp cannot be un-told.
+    if (m.has_prev && st.utc < m.prev_utc) {
+      record(Violation{InvariantKind::kUtcBackstep, now, name,
+                       st.utc - m.prev_utc, 0.0,
+                       "served UTC stepped backwards across samples"});
+    }
+    // Honesty: true UTC is simulator time; the served interval must cover
+    // the truth. Also never blacked out — an uncertainty that understates
+    // the error *during* a fault is exactly the lie holdover must not tell.
+    const double err = std::abs(st.utc - static_cast<double>(now));
+    if (err > st.uncertainty) {
+      record(Violation{InvariantKind::kUtcUncertainty, now, name,
+                       err * 1e-6, st.uncertainty * 1e-6,
+                       "served uncertainty understated the true UTC error (ns)"});
+    }
+    // Holdover uncertainty must grow with age. A decaying slew gap may
+    // shrink it by at most the raw-timeline advance, so anything dropping
+    // faster than elapsed time is a monitor-worthy reset-to-confident bug.
+    if (m.has_prev && m.prev_status == dtp::HierarchyStatus::kHoldover &&
+        st.status == dtp::HierarchyStatus::kHoldover) {
+      const double allowed_drop =
+          1.001 * static_cast<double>(now - m.prev_at);
+      if (m.prev_uncertainty - st.uncertainty > allowed_drop) {
+        record(Violation{InvariantKind::kUtcUncertainty, now, name,
+                         st.uncertainty * 1e-6, m.prev_uncertainty * 1e-6,
+                         "holdover uncertainty shrank while free-running (ns)"});
+      }
+    }
+    m.has_prev = true;
+    m.prev_utc = st.utc;
+    m.prev_uncertainty = st.uncertainty;
+    m.prev_at = now;
+    m.prev_status = st.status;
+  }
 }
 
 void Sentinel::check_monotonic(fs_t now) {
@@ -381,6 +462,13 @@ RunDigest Sentinel::digest() const {
     }
     d.mix(agent->global_adjustments());
     d.mix(agent->counter_resets());
+  }
+  for (const HierarchyMon& m : hier_mons_) {
+    d.mix(m.client->syncs_received());
+    d.mix(m.client->samples_rejected());
+    d.mix(m.client->selection_changes());
+    d.mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(m.client->selected_source())));
   }
   return d;
 }

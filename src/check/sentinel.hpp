@@ -32,6 +32,11 @@ namespace dtpsim::obs {
 class Hub;
 }
 
+namespace dtpsim::dtp {
+class TimeHierarchy;
+class HierarchyClient;
+}
+
 namespace dtpsim::check {
 
 /// FNV-1a accumulator over a run's observable outputs. Two runs of the same
@@ -87,6 +92,7 @@ struct SentinelStats {
   std::uint64_t rate_checks = 0;
   std::uint64_t tx_probe_checks = 0;
   std::uint64_t fifo_probe_checks = 0;
+  std::uint64_t utc_checks = 0;
   std::uint64_t suppressed_violations = 0;
 };
 
@@ -131,15 +137,25 @@ class Sentinel {
   /// trace sink is internally locked.
   void set_obs(obs::Hub* hub) { hub_ = hub; }
 
+  /// Attach a time hierarchy (null detaches). Every sample then also serves
+  /// each client and checks the paper-external claims the hierarchy makes:
+  /// served UTC never steps backwards (never blacked out — a backward step
+  /// is illegal even mid-fault) and the served uncertainty never understates
+  /// the true error. The served timeline is folded into the run digest, so
+  /// the serial-vs-parallel differential covers selection and holdover too.
+  void set_hierarchy(dtp::TimeHierarchy* hierarchy);
+
  private:
   struct PortMon;
   struct DeviceMon;
+  struct HierarchyMon;
 
   void sample();
   void check_monotonic(fs_t now);
   void check_offsets(fs_t now);
   void check_overhead(fs_t now);
   void check_wrap_and_rate(fs_t now);
+  void check_hierarchy(fs_t now);
   bool in_blackout(fs_t t) const;
   void record(Violation v);
 
@@ -151,6 +167,8 @@ class Sentinel {
 
   std::vector<std::unique_ptr<PortMon>> port_mons_;
   std::vector<DeviceMon> device_mons_;
+  std::vector<HierarchyMon> hier_mons_;
+  dtp::TimeHierarchy* hierarchy_ = nullptr;
   std::vector<std::pair<fs_t, fs_t>> blackouts_;
 
   int settled_streak_ = 0;

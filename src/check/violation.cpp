@@ -15,6 +15,8 @@ const char* invariant_name(InvariantKind k) {
     case InvariantKind::kCounterWrap: return "counter-wrap";
     case InvariantKind::kCounterRunaway: return "counter-runaway";
     case InvariantKind::kDigestMismatch: return "digest-mismatch";
+    case InvariantKind::kUtcBackstep: return "utc-backstep";
+    case InvariantKind::kUtcUncertainty: return "utc-uncertainty";
   }
   return "unknown";
 }

@@ -25,9 +25,11 @@ enum class InvariantKind {
   kCounterWrap,      ///< 53-bit reconstruction failed near the live counter
   kCounterRunaway,   ///< network-max counter advanced faster than any clock
   kDigestMismatch,   ///< serial and parallel runs observably diverged
+  kUtcBackstep,      ///< a hierarchy client's served UTC stepped backwards
+  kUtcUncertainty,   ///< served uncertainty understated the true UTC error
 };
 
-inline constexpr int kInvariantKindCount = 8;
+inline constexpr int kInvariantKindCount = 10;
 
 /// Stable short name ("offset-bound", ...) used in reports and repro files.
 const char* invariant_name(InvariantKind k);

@@ -44,6 +44,9 @@ UtcClient::UtcClient(net::Host& host, Daemon& daemon) : host_(host), daemon_(dae
 
 void UtcClient::handle_pair(const UtcPairPacket& p) {
   ++pairs_;
+  const fs_t now_rx = host_.simulator().now();
+  if (have_last_) inter_arrival_ = now_rx - last_rx_at_;
+  last_rx_at_ = now_rx;
   if (have_last_ && p.dtp_counter > last_counter_) {
     ratio_ = static_cast<double>(p.utc - last_utc_) / (p.dtp_counter - last_counter_);
   }
@@ -62,6 +65,14 @@ double UtcClient::utc_at(fs_t now) const {
   if (!ready()) throw std::logic_error("UtcClient: not ready");
   const double c = daemon_.get_dtp_counter(now);
   return static_cast<double>(last_utc_) + (c - last_counter_) * *ratio_;
+}
+
+bool UtcClient::stale(fs_t now) const {
+  if (!ready()) return true;
+  const fs_t a = age(now);
+  if (staleness_after_ > 0 && a > staleness_after_) return true;
+  if (inter_arrival_ > 0 && a > 3 * inter_arrival_) return true;
+  return false;
 }
 
 HybridUtcServer::HybridUtcServer(sim::Simulator& sim, net::Host& host, Agent& agent,
@@ -117,6 +128,9 @@ void HybridUtcClient::handle(const net::Frame& f, fs_t hw_rx_time) {
   auto pkt = std::dynamic_pointer_cast<const HybridSyncPacket>(f.packet);
   if (!pkt) return;
   ++syncs_;
+  const fs_t now_rx = host_.simulator().now();
+  if (have_fix_) inter_arrival_ = now_rx - last_rx_at_;
+  last_rx_at_ = now_rx;
   // One-way delay in counter units, exact because both counters are DTP-
   // synchronized: our counter now minus the server's at transmission.
   const double rx_counter = agent_.global_fractional_at(hw_rx_time);
@@ -131,6 +145,14 @@ void HybridUtcClient::handle(const net::Frame& f, fs_t hw_rx_time) {
   const fs_t now = host_.simulator().now();
   error_series_.add(to_sec_f(now),
                     (utc_at(now) - static_cast<double>(now)) / static_cast<double>(kFsPerNs));
+}
+
+bool HybridUtcClient::stale(fs_t now) const {
+  if (!ready()) return true;
+  const fs_t a = age(now);
+  if (staleness_after_ > 0 && a > staleness_after_) return true;
+  if (inter_arrival_ > 0 && a > 3 * inter_arrival_) return true;
+  return false;
 }
 
 double HybridUtcClient::utc_at(fs_t now) const {

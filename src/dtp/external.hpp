@@ -70,8 +70,22 @@ class UtcClient {
   /// True after two pairs have been received (ratio known).
   bool ready() const { return ratio_.has_value(); }
 
-  /// Estimated UTC at simulated time `now`, in femtoseconds. Requires ready().
+  /// Estimated UTC at simulated time `now`, in femtoseconds. Requires
+  /// ready(). NOTE: this extrapolates on the last frequency ratio however
+  /// long ago the last pair arrived — check `stale()` first and treat stale
+  /// reads as degraded (the broadcaster may be dead).
   double utc_at(fs_t now) const;
+
+  /// Time since the last received pair (meaningful once a pair arrived).
+  fs_t age(fs_t now) const { return now - last_rx_at_; }
+
+  /// True when the estimate should be treated as degraded: no ratio yet, or
+  /// the source went quiet — either past the explicit `set_staleness_after`
+  /// limit or past 3x the measured broadcast inter-arrival gap.
+  bool stale(fs_t now) const;
+
+  /// Explicit staleness age limit; 0 (default) = use 3x the measured gap.
+  void set_staleness_after(fs_t limit) { staleness_after_ = limit; }
 
   /// Error series: (utc_at - true UTC) in nanoseconds, sampled at each
   /// received broadcast.
@@ -88,6 +102,9 @@ class UtcClient {
   double last_counter_ = 0.0;
   fs_t last_utc_ = 0;
   bool have_last_ = false;
+  fs_t last_rx_at_ = 0;      ///< sim time of the last received pair
+  fs_t inter_arrival_ = 0;   ///< gap between the last two pairs
+  fs_t staleness_after_ = 0; ///< explicit limit; 0 = 3x measured gap
   std::uint64_t pairs_ = 0;
   TimeSeries error_series_;
 };
@@ -141,8 +158,15 @@ class HybridUtcClient {
   HybridUtcClient(net::Host& host, Agent& agent);
 
   bool ready() const { return have_fix_; }
-  /// Estimated UTC at `now` in femtoseconds. Requires ready().
+  /// Estimated UTC at `now` in femtoseconds. Requires ready(). Like
+  /// UtcClient::utc_at this extrapolates forever once the server goes
+  /// quiet — check `stale()` and treat stale reads as degraded.
   double utc_at(fs_t now) const;
+  /// Time since the last received sync.
+  fs_t age(fs_t now) const { return now - last_rx_at_; }
+  /// Degraded-estimate signal; same rule as UtcClient::stale.
+  bool stale(fs_t now) const;
+  void set_staleness_after(fs_t limit) { staleness_after_ = limit; }
   /// Error series (estimate - true UTC, ns), sampled at each sync.
   const TimeSeries& error_series() const { return error_series_; }
   std::uint64_t syncs_received() const { return syncs_; }
@@ -155,6 +179,9 @@ class HybridUtcClient {
   bool have_fix_ = false;
   double fix_counter_ = 0.0;  ///< our gc at the last fix
   fs_t fix_utc_ = 0;          ///< UTC at that instant
+  fs_t last_rx_at_ = 0;       ///< sim time of the last received sync
+  fs_t inter_arrival_ = 0;    ///< gap between the last two syncs
+  fs_t staleness_after_ = 0;  ///< explicit limit; 0 = 3x measured gap
   std::uint64_t syncs_ = 0;
   TimeSeries error_series_;
 };

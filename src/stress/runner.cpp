@@ -6,6 +6,7 @@
 
 #include "chaos/engine.hpp"
 #include "chaos/serialize.hpp"
+#include "dtp/hierarchy.hpp"
 #include "dtp/network.hpp"
 #include "net/topology.hpp"
 #include "obs/session.hpp"
@@ -81,6 +82,29 @@ CampaignResult run_campaign(const StressSpec& spec, const ObsOptions* obs) {
 
   start_traffic(net, hosts, spec);
 
+  // Multi-source hierarchy: a stratum-1 GPS source on the first host, a
+  // stratum-2 island source on the last, clients everywhere in between
+  // (mirrored by hier_server_hosts for the generator's fault targeting).
+  // Declared before the engine/sentinel, which hold pointers into it.
+  dtp::TimeHierarchy hierarchy;
+  if (spec.hier) {
+    if (hosts.size() < 3)
+      throw std::invalid_argument(
+          "stress: hier needs at least three hosts (two sources + a client)");
+    const fs_t source_period = from_us(100);
+    hierarchy.add_server(sim, *hosts.front(), *dtp.agent_of(hosts.front()),
+                         dtp::TimeSourceParams::gps(1, source_period));
+    hierarchy.add_server(
+        sim, *hosts.back(), *dtp.agent_of(hosts.back()),
+        dtp::TimeSourceParams::upstream_island(2, 2, 150.0, source_period));
+    dtp::HierarchyParams hp;
+    if (spec.hier_holdover_ceiling > 0)
+      hp.holdover_ceiling = spec.hier_holdover_ceiling;
+    for (std::size_t i = 1; i + 1 < hosts.size(); ++i)
+      hierarchy.add_client(*hosts[i], *dtp.agent_of(hosts[i]), hp);
+    hierarchy.start();
+  }
+
   // Observability attaches before the chaos plan is scheduled so the
   // chaos.faults_injected counter sees every fault. Declared before the
   // engine/sentinel so the hub outlives everything holding a pointer to it.
@@ -97,6 +121,7 @@ CampaignResult run_campaign(const StressSpec& spec, const ObsOptions* obs) {
   cp.dtp = dp;
   chaos::ChaosEngine engine(net, dtp, cp);
   if (session) engine.set_obs(&session->hub());
+  if (spec.hier) engine.set_hierarchy(&hierarchy);
   chaos::FaultPlan plan;
   for (const auto& f : spec.faults) plan.add(chaos::realize(f, net));
   if (!plan.faults.empty()) engine.schedule(plan);
@@ -106,6 +131,7 @@ CampaignResult run_campaign(const StressSpec& spec, const ObsOptions* obs) {
   if (spec.offset_bound_ticks > 0) sp.offset_bound_ticks = spec.offset_bound_ticks;
   check::Sentinel sentinel(net, dtp, sp);
   if (session) sentinel.set_obs(&session->hub());
+  if (spec.hier) sentinel.set_hierarchy(&hierarchy);
   for (const auto& f : spec.faults)
     sentinel.add_blackout(f.at - 2 * sp.sample_period,
                           fault_end(f) + recovery_margin(f.kind));

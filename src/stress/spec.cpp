@@ -41,12 +41,43 @@ std::size_t spec_device_count(const StressSpec& s) {
   return 0;
 }
 
+std::size_t spec_host_count(const StressSpec& s) {
+  switch (s.topo) {
+    case TopoKind::kChain: return 2;
+    case TopoKind::kPaperTree: return 8;
+    case TopoKind::kRandomTree: return s.tree_hosts;
+    case TopoKind::kFatTree:
+      return s.fat_k * (s.fat_k / 2) * s.fat_hosts_per_edge;
+  }
+  return 0;
+}
+
+std::pair<std::string, std::string> hier_server_hosts(const StressSpec& s) {
+  // Kept in lockstep with build_topology in runner.cpp: the names of the
+  // first and last entries of each builder's host list.
+  switch (s.topo) {
+    case TopoKind::kChain: return {"left", "right"};
+    case TopoKind::kPaperTree: return {"S4", "S11"};
+    case TopoKind::kRandomTree:
+      return {"h0", "h" + std::to_string(s.tree_hosts - 1)};
+    case TopoKind::kFatTree: {
+      const std::uint32_t half = s.fat_k / 2;
+      return {"pod0-e0-h0",
+              "pod" + std::to_string(s.fat_k - 1) + "-e" +
+                  std::to_string(half - 1) + "-h" +
+                  std::to_string(s.fat_hosts_per_edge - 1)};
+    }
+  }
+  return {"", ""};
+}
+
 double spec_size(const StressSpec& s) {
   double size = 1000.0 * static_cast<double>(s.faults.size());
   for (const auto& f : s.faults) size += 50.0 * f.count;
   size += 10.0 * static_cast<double>(spec_device_count(s));
   size += static_cast<double>(s.horizon) / static_cast<double>(from_ms(1));
   size += 2.0 * s.threads + s.n_flows + (s.bridged ? 2.0 : 0.0);
+  size += s.hier ? 25.0 : 0.0;  // shrinker: drop the hierarchy when it can
   return size;
 }
 
@@ -136,6 +167,11 @@ std::string to_text(const StressSpec& s) {
       << "\n";
   out << "sentinel bound=" << fmt_f64(s.offset_bound_ticks)
       << " sample=" << s.sample_period << "\n";
+  // Optional section: omitted entirely for hierarchy-free specs so files
+  // written before the hierarchy existed re-serialize byte-identically.
+  if (s.hier || s.hier_holdover_ceiling != 0)
+    out << "hier enabled=" << (s.hier ? 1 : 0)
+        << " ceiling=" << s.hier_holdover_ceiling << "\n";
   for (const auto& f : s.faults) out << chaos::fault_to_line(f) << "\n";
   out << "end\n";
   return out.str();
@@ -209,6 +245,10 @@ StressSpec spec_from_text(const std::string& text) {
       seen[5] = true;
       s.offset_bound_ticks = parse_f64("bound", take(kv, section, "bound"));
       s.sample_period = parse_i64("sample", take(kv, section, "sample"));
+    } else if (section == "hier") {
+      // Optional — absent in pre-hierarchy repro files.
+      s.hier = parse_u64("enabled", take(kv, section, "enabled")) != 0;
+      s.hier_holdover_ceiling = parse_i64("ceiling", take(kv, section, "ceiling"));
     } else {
       throw std::invalid_argument("stress: unknown section '" + section + "'");
     }
@@ -221,6 +261,11 @@ StressSpec spec_from_text(const std::string& text) {
   if (s.threads == 0 || s.threads > 16)
     throw std::invalid_argument("stress: threads must be in [1, 16]");
   if (s.horizon <= s.settle) throw std::invalid_argument("stress: horizon must exceed settle");
+  if (s.hier_holdover_ceiling < 0)
+    throw std::invalid_argument("stress: hier ceiling must be non-negative");
+  if (s.hier && spec_host_count(s) < 3)
+    throw std::invalid_argument(
+        "stress: hier needs at least three hosts (two sources + a client)");
   return s;
 }
 
@@ -309,6 +354,8 @@ fs_t recovery_margin(chaos::FaultKind kind) {
 fs_t fault_end(const chaos::FaultDescriptor& f) {
   if (f.kind == chaos::FaultKind::kFlapStorm && f.count > 1)
     return f.at + static_cast<fs_t>(f.count - 1) * f.period + f.duration;
+  if (f.kind == chaos::FaultKind::kStratumFlap)
+    return f.at + static_cast<fs_t>(f.count) * f.period;  // restore toggle
   return f.at + f.duration;
 }
 
@@ -427,9 +474,34 @@ StressSpec generate(std::uint64_t seed, std::uint32_t index, const StressLimits&
     s.faults.push_back(std::move(f));
   }
 
-  // Drawn last so existing (seed, index) pairs keep every field above
-  // bit-identical to what they sampled before the bridged engine existed.
+  // Drawn after everything above so existing (seed, index) pairs keep every
+  // earlier field bit-identical to what they sampled before the bridged
+  // engine existed. The hierarchy slice below follows the same rule: each
+  // newer feature appends its draws strictly after the older ones.
   s.bridged = limits.allow_bridged && r.bernoulli(0.25);
+
+  // Multi-source hierarchy slice: two competing sources plus clients, and
+  // (half the time) one source-level fault aimed at the stratum-1 server.
+  if (limits.allow_hier && spec_host_count(s) >= 3 && r.bernoulli(0.25)) {
+    s.hier = true;
+    if (s.faults.size() < limits.max_faults && r.bernoulli(0.5)) {
+      chaos::FaultDescriptor f;
+      f.a = hier_server_hosts(s).first;
+      f.at = s.settle + from_us(300) +
+             from_ns(static_cast<std::int64_t>(r.uniform(400'000)));
+      if (r.bernoulli(0.5)) {
+        f.kind = chaos::FaultKind::kGpsLoss;
+        f.duration = from_us(static_cast<std::int64_t>(200 + r.uniform(300)));
+      } else {
+        f.kind = chaos::FaultKind::kStratumFlap;
+        f.count = 2 + static_cast<int>(r.uniform(3));
+        f.period = from_us(static_cast<std::int64_t>(80 + r.uniform(120)));
+        f.magnitude = 5;  // alternate (worse) advertised stratum
+      }
+      last_recovery = std::max(last_recovery, fault_end(f) + recovery_margin(f.kind));
+      s.faults.push_back(std::move(f));
+    }
+  }
 
   // Horizon: convergence demonstrated before faults, recovery demonstrated
   // after the last one (the offset monitor needs its settle streak back).

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chaos/serialize.hpp"
@@ -56,6 +57,16 @@ struct StressSpec {
   fs_t settle = from_ms(3);    ///< convergence time before faults may land
   fs_t horizon = from_ms(5);   ///< absolute end of the run
 
+  // --- Multi-source time hierarchy (DESIGN.md §13) ---------------------------
+  /// When set, the campaign runs a TimeHierarchy on top of DTP: a stratum-1
+  /// GPS source on the first host, a stratum-2 upstream-island source on the
+  /// last, and a HierarchyClient on every host in between. Requires a
+  /// topology with at least three hosts; `run_campaign` rejects the spec
+  /// otherwise. Source-level faults (gps_loss, stratum_flap, ...) in the
+  /// schedule below are only valid when this is on.
+  bool hier = false;
+  fs_t hier_holdover_ceiling = 0;  ///< 0 = HierarchyParams default
+
   // --- Fault schedule --------------------------------------------------------
   std::vector<chaos::FaultDescriptor> faults;
 
@@ -90,7 +101,16 @@ struct StressLimits {
   std::uint32_t max_tree_switches = 8;
   bool allow_parallel = true;
   bool allow_bridged = true;
+  bool allow_hier = true;
 };
+
+/// Host (traffic endpoint) count implied by the topology fields — the
+/// number of entries `run_campaign`'s topology builder will return.
+std::size_t spec_host_count(const StressSpec& spec);
+
+/// The hosts `run_campaign` puts the two time sources on when `spec.hier`
+/// is set: {first host, last host} of the builder's host list, by name.
+std::pair<std::string, std::string> hier_server_hosts(const StressSpec& spec);
 
 /// Deterministically sample campaign `index` of master seed `seed`.
 StressSpec generate(std::uint64_t seed, std::uint32_t index,

@@ -4,6 +4,8 @@
 
 #include "chaos/campaign.hpp"
 #include "chaos/engine.hpp"
+#include "check/sentinel.hpp"
+#include "dtp/hierarchy.hpp"
 #include "net/frame.hpp"
 
 /// The canonical chaos campaign (chaos/campaign.hpp) on the paper's Fig. 5
@@ -124,6 +126,131 @@ TEST(ChaosCampaign, CampaignIsDeterministic) {
     return out;
   };
   EXPECT_EQ(reconverge_times(99), reconverge_times(99));
+}
+
+/// The canonical *source-level* campaign (chaos::SourceCampaign): GPS loss,
+/// rogue grandmaster, island partition (holdover), stratum flap — all on the
+/// Fig. 5 tree, with the sentinel's UTC invariants armed throughout (no
+/// blackout: a backward served step or an understated uncertainty is never
+/// legal, fault or not).
+struct SourceRun {
+  sim::Simulator sim;
+  net::Network net;
+  net::PaperTreeTopology tree;
+  dtp::DtpNetwork dtp;
+  dtp::TimeHierarchy hierarchy;
+
+  explicit SourceRun(std::uint64_t seed, unsigned threads = 1)
+      : sim(seed),
+        net(sim, chaos::SourceCampaign::net_params()),
+        tree(net::build_paper_tree(net)) {
+    dtp = dtp::enable_dtp(net, chaos::SourceCampaign::dtp_params());
+    chaos::SourceCampaign::build_hierarchy(hierarchy, net, dtp, tree);
+    hierarchy.start();
+    if (threads > 1) sim.set_threads(threads);
+  }
+};
+
+TEST(ChaosCampaign, SourceCampaignGates) {
+  SourceRun run(77);
+  check::Sentinel sentinel(run.net, run.dtp);
+  sentinel.set_hierarchy(&run.hierarchy);
+
+  chaos::ChaosEngine engine(run.net, run.dtp, chaos::SourceCampaign::chaos_params());
+  engine.set_hierarchy(&run.hierarchy);
+  const fs_t t0 = chaos::SourceCampaign::settle_time();
+  engine.schedule(chaos::SourceCampaign::plan(run.tree, t0));
+  // The partition disturbs the *network* layer too; the offset/runaway
+  // monitors take the usual fault blackout. The UTC checks never do.
+  const auto [bo_from, bo_until] = chaos::SourceCampaign::island_blackout(t0);
+  sentinel.add_blackout(bo_from, bo_until);
+
+  run.sim.run_until(chaos::SourceCampaign::end_time(t0));
+  ASSERT_TRUE(engine.all_probes_done()) << "a source-fault probe never reported";
+
+  const chaos::CampaignReport& report = engine.report();
+
+  // GPS loss: every client off the dead source and locked elsewhere within
+  // two broadcast intervals (staleness_factor 1.5 + one detection sample).
+  const chaos::ClassSummary gps = report.summary("gps_loss");
+  EXPECT_EQ(gps.n, 1);
+  EXPECT_EQ(gps.converged, 1) << "clients never failed over from the dead GPS";
+  EXPECT_LE(gps.p99_bi, 2.0) << "failover exceeded two broadcast intervals";
+
+  // Rogue grandmaster: quarantined (isolated) while the truthful stratum-2
+  // source keeps serving, then reconverges once the lie is cleared.
+  const chaos::ClassSummary rogue = report.summary("rogue_grandmaster");
+  EXPECT_EQ(rogue.n, 1);
+  EXPECT_TRUE(rogue.isolated) << "the lying grandmaster was never deselected";
+  EXPECT_EQ(rogue.converged, 1) << "hierarchy did not settle after the lie cleared";
+
+  // The lie was *rejected*, not averaged in: every client struck the rogue.
+  for (const auto& c : run.hierarchy.clients()) {
+    const dtp::SourceTrack* t = c->track(1);
+    ASSERT_NE(t, nullptr);
+    EXPECT_GT(t->rejected, 0u) << c->host().name() << " never rejected the lie";
+  }
+
+  // Island partition: S3's clients rode holdover and everyone reconverged
+  // after the heal. Stratum flap: selection tracked and settled.
+  EXPECT_EQ(report.summary("island_partition").converged, 1);
+  EXPECT_EQ(report.summary("stratum_flap").converged, 1);
+
+  // Every client ended locked, and the faults actually exercised selection.
+  for (const auto& c : run.hierarchy.clients()) {
+    EXPECT_TRUE(c->ever_served()) << c->host().name();
+    EXPECT_EQ(c->status(), dtp::HierarchyStatus::kLocked) << c->host().name();
+    EXPECT_GT(c->selection_changes(), 1u) << c->host().name();
+  }
+
+  // The sentinel's always-on UTC invariants: no backward served step, no
+  // understated uncertainty — through every fault, including holdover.
+  const auto stats = sentinel.stats();
+  EXPECT_GT(stats.utc_checks, 0u) << "UTC monitor never ran";
+  EXPECT_TRUE(sentinel.clean()) << [&] {
+    std::string out;
+    for (const auto& v : sentinel.violations()) out += v.to_string() + "\n";
+    return out;
+  }();
+
+  if (HasFailure()) engine.report().print(std::cerr);
+}
+
+TEST(ChaosCampaign, SourceCampaignDeterministicAcrossThreads) {
+  // The full source campaign — selection churn, quarantine, holdover and
+  // reconvergence — must be bit-identical serial vs 2 vs 4 worker threads:
+  // same sentinel digest (which folds every served sample), same recovery
+  // numbers, same per-client counters.
+  struct Fingerprint {
+    std::string digest;
+    std::vector<double> reconverge;
+    std::vector<std::uint64_t> counters;
+    bool operator==(const Fingerprint&) const = default;
+  };
+  auto fingerprint = [](unsigned threads) {
+    SourceRun run(321, threads);
+    check::Sentinel sentinel(run.net, run.dtp);
+    sentinel.set_hierarchy(&run.hierarchy);
+    chaos::ChaosEngine engine(run.net, run.dtp,
+                              chaos::SourceCampaign::chaos_params());
+    engine.set_hierarchy(&run.hierarchy);
+    const fs_t t0 = chaos::SourceCampaign::settle_time();
+    engine.schedule(chaos::SourceCampaign::plan(run.tree, t0));
+    run.sim.run_until(chaos::SourceCampaign::end_time(t0));
+    Fingerprint fp;
+    fp.digest = sentinel.digest().hex();
+    for (const auto& r : engine.report().results())
+      fp.reconverge.push_back(r.reconverge_beacons);
+    for (const auto& c : run.hierarchy.clients()) {
+      fp.counters.push_back(c->syncs_received());
+      fp.counters.push_back(c->samples_rejected());
+      fp.counters.push_back(c->selection_changes());
+    }
+    return fp;
+  };
+  const Fingerprint serial = fingerprint(1);
+  EXPECT_EQ(serial, fingerprint(2)) << "2-thread run diverged from serial";
+  EXPECT_EQ(serial, fingerprint(4)) << "4-thread run diverged from serial";
 }
 
 }  // namespace

@@ -101,6 +101,57 @@ TEST(ChaosSerialize, PlanRoundTripsThroughALiveTopology) {
   EXPECT_EQ(chaos::plan_to_text(back), text);
 }
 
+TEST(ChaosSerialize, SourceFaultsRoundTripThroughALiveTopology) {
+  // The four source-level fault kinds ride the same grammar: the hosting
+  // device name in a= (island_partition is a link fault: a= and b=), timing
+  // in at/dur, flaps in count/period, the lie / alternate stratum in mag.
+  sim::Simulator sim(14);
+  net::Network net(sim);
+  net::PaperTreeTopology topo = net::build_paper_tree(net);
+
+  chaos::FaultPlan plan;
+  plan.add(chaos::FaultSpec::gps_loss(*topo.leaves[0], from_ms(3), from_ms(1)));
+  plan.add(chaos::FaultSpec::rogue_grandmaster(*topo.leaves[0], from_ms(5), 2000.0,
+                                               from_ms(2), from_us(500)));
+  plan.add(chaos::FaultSpec::island_partition(*topo.root, *topo.aggs[2], from_ms(8),
+                                              from_ms(2)));
+  plan.add(chaos::FaultSpec::stratum_flap(*topo.leaves[3], from_ms(11), 4,
+                                          from_us(200), 5));
+
+  const std::string text = chaos::plan_to_text(plan);
+  for (const char* name :
+       {"gps_loss", "rogue_grandmaster", "island_partition", "stratum_flap"})
+    EXPECT_NE(text.find(std::string("kind=") + name), std::string::npos) << text;
+
+  chaos::FaultPlan back = chaos::plan_from_text(text, net);
+  ASSERT_EQ(back.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(back.faults[i].kind, plan.faults[i].kind);
+    EXPECT_EQ(back.faults[i].device, plan.faults[i].device);
+    EXPECT_EQ(back.faults[i].link_a, plan.faults[i].link_a);
+    EXPECT_EQ(back.faults[i].link_b, plan.faults[i].link_b);
+    EXPECT_EQ(back.faults[i].at, plan.faults[i].at);
+    EXPECT_EQ(back.faults[i].duration, plan.faults[i].duration);
+    EXPECT_EQ(back.faults[i].count, plan.faults[i].count);
+    EXPECT_EQ(back.faults[i].period, plan.faults[i].period);
+    EXPECT_EQ(back.faults[i].magnitude, plan.faults[i].magnitude);
+  }
+  EXPECT_EQ(chaos::plan_to_text(back), text);
+}
+
+TEST(ChaosSerialize, SourceFaultStrictness) {
+  // island_partition is a link fault and must carry both endpoints; a
+  // misspelled source kind fails loudly, never silently skips.
+  EXPECT_THROW(
+      chaos::fault_from_line(
+          "fault kind=island_partition a=S0 at=0 dur=0 count=1 period=0 mag=0"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      chaos::fault_from_line(
+          "fault kind=gps_lost a=S4 at=0 dur=0 count=1 period=0 mag=0"),
+      std::invalid_argument);
+}
+
 TEST(ChaosSerialize, UnresolvableDeviceNameThrows) {
   sim::Simulator sim(12);
   net::Network net(sim);

@@ -109,5 +109,64 @@ TEST(HybridUtc, ServerUtcErrorIsTheFloor) {
   EXPECT_LT(tail.max_abs(), 600.0);
 }
 
+TEST(HybridUtc, DeadServerMakesTheEstimateStaleNotFresh) {
+  // Regression: utc_at() happily extrapolates on the last fix forever, so a
+  // dead server must surface through stale()/age(), not through an estimate
+  // that silently keeps looking authoritative.
+  HybridFixture f(427);
+  HybridUtcServer server(f.sim, *f.star.hosts[0], *f.dtp.agent_of(f.star.hosts[0]),
+                         from_ms(100));
+  HybridUtcClient client(*f.star.hosts[1], *f.dtp.agent_of(f.star.hosts[1]));
+  server.start();
+  f.sim.run_until(f.sim.now() + 1_sec);
+  ASSERT_TRUE(client.ready());
+  EXPECT_FALSE(client.stale(f.sim.now())) << "live broadcasts flagged stale";
+
+  server.stop();
+  const fs_t died_at = f.sim.now();
+  f.sim.run_until(f.sim.now() + 2_sec);
+  EXPECT_NO_THROW(client.utc_at(f.sim.now()));  // still extrapolates...
+  EXPECT_TRUE(client.stale(f.sim.now())) << "...but must read as degraded";
+  EXPECT_GE(client.age(f.sim.now()), f.sim.now() - died_at - from_ms(100));
+}
+
+TEST(HybridUtc, ExplicitStalenessCeilingOverridesTheMeasuredGap) {
+  HybridFixture f(428);
+  HybridUtcServer server(f.sim, *f.star.hosts[0], *f.dtp.agent_of(f.star.hosts[0]),
+                         from_ms(100));
+  HybridUtcClient client(*f.star.hosts[1], *f.dtp.agent_of(f.star.hosts[1]));
+  server.start();
+  f.sim.run_until(f.sim.now() + 1_sec);
+  ASSERT_TRUE(client.ready());
+  // A 50 ms application ceiling on a 100 ms cadence: every read taken just
+  // before the next broadcast is already too old for this consumer.
+  client.set_staleness_after(from_ms(50));
+  f.sim.run_until(f.sim.now() + from_ms(95));
+  EXPECT_TRUE(client.stale(f.sim.now()));
+  client.set_staleness_after(0);  // back to 3x the measured gap
+  EXPECT_FALSE(client.stale(f.sim.now()));
+}
+
+TEST(HybridUtc, SoftwareClientStalenessMatchesHardwareRule) {
+  // Same degraded-read contract on the daemon-path UtcClient.
+  HybridFixture f(429);
+  DaemonParams dp;
+  dp.poll_period = from_us(200);
+  Daemon server_daemon(f.sim, *f.dtp.agent_of(f.star.hosts[0]), dp, 25.0);
+  Daemon client_daemon(f.sim, *f.dtp.agent_of(f.star.hosts[1]), dp, 25.0);
+  server_daemon.start();
+  client_daemon.start();
+  f.sim.run_until(f.sim.now() + 200_ms);
+  UtcBroadcaster broadcaster(f.sim, *f.star.hosts[0], server_daemon, from_ms(100));
+  UtcClient client(*f.star.hosts[1], client_daemon);
+  broadcaster.start();
+  f.sim.run_until(f.sim.now() + 1_sec);
+  ASSERT_TRUE(client.ready());
+  EXPECT_FALSE(client.stale(f.sim.now()));
+  broadcaster.stop();
+  f.sim.run_until(f.sim.now() + 2_sec);
+  EXPECT_TRUE(client.stale(f.sim.now()));
+}
+
 }  // namespace
 }  // namespace dtpsim::dtp

@@ -66,6 +66,21 @@ TEST(StressSpec, GenerationIsDeterministicAndDiverse) {
   EXPECT_TRUE(saw_parallel);
 }
 
+TEST(StressSpec, HierarchySectionRoundTripsAndValidates) {
+  stress::StressSpec s = base_spec();
+  s.hier = true;
+  s.hier_holdover_ceiling = from_us(3);
+  EXPECT_EQ(s, stress::spec_from_text(stress::to_text(s)));
+  // Hierarchy-free specs keep the pre-hierarchy byte format.
+  EXPECT_EQ(stress::to_text(base_spec()).find("hier "), std::string::npos);
+  // A chain has only two hosts — no room for a client between the sources.
+  stress::StressSpec chain = base_spec();
+  chain.topo = stress::TopoKind::kChain;
+  chain.hier = true;
+  EXPECT_THROW(stress::spec_from_text(stress::to_text(chain)),
+               std::invalid_argument);
+}
+
 TEST(StressSpec, MalformedReproTextRejected) {
   const stress::StressSpec s = base_spec();
   const std::string good = stress::to_text(s);

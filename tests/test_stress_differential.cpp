@@ -29,6 +29,26 @@ stress::StressSpec differential_spec(std::uint32_t threads) {
   return s;
 }
 
+stress::StressSpec hier_flap_spec(std::uint32_t threads) {
+  // Competing sources (stratum-1 GPS on S4, stratum-2 island on S11) with a
+  // mid-run stratum flap on the GPS: selection churn, falseticker screens,
+  // and the sentinel's served-timeline digest all have to stay bit-identical
+  // across thread counts.
+  stress::StressSpec s = differential_spec(threads);
+  s.hier = true;
+  chaos::FaultDescriptor flap;
+  flap.kind = chaos::FaultKind::kStratumFlap;
+  flap.a = stress::hier_server_hosts(s).first;
+  flap.at = from_ms(3) + from_us(200);
+  flap.count = 3;
+  flap.period = from_us(150);
+  flap.magnitude = 5;  // alternate (worse) advertised stratum
+  s.faults.push_back(flap);
+  s.horizon =
+      stress::fault_end(flap) + stress::recovery_margin(flap.kind) + from_us(300);
+  return s;
+}
+
 }  // namespace
 
 TEST(StressDifferential, TwoThreadDigestMatchesSerial) {
@@ -112,6 +132,20 @@ TEST(StressDifferential, BridgedFourThreadWithFaultsMatchesExactSerial) {
 
   const stress::CampaignResult r = stress::run_differential(s);
   for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+}
+
+TEST(StressDifferential, HierarchyStratumFlapTwoThreadMatchesSerial) {
+  const stress::CampaignResult r = stress::run_differential(hier_flap_spec(2));
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+  EXPECT_GT(r.shards, 1);
+  EXPECT_GT(r.sentinel_stats.utc_checks, 0u)
+      << "the UTC monitors must actually be in the digest";
+}
+
+TEST(StressDifferential, HierarchyStratumFlapFourThreadMatchesSerial) {
+  const stress::CampaignResult r = stress::run_differential(hier_flap_spec(4));
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+  EXPECT_GT(r.shards, 1);
 }
 
 TEST(StressDifferential, GeneratedParallelCampaignsMatchSerial) {

@@ -3,7 +3,9 @@
 ///   dtpsim [--topology=star|tree|chain|fattree] [--nodes=N] [--hops=D]
 ///          [--protocol=dtp|dtp-master|ptp|ntp] [--seconds=S] [--seed=N]
 ///          [--load=idle|heavy] [--beacon=TICKS] [--rate=1g|10g|40g|100g]
-///          [--drift] [--ber=P] [--chaos=flap|storm|crash|ber|rogue|canonical]
+///          [--drift] [--ber=P]
+///          [--chaos=flap|storm|crash|ber|rogue|source|canonical]
+///          [--holdover-ceiling=DUR]
 ///          [--threads=N] [--stress=N] [--repro=FILE] [--json-out=PATH]
 ///          [--trace=PATH] [--metrics=PATH] [--metrics-interval=DUR]
 ///
@@ -30,6 +32,8 @@
 
 #include "chaos/campaign.hpp"
 #include "chaos/engine.hpp"
+#include "check/sentinel.hpp"
+#include "dtp/hierarchy.hpp"
 #include "dtp/network.hpp"
 #include "net/frame.hpp"
 #include "net/topology.hpp"
@@ -59,7 +63,14 @@ constexpr const char* kUsage =
     "  --rate=1g|10g|40g|100g  link rate (default 10g)\n"
     "  --drift              enable oscillator drift random walk\n"
     "  --ber=P              uniform cable bit-error rate (default 0)\n"
-    "  --chaos=flap|storm|crash|ber|rogue|canonical  fault-injection demo\n"
+    "  --chaos=flap|storm|crash|ber|rogue|source|canonical  fault-injection demo;\n"
+    "                       'source' runs the multi-source time-hierarchy\n"
+    "                       campaign (GPS loss, rogue grandmaster, island\n"
+    "                       holdover, stratum flap) with the sentinel's UTC\n"
+    "                       monitors armed\n"
+    "  --holdover-ceiling=DUR  refuse-to-serve uncertainty ceiling for the\n"
+    "                       hierarchy clients in --chaos=source, with a unit\n"
+    "                       suffix (ns|us|ms|s), e.g. 5us; default 2us\n"
     "  --threads=N          parallel conservative engine workers (default 1)\n"
     "  --engine=exact|bridged  event engine: cycle-exact, or analytic\n"
     "                       tick-bridging fast-forward for quiet PHY time\n"
@@ -92,6 +103,7 @@ struct Options {
   bool drift = false;
   double ber = 0.0;
   unsigned threads = 1;
+  fs_t holdover_ceiling = 0;  ///< --chaos=source only; 0 = hierarchy default
   bool bridged = false;  ///< --engine=bridged
   std::uint32_t stress = 0;  ///< 0 = off; N = campaign count
   std::string repro;         ///< non-empty = replay this file
@@ -161,7 +173,7 @@ Options parse(int argc, char** argv) {
     if (!one_of(key, {"help", "drift", "topology", "protocol", "load", "chaos",
                       "nodes", "hops", "seconds", "seed", "beacon", "rate", "ber",
                       "threads", "engine", "stress", "repro", "json-out", "trace",
-                      "metrics", "metrics-interval"}))
+                      "metrics", "metrics-interval", "holdover-ceiling"}))
       throw UsageError("unknown flag '--" + key + "'");
     if (key == "help") continue;  // handled in main() before parsing
     if (key == "drift") {
@@ -186,9 +198,11 @@ Options parse(int argc, char** argv) {
         throw UsageError("--load must be idle|heavy, got '" + value + "'");
       o.load = value;
     } else if (key == "chaos") {
-      if (!one_of(value, {"flap", "storm", "crash", "ber", "rogue", "canonical"}))
+      if (!one_of(value,
+                  {"flap", "storm", "crash", "ber", "rogue", "source", "canonical"}))
         throw UsageError(
-            "--chaos must be flap|storm|crash|ber|rogue|canonical, got '" + value + "'");
+            "--chaos must be flap|storm|crash|ber|rogue|source|canonical, got '" +
+            value + "'");
       o.chaos = value;
     } else if (key == "nodes") {
       const long long n = parse_int(key, value);
@@ -232,6 +246,8 @@ Options parse(int argc, char** argv) {
       o.metrics = value;
     } else if (key == "metrics-interval") {
       o.metrics_interval = parse_duration(key, value);
+    } else if (key == "holdover-ceiling") {
+      o.holdover_ceiling = parse_duration(key, value);
     } else {  // ber — the whitelist above rules out everything else
       o.ber = parse_double(key, value);
       if (o.ber < 0 || o.ber >= 1) throw UsageError("--ber must be in [0, 1)");
@@ -245,6 +261,8 @@ Options parse(int argc, char** argv) {
     throw UsageError("--json-out only applies to --stress or --repro runs");
   if (o.metrics_interval > 0 && o.trace.empty() && o.metrics.empty())
     throw UsageError("--metrics-interval needs --metrics or --trace");
+  if (o.holdover_ceiling > 0 && o.chaos != "source")
+    throw UsageError("--holdover-ceiling only applies to --chaos=source");
   return o;
 }
 
@@ -292,10 +310,72 @@ void engage_threads(sim::Simulator& sim, unsigned threads) {
     std::printf("parallel: topology does not shard; running serial\n");
 }
 
+/// --chaos=source: the canonical source-level campaign (DESIGN.md §13).
+/// A stratum-1 GPS source and a stratum-2 upstream-island source feed
+/// hierarchy clients on the Fig. 5 tree; the plan kills the GPS, makes it
+/// lie, partitions a subtree into holdover, and flaps the advertised
+/// stratum, with the sentinel's UTC monitors armed throughout.
+int run_source_chaos(const Options& o) {
+  sim::Simulator sim(o.seed);
+  if (o.bridged) sim.set_engine(sim::Simulator::EngineMode::kBridged);
+  net::Network net(sim, chaos::SourceCampaign::net_params());
+  auto tree = net::build_paper_tree(net);
+  auto dtp = dtp::enable_dtp(net, chaos::SourceCampaign::dtp_params());
+
+  dtp::TimeHierarchy hierarchy;
+  chaos::SourceCampaign::build_hierarchy(hierarchy, net, dtp, tree);
+  if (o.holdover_ceiling > 0)
+    for (const auto& c : hierarchy.clients()) c->set_holdover_ceiling(o.holdover_ceiling);
+  hierarchy.start();
+
+  check::Sentinel sentinel(net, dtp);
+  sentinel.set_hierarchy(&hierarchy);
+
+  std::unique_ptr<obs::Session> session;
+  if (obs_requested(o)) session = std::make_unique<obs::Session>(net, &dtp, obs_config(o));
+  chaos::ChaosEngine engine(net, dtp, chaos::SourceCampaign::chaos_params());
+  if (session) engine.set_obs(&session->hub());
+  engine.set_hierarchy(&hierarchy);
+
+  const fs_t t0 = chaos::SourceCampaign::settle_time();
+  const fs_t until = chaos::SourceCampaign::end_time(t0);
+  const auto [bo_from, bo_until] = chaos::SourceCampaign::island_blackout(t0);
+  sentinel.add_blackout(bo_from, bo_until);
+
+  std::printf("chaos plan=source on the Fig. 5 tree (stratum-1 GPS + stratum-2 "
+              "island), seed=%llu\n",
+              static_cast<unsigned long long>(o.seed));
+  if (o.holdover_ceiling > 0)
+    std::printf("holdover refuse-to-serve ceiling: %s\n",
+                format_duration(o.holdover_ceiling).c_str());
+  if (session) session->start(until);
+  engage_threads(sim, o.threads);
+  engine.schedule(chaos::SourceCampaign::plan(tree, t0));
+  sim.run_until(until);
+  finish_obs(session.get(), o);
+
+  const chaos::CampaignReport& report = engine.report();
+  report.print(std::cout);
+  for (const auto& v : sentinel.violations())
+    std::printf("  !! %s\n", v.to_string().c_str());
+  if (!engine.all_probes_done()) {
+    std::printf("verdict: FAIL (a probe never reported)\n");
+    return 1;
+  }
+  bool ok = sentinel.clean() && sentinel.stats().utc_checks > 0;
+  for (const auto& [cls, s] : report.by_class()) {
+    ok &= s.converged == s.n;
+    if (cls == "rogue_grandmaster") ok &= s.isolated;
+  }
+  std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 /// --chaos: a fault-injection plan on the Fig. 5 tree under saturating MTU
 /// load, with the canonical campaign's DTP/chaos parameters. Returns 0 when
 /// every probe reported and recovery matched the class's contract.
 int run_chaos(const Options& o) {
+  if (o.chaos == "source") return run_source_chaos(o);
   sim::Simulator sim(o.seed);
   if (o.bridged) sim.set_engine(sim::Simulator::EngineMode::kBridged);
   net::Network net(sim, chaos::CanonicalCampaign::net_params());
