@@ -190,6 +190,12 @@ class BenchJson {
   void add(const std::string& key, const std::string& v) {
     fields_.push_back("\"" + key + "\": \"" + v + "\"");
   }
+  /// Pre-rendered JSON value (array/object) — the caller owns its validity.
+  /// Lets a sweep emit one entry per point ("k_sweep": [{...}, ...]) instead
+  /// of a hardcoded key per point size.
+  void add_raw(const std::string& key, const std::string& raw_json) {
+    fields_.push_back("\"" + key + "\": " + raw_json);
+  }
 
   std::string str() const {
     std::string out = "{";

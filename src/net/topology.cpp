@@ -32,6 +32,7 @@ Host& Network::add_host(const std::string& name, double ppm) {
                                      make_device_params(ppm), params_.host);
   if (params_.enable_drift) host->enable_drift(params_.drift);
   hosts_.push_back(host.get());
+  by_name_.emplace(name, host.get());
   devices_.push_back(std::move(host));
   return *hosts_.back();
 }
@@ -43,6 +44,7 @@ Switch& Network::add_switch(const std::string& name, double ppm) {
                                      params_.switch_params);
   if (params_.enable_drift) sw->enable_drift(params_.drift);
   switches_.push_back(sw.get());
+  by_name_.emplace(name, sw.get());
   devices_.push_back(std::move(sw));
   return *switches_.back();
 }
@@ -79,9 +81,17 @@ std::vector<Device*> Network::devices() const {
 }
 
 Device* Network::find_device(const std::string& name) const {
-  for (const auto& d : devices_)
-    if (d->name() == name) return d.get();
-  return nullptr;
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+void Network::reserve(std::size_t n_devices, std::size_t n_cables) {
+  devices_.reserve(n_devices);
+  hosts_.reserve(n_devices);
+  switches_.reserve(n_devices);
+  by_name_.reserve(n_devices);
+  cables_.reserve(n_cables);
+  sim_.reserve_graph(n_devices, n_cables);
 }
 
 StarTopology build_star(Network& net, std::size_t n_hosts, const std::string& prefix) {
@@ -208,19 +218,43 @@ std::vector<std::unique_ptr<phy::Syntonizer>> syntonize_tree(Network& net, Devic
   return plls;
 }
 
-FatTreeTopology build_fat_tree(Network& net, int k, int hosts_per_edge) {
+FatTreeTopology build_fat_tree(Network& net, const FatTreeParams& params) {
+  const int k = params.k;
   if (k < 2 || k % 2 != 0) throw std::invalid_argument("build_fat_tree: k must be even >= 2");
+  const int half = k / 2;
+  const int hosts_per_edge = params.hosts_per_edge < 0 ? half : params.hosts_per_edge;
+  const int pods = params.pods < 0 ? k : params.pods;
+  if (pods < 1 || pods > k)
+    throw std::invalid_argument("build_fat_tree: pods must be in [1, k]");
+
   FatTreeTopology topo;
   topo.k = k;
-  const int half = k / 2;
-  if (hosts_per_edge < 0) hosts_per_edge = half;
+  topo.pods = pods;
+  // Any cross-pod host pair needs host-edge-agg-core-agg-edge-host; inside
+  // one pod two edge switches meet at an agg, so the worst path is 4 hops.
+  topo.diameter_hops = pods > 1 ? 6 : 4;
 
+  // Reserve everything ahead: construction is O(n), no vector (or partition
+  // registry) reallocation while cabling.
+  const std::size_t n_core = static_cast<std::size_t>(half) * half;
+  const std::size_t n_agg = static_cast<std::size_t>(pods) * half;
+  const std::size_t n_hosts = n_agg * static_cast<std::size_t>(hosts_per_edge);
+  const std::size_t n_devices = n_core + 2 * n_agg + n_hosts;
+  const std::size_t n_cables = 2 * n_agg * static_cast<std::size_t>(half) + n_hosts;
+  net.reserve(n_devices, n_cables);
+  topo.core.reserve(n_core);
+  topo.agg.reserve(n_agg);
+  topo.edge.reserve(n_agg);
+  topo.hosts.reserve(n_hosts);
+
+  auto& sim = net.simulator();
   for (int i = 0; i < half * half; ++i)
     topo.core.push_back(&net.add_switch("core" + std::to_string(i)));
 
-  for (int pod = 0; pod < k; ++pod) {
+  for (int pod = 0; pod < pods; ++pod) {
     for (int a = 0; a < half; ++a) {
       Switch& agg = net.add_switch("pod" + std::to_string(pod) + "-agg" + std::to_string(a));
+      sim.set_node_pod(agg.node(), pod);
       topo.agg.push_back(&agg);
       // Aggregation switch `a` of each pod connects to core group `a`.
       for (int c = 0; c < half; ++c)
@@ -228,18 +262,24 @@ FatTreeTopology build_fat_tree(Network& net, int k, int hosts_per_edge) {
     }
     for (int e = 0; e < half; ++e) {
       Switch& edge = net.add_switch("pod" + std::to_string(pod) + "-edge" + std::to_string(e));
+      sim.set_node_pod(edge.node(), pod);
       topo.edge.push_back(&edge);
       for (int a = 0; a < half; ++a)
         net.connect(edge, *topo.agg[static_cast<std::size_t>(pod * half + a)]);
       for (int h = 0; h < hosts_per_edge; ++h) {
         Host& host = net.add_host("pod" + std::to_string(pod) + "-e" + std::to_string(e) +
                                   "-h" + std::to_string(h));
+        sim.set_node_pod(host.node(), pod);
         net.connect(edge, host);
         topo.hosts.push_back(&host);
       }
     }
   }
   return topo;
+}
+
+FatTreeTopology build_fat_tree(Network& net, int k, int hosts_per_edge) {
+  return build_fat_tree(net, FatTreeParams{k, hosts_per_edge, -1});
 }
 
 }  // namespace dtpsim::net

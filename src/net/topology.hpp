@@ -19,6 +19,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/host.hpp"
@@ -77,8 +78,13 @@ class Network {
   std::vector<Device*> devices() const;
 
   /// Look a device up by name (the repro-file key: every builder assigns
-  /// deterministic names). nullptr if absent.
+  /// deterministic names). O(1); nullptr if absent.
   Device* find_device(const std::string& name) const;
+
+  /// Pre-size the device/cable registries (and the simulator's partition
+  /// graph) for a topology of known size, so a 10k-device fat-tree builds in
+  /// O(n) without per-registration reallocation.
+  void reserve(std::size_t n_devices, std::size_t n_cables);
 
  private:
   DeviceParams make_device_params(double ppm);
@@ -94,6 +100,7 @@ class Network {
   std::vector<Switch*> switches_;
   std::vector<std::unique_ptr<phy::Cable>> cables_;
   std::vector<std::unique_ptr<TrafficGenerator>> traffic_;
+  std::unordered_map<std::string, Device*> by_name_;  ///< find_device index
 };
 
 /// Hosts around one switch (the paper's PTP testbed shape).
@@ -148,14 +155,32 @@ std::vector<std::unique_ptr<phy::Syntonizer>> syntonize_tree(
 /// `hosts_per_edge` hosts per edge switch (default -1 = the canonical k/2).
 /// k must be even and >= 2. Overriding hosts_per_edge decouples the host
 /// count from the switching fabric — e.g. k=16 with 4 hosts/edge yields 512
-/// hosts at fat-tree diameter 6 without the 1024-host canonical build.
+/// hosts at fat-tree diameter 6 without the 1024-host canonical build, and
+/// values above k/2 oversubscribe the edge tier (more hosts than uplink
+/// bandwidth, the common datacenter deployment shape).
+struct FatTreeParams {
+  int k = 4;
+  /// Hosts per edge switch; -1 = canonical k/2. Values > k/2 oversubscribe.
+  int hosts_per_edge = -1;
+  /// How many of the k pods to build; -1 = all k. A smaller slice keeps the
+  /// full core tier and per-pod shape (for trimmed CI runs of a big k).
+  int pods = -1;
+};
 struct FatTreeTopology {
   int k = 0;
+  int pods = 0;           ///< pods actually built
+  int diameter_hops = 0;  ///< graph diameter (6 multi-pod, 4 single-pod)
   std::vector<Switch*> core;
   std::vector<Switch*> agg;    ///< pod-major order
   std::vector<Switch*> edge;   ///< pod-major order
   std::vector<Host*> hosts;    ///< edge-major order
 };
+/// Builds the fabric in O(n): registries are reserved ahead, devices are
+/// indexed by name as they are created, and every device is tagged with its
+/// pod id (cores stay unassigned) so Simulator::set_threads partitions
+/// two-level — whole pods become super-shards and only pod-to-core uplinks
+/// are cut (partition.hpp).
+FatTreeTopology build_fat_tree(Network& net, const FatTreeParams& params);
 FatTreeTopology build_fat_tree(Network& net, int k, int hosts_per_edge = -1);
 
 }  // namespace dtpsim::net

@@ -64,7 +64,12 @@ void MetricsRegistry::observe(MetricId id, double sample) {
   m.value = sample;
 }
 
+void MetricsRegistry::before_snapshot(std::function<void()> fn) {
+  pre_snapshot_.push_back(std::move(fn));
+}
+
 void MetricsRegistry::snapshot(fs_t t) {
+  for (const auto& fn : pre_snapshot_) fn();
   snapshot_times_.push_back(t);
   for (Metric& m : metrics_) {
     double v = m.value;

@@ -72,6 +72,13 @@ class MetricsRegistry {
   void set(MetricId id, double v);            ///< gauge
   void observe(MetricId id, double sample);   ///< histogram
 
+  /// Run `fn` at the start of every snapshot, before any probe fires. This
+  /// is the shared-aggregation hook: when several probes expose fields of
+  /// one expensive aggregate (e.g. SimStats, whose collection walks every
+  /// shard queue), the owner refreshes a cache here once and the probes read
+  /// the cache — one O(shards) walk per snapshot instead of one per probe.
+  void before_snapshot(std::function<void()> fn);
+
   /// Sample every metric (probes are evaluated here) and append one point
   /// per metric stamped with simulated time `t`.
   void snapshot(fs_t t);
@@ -95,6 +102,7 @@ class MetricsRegistry {
 
   std::vector<Metric> metrics_;
   std::vector<fs_t> snapshot_times_;
+  std::vector<std::function<void()>> pre_snapshot_;  ///< see before_snapshot
 };
 
 }  // namespace dtpsim::obs

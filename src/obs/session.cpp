@@ -55,14 +55,18 @@ void Session::start(fs_t horizon) {
 
   if (MetricsRegistry* m = hub_.metrics()) {
     // Event core: totals + per-category executed counts, pulled from the
-    // engine's own instrumentation at each snapshot.
-    m->probe("sim.scheduled", [this] { return static_cast<double>(sim_.stats().scheduled); });
-    m->probe("sim.executed", [this] { return static_cast<double>(sim_.stats().executed); });
-    m->probe("sim.cancelled", [this] { return static_cast<double>(sim_.stats().cancelled); });
+    // engine's own instrumentation. Collecting SimStats walks every shard
+    // queue, so it is refreshed ONCE per snapshot into a cache the nine
+    // probes below read — not once per probe (at high shard counts the
+    // repeated walk dominated snapshot cost).
+    m->before_snapshot([this] { stats_cache_ = sim_.stats(); });
+    m->probe("sim.scheduled", [this] { return static_cast<double>(stats_cache_.scheduled); });
+    m->probe("sim.executed", [this] { return static_cast<double>(stats_cache_.executed); });
+    m->probe("sim.cancelled", [this] { return static_cast<double>(stats_cache_.cancelled); });
     for (std::size_t c = 0; c < sim::kEventCategoryCount; ++c) {
       const auto cat = static_cast<sim::EventCategory>(c);
       m->probe(std::string("sim.executed.") + sim::category_name(cat),
-               [this, c] { return static_cast<double>(sim_.stats().executed_by_category[c]); });
+               [this, c] { return static_cast<double>(stats_cache_.executed_by_category[c]); });
     }
 
     // PHY: frames, control blocks, and CDC crossings summed over all ports.

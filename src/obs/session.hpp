@@ -84,6 +84,7 @@ class Session {
   std::vector<net::Device*> devices_;
   std::vector<std::uint32_t> tracks_;  ///< parallel to devices_
   std::unique_ptr<sim::PeriodicProcess> sampler_;
+  sim::SimStats stats_cache_;  ///< refreshed once per snapshot (see start())
 };
 
 }  // namespace dtpsim::obs

@@ -5,13 +5,19 @@
 ///
 /// Every scheduled event stores one of these. The dominant case in this
 /// codebase is a lambda capturing `this` plus a word or two of payload
-/// (frame pointer, arrival time), which fits the 48-byte inline buffer and
+/// (frame pointer, arrival time), which fits the 40-byte inline buffer and
 /// therefore costs zero heap allocations per event. `std::function` by
 /// contrast heap-allocates anything beyond ~16 trivially-copyable bytes and
 /// pays a type-erased manager call on every move — and events are moved on
 /// every heap sift. Callables that are too big, over-aligned, or throwing on
 /// move fall back to a single heap allocation, so correctness never depends
 /// on fitting inline.
+///
+/// The buffer is sized so sizeof(Callback) == 48 and the event-queue slot
+/// that embeds it lands on exactly one 64-byte cache line (event_queue.hpp);
+/// EventQueue counts inline misses (SimStats::callback_spills) so a capture
+/// that outgrows the buffer shows up in instrumentation instead of silently
+/// degrading the hot path.
 
 #include <cstddef>
 #include <new>
@@ -20,11 +26,11 @@
 
 namespace dtpsim::sim {
 
-/// Move-only `void()` callable with a 48-byte inline buffer.
+/// Move-only `void()` callable with a 40-byte inline buffer.
 class Callback {
  public:
-  static constexpr std::size_t kInlineSize = 48;
-  static constexpr std::size_t kInlineAlign = 16;
+  static constexpr std::size_t kInlineSize = 40;
+  static constexpr std::size_t kInlineAlign = 8;
 
   Callback() noexcept = default;
   Callback(std::nullptr_t) noexcept {}  // NOLINT: mirror std::function
@@ -122,5 +128,9 @@ class Callback {
   alignas(kInlineAlign) unsigned char buf_[kInlineSize];
   const Ops* ops_ = nullptr;
 };
+
+// The event-queue slot layout (one cache line per slot) depends on this.
+static_assert(sizeof(Callback) == 48 && alignof(Callback) == 8,
+              "Callback must stay 48 bytes / 8-aligned (see event_queue.hpp)");
 
 }  // namespace dtpsim::sim

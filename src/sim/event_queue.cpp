@@ -42,12 +42,13 @@ EventQueue::Handle EventQueue::insert(fs_t t, Callback fn, EventCategory cat,
                                       std::int32_t node, const void* owner,
                                       std::uint64_t key) {
   if (t < now_) throw std::logic_error("EventQueue: scheduling into the past");
+  if (fn && !fn.is_inline()) ++callback_spills_;
   const std::uint32_t slot = acquire_slot();
-  Slot& s = slots_[slot];
+  Slot& s = slot_at(slot);
   s.fn = std::move(fn);
   s.cat = cat;
   s.node = node;
-  s.owner = owner;
+  owners_[slot] = owner;
   heap_push(HeapEntry{t, key, slot});
   if (heap_.size() + bheap_.size() > peak_pending_)
     peak_pending_ = heap_.size() + bheap_.size();
@@ -55,8 +56,8 @@ EventQueue::Handle EventQueue::insert(fs_t t, Callback fn, EventCategory cat,
 }
 
 bool EventQueue::cancel(Handle h) {
-  if (!h.valid() || h.slot >= slots_.size()) return false;
-  Slot& s = slots_[h.slot];
+  if (!h.valid() || h.slot >= slot_count_) return false;
+  Slot& s = slot_at(h.slot);
   if (s.gen != h.gen || s.heap_pos == kNoHeapPos) return false;
   heap_remove(s.heap_pos);
   release_slot(h.slot);
@@ -67,12 +68,14 @@ bool EventQueue::cancel(Handle h) {
 std::size_t EventQueue::purge_owner(const void* owner) {
   if (owner == nullptr) return 0;
   std::size_t purged = 0;
-  // Scan the slab rather than the heap: heap_remove reorders entries under a
-  // positional scan, which can move a not-yet-visited entry behind the
-  // cursor and skip it.
-  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
-    Slot& s = slots_[slot];
-    if (s.heap_pos != kNoHeapPos && s.owner == owner) {
+  // Scan the owner array rather than the heap: heap_remove reorders entries
+  // under a positional scan, which can move a not-yet-visited entry behind
+  // the cursor and skip it. The tags live out-of-line precisely so this scan
+  // strides 8 bytes per slot instead of a cache line.
+  for (std::uint32_t slot = 0; slot < slot_count_; ++slot) {
+    if (owners_[slot] != owner) continue;
+    Slot& s = slot_at(slot);
+    if (s.heap_pos != kNoHeapPos) {
       heap_remove(s.heap_pos);
       release_slot(slot);
       ++cancelled_;
@@ -141,7 +144,7 @@ bool EventQueue::fire_one() {
 
 void EventQueue::fire_top() {
   const HeapEntry top = heap_pop_top();
-  Slot& s = slots_[top.slot];
+  Slot& s = slot_at(top.slot);
   // Move the callback out and retire the slot *before* invoking: the
   // callback may cancel its own (now stale) handle or schedule into this
   // slot's successor generation.
@@ -368,15 +371,16 @@ std::vector<EventQueue::Extracted> EventQueue::extract_node_events() {
   heap_.clear();
   std::vector<Extracted> out;
   for (const HeapEntry& e : entries) {
-    Slot& s = slots_[e.slot];
+    Slot& s = slot_at(e.slot);
     if (s.node < 0) {
       // Global event: stays here. Re-push preserving the original key (the
       // slot and generation are untouched, so handles remain valid).
       heap_push(e);
     } else {
       s.heap_pos = kNoHeapPos;
-      out.push_back(Extracted{e.time, e.key, s.node, s.cat, s.owner,
+      out.push_back(Extracted{e.time, e.key, s.node, s.cat, owners_[e.slot],
                               std::move(s.fn), e.slot});
+      owners_[e.slot] = nullptr;  // the tag moves with the event
       // Slot intentionally not released — see header comment.
     }
   }
@@ -389,7 +393,7 @@ void EventQueue::set_forward(std::uint32_t slot, std::uint32_t queue, Handle h) 
 
 const EventQueue::Forward* EventQueue::forward_of(std::uint32_t slot,
                                                   std::uint32_t gen) const {
-  if (slot >= slots_.size() || slots_[slot].gen != gen) return nullptr;
+  if (slot >= slot_count_ || slot_at(slot).gen != gen) return nullptr;
   const auto it = forwards_.find(slot);
   return it == forwards_.end() ? nullptr : &it->second;
 }
@@ -403,6 +407,7 @@ void EventQueue::accumulate(SimStats& st) const {
   st.pending += heap_.size() + bheap_.size();
   st.peak_pending += peak_pending_;
   st.fused += fused_;
+  st.callback_spills += callback_spills_;
 }
 
 std::uint32_t EventQueue::acquire_slot() {
@@ -411,16 +416,20 @@ std::uint32_t EventQueue::acquire_slot() {
     free_slots_.pop_back();
     return slot;
   }
-  slots_.emplace_back();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
+  // Arena full: add the next power-of-two block. Existing slots never move.
+  const std::uint32_t cap = (kBlock0 << blocks_.size()) - kBlock0;
+  if (slot_count_ == cap)
+    blocks_.push_back(std::make_unique<Slot[]>(kBlock0 << blocks_.size()));
+  owners_.push_back(nullptr);
+  return slot_count_++;
 }
 
 void EventQueue::release_slot(std::uint32_t slot) {
-  Slot& s = slots_[slot];
+  Slot& s = slot_at(slot);
   s.fn = Callback();
   s.heap_pos = kNoHeapPos;
   s.node = -1;
-  s.owner = nullptr;
+  owners_[slot] = nullptr;
   if (++s.gen == 0) ++s.gen;  // generation 0 is reserved for invalid handles
   free_slots_.push_back(slot);
 }
@@ -432,7 +441,7 @@ void EventQueue::heap_push(HeapEntry e) {
 
 EventQueue::HeapEntry EventQueue::heap_pop_top() {
   const HeapEntry top = heap_.front();
-  slots_[top.slot].heap_pos = kNoHeapPos;
+  slot_at(top.slot).heap_pos = kNoHeapPos;
   const HeapEntry last = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0, last);
@@ -440,7 +449,7 @@ EventQueue::HeapEntry EventQueue::heap_pop_top() {
 }
 
 void EventQueue::heap_remove(std::uint32_t pos) {
-  slots_[heap_[pos].slot].heap_pos = kNoHeapPos;
+  slot_at(heap_[pos].slot).heap_pos = kNoHeapPos;
   const HeapEntry last = heap_.back();
   heap_.pop_back();
   if (pos == heap_.size()) return;  // removed the tail

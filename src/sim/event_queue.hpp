@@ -25,9 +25,11 @@
 ///                     cross-shard delivery is inserted whenever its mailbox
 ///                     is drained, which depends on worker interleaving.
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +62,10 @@ struct SimStats {
   std::uint64_t executed = 0;   ///< events fired
   std::uint64_t cancelled = 0;  ///< events removed before firing
   std::uint64_t fused = 0;      ///< bridged events executed without a heap pass
+  /// Scheduled callbacks whose capture outgrew the Callback inline buffer
+  /// and heap-allocated. A nonzero rate here means some hot-path lambda got
+  /// fat — the slot-layout work (one cache line per slot) assumes ~0.
+  std::uint64_t callback_spills = 0;
   std::uint64_t executed_by_category[kEventCategoryCount] = {};
   std::size_t pending = 0;       ///< events in the queue right now
   std::size_t peak_pending = 0;  ///< high-water mark of the queue depth
@@ -145,8 +151,9 @@ class EventQueue {
   bool cancel(Handle h);
 
   bool is_pending(Handle h) const {
-    return h.valid() && h.slot < slots_.size() && slots_[h.slot].gen == h.gen &&
-           slots_[h.slot].heap_pos != kNoHeapPos;
+    if (!h.valid() || h.slot >= slot_count_) return false;
+    const Slot& s = slot_at(h.slot);
+    return s.gen == h.gen && s.heap_pos != kNoHeapPos;
   }
 
   /// Remove (and count as cancelled) every pending event tagged with
@@ -284,6 +291,11 @@ class EventQueue {
   }
   std::uint64_t next_seq() const { return next_seq_; }
 
+  /// Pre-size the per-node registry for a topology of known device count
+  /// (reached through Simulator::reserve_graph), so a 10k-device build does
+  /// not grow it one resize at a time.
+  void reserve_nodes(std::size_t nodes) { node_pending_.reserve(nodes); }
+
   // --- Instrumentation ------------------------------------------------------
   std::uint64_t executed() const { return executed_; }
   std::uint64_t scheduled_count() const { return scheduled_; }
@@ -294,16 +306,44 @@ class EventQueue {
   static constexpr std::uint32_t kNoHeapPos = 0xFFFFFFFFu;
   static constexpr std::size_t kArity = 4;  // 4-ary heap: shallow, cache-friendly
 
-  /// One slab entry. The generation counter advances every time the slot is
-  /// released (event fired or cancelled), invalidating outstanding handles.
+  /// One slab entry, exactly one 64-byte cache line: the callback (40-byte
+  /// inline buffer + ops pointer) first, then the hot bookkeeping words a
+  /// fire/cancel touches. The generation counter advances every time the
+  /// slot is released (event fired or cancelled), invalidating outstanding
+  /// handles. Cold metadata lives out of line: the purge_owner tag is in
+  /// `owners_`, so an owner purge scans an 8-byte-stride array instead of
+  /// dragging whole slots through cache (and every slot gains 16 bytes over
+  /// the old inline layout — 80 down to 64).
   struct Slot {
     Callback fn;
     std::uint32_t gen = 1;
     std::uint32_t heap_pos = kNoHeapPos;
-    EventCategory cat = EventCategory::kGeneric;
     std::int32_t node = -1;
-    const void* owner = nullptr;
+    EventCategory cat = EventCategory::kGeneric;
   };
+  static_assert(sizeof(Slot) == 64, "event slot must stay one cache line");
+
+  /// Slot arena: power-of-two blocks, geometrically grown, never moved.
+  /// Block b holds (kBlock0 << b) slots and covers slab indices
+  /// [kBlock0*(2^b - 1), kBlock0*(2^(b+1) - 1)). A flat std::vector slab
+  /// would move-relocate every pending Callback each time it grew — at
+  /// datacenter scale (hundreds of thousands pending) those O(n) relocation
+  /// spikes dominate — whereas a new block is one allocation and existing
+  /// slots stay put. Freed slots recycle through `free_slots_`, so the
+  /// arena's footprint tracks peak pending, not total scheduled.
+  static constexpr std::uint32_t kBlock0Shift = 8;  // first block: 256 slots
+  static constexpr std::uint32_t kBlock0 = 1u << kBlock0Shift;
+
+  Slot& slot_at(std::uint32_t slot) {
+    const std::uint32_t q = (slot >> kBlock0Shift) + 1;
+    const auto b = static_cast<std::uint32_t>(std::bit_width(q) - 1);
+    return blocks_[b][slot - ((kBlock0 << b) - kBlock0)];
+  }
+  const Slot& slot_at(std::uint32_t slot) const {
+    const std::uint32_t q = (slot >> kBlock0Shift) + 1;
+    const auto b = static_cast<std::uint32_t>(std::bit_width(q) - 1);
+    return blocks_[b][slot - ((kBlock0 << b) - kBlock0)];
+  }
 
   /// Heap entries carry the full sort key so sift comparisons never chase a
   /// pointer into the slab; they are trivially copyable (moves are memcpy).
@@ -362,7 +402,7 @@ class EventQueue {
   void sift_down(std::size_t pos, HeapEntry e);
   void place(std::size_t pos, HeapEntry e) {
     heap_[pos] = e;
-    slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
+    slot_at(e.slot).heap_pos = static_cast<std::uint32_t>(pos);
   }
   void fire_top();
 
@@ -393,8 +433,11 @@ class EventQueue {
   std::uint64_t scheduled_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t executed_by_category_[kEventCategoryCount] = {};
+  std::uint64_t callback_spills_ = 0;
   std::size_t peak_pending_ = 0;
-  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<Slot[]>> blocks_;  ///< slot arena (see slot_at)
+  std::uint32_t slot_count_ = 0;                 ///< slots handed out so far
+  std::vector<const void*> owners_;  ///< slot -> purge tag (cold, out-of-line)
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;
   std::unordered_map<std::uint32_t, Forward> forwards_;

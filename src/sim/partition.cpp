@@ -37,11 +37,27 @@ struct Component {
 };
 
 /// Contract edges with delay < threshold (plus all non-positive-delay edges)
-/// and return the components, heaviest first.
+/// and return the components, heaviest first. In two-level mode (input
+/// carries pod ids) a positive-delay edge is only contractable when both
+/// endpoints sit in the same pod; non-positive-delay edges are contracted
+/// unconditionally so the realized lookahead stays positive even for a
+/// zero-delay cross-pod cable.
 std::vector<Component> contract(const PartitionInput& in, fs_t threshold,
                                 UnionFind& uf) {
-  for (const auto& e : in.edges)
-    if (e.delay <= 0 || e.delay < threshold) uf.unite(e.a, e.b);
+  const bool two_level = !in.pods.empty();
+  for (const auto& e : in.edges) {
+    if (e.delay <= 0) {
+      uf.unite(e.a, e.b);
+      continue;
+    }
+    if (e.delay >= threshold) continue;
+    if (two_level) {
+      const std::int32_t pa = in.pods[static_cast<std::size_t>(e.a)];
+      const std::int32_t pb = in.pods[static_cast<std::size_t>(e.b)];
+      if (pa < 0 || pa != pb) continue;  // pod boundaries are never contracted
+    }
+    uf.unite(e.a, e.b);
+  }
   std::vector<std::uint64_t> weight(static_cast<std::size_t>(in.nodes), 0);
   for (std::int32_t n = 0; n < in.nodes; ++n)
     weight[uf.find(n)] += in.weights[n];
@@ -55,17 +71,30 @@ std::vector<Component> contract(const PartitionInput& in, fs_t threshold,
   return comps;
 }
 
+/// Number of distinct non-negative pod ids in the input (0 in flat mode).
+std::int32_t count_pods(const PartitionInput& in) {
+  std::vector<std::int32_t> ids;
+  for (std::int32_t p : in.pods)
+    if (p >= 0) ids.push_back(p);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return static_cast<std::int32_t>(ids.size());
+}
+
 }  // namespace
 
 PartitionResult partition_graph(const PartitionInput& in, std::int32_t max_shards) {
   PartitionResult out;
   out.shard_of.assign(static_cast<std::size_t>(in.nodes), 0);
+  out.two_level = !in.pods.empty();
+  out.pod_count = out.two_level ? count_pods(in) : 0;
   const fs_t kNoCut = std::numeric_limits<fs_t>::max();
   if (in.nodes <= 0 || max_shards <= 1) {
     out.shards = in.nodes > 0 ? 1 : 0;
     out.lookahead = kNoCut;
     out.shard_weight.assign(static_cast<std::size_t>(out.shards), 0);
     for (std::int32_t n = 0; n < in.nodes; ++n) out.shard_weight[0] += in.weights[n];
+    out.pods_intact = true;  // a single shard trivially keeps every pod whole
     return out;
   }
 
@@ -128,6 +157,21 @@ PartitionResult partition_graph(const PartitionInput& in, std::int32_t max_shard
     if (out.shard_of[e.a] != out.shard_of[e.b]) {
       out.cut_edges.push_back(i);
       out.lookahead = std::min(out.lookahead, e.delay);
+    }
+  }
+
+  // Two-level reporting: did every pod survive whole (no intra-pod cut)?
+  // Vacuously true in flat mode — there are no pods to split.
+  out.pods_intact = true;
+  if (out.two_level) {
+    for (std::size_t i : out.cut_edges) {
+      const auto& e = in.edges[i];
+      const std::int32_t pa = in.pods[static_cast<std::size_t>(e.a)];
+      const std::int32_t pb = in.pods[static_cast<std::size_t>(e.b)];
+      if (pa >= 0 && pa == pb) {
+        out.pods_intact = false;
+        break;
+      }
     }
   }
   return out;

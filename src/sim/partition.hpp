@@ -13,6 +13,17 @@
 /// packed into `max_shards` bins within a 25% imbalance budget (largest
 /// processing time first). Edges with non-positive delay are always
 /// contracted, which guarantees the realized lookahead is positive.
+///
+/// Hierarchical (two-level) mode: when the input carries pod ids (a
+/// datacenter fat-tree names one pod per node), contraction respects pod
+/// boundaries — the pod boundary is contracted *first* (every intra-pod edge
+/// collapses, making each pod one super-shard), and only if the heaviest pod
+/// overflows the balance budget does the sweep descend into the existing
+/// delay-threshold contraction, still restricted to intra-pod edges. A
+/// cross-pod edge is never contracted, so when whole pods pack (the common
+/// case at datacenter scale: pods >> shards), the only cut cables — and the
+/// only mailbox traffic — are the pod-to-core uplinks, which are also the
+/// long cables that set a generous lookahead.
 
 #include <cstdint>
 #include <vector>
@@ -33,6 +44,11 @@ struct PartitionInput {
     fs_t delay = 0;
   };
   std::vector<Edge> edges;
+  /// Optional node -> pod id (two-level mode). Empty means flat partitioning;
+  /// otherwise same length as `nodes`, and -1 marks a node outside any pod
+  /// (it is never contracted with a neighbor). Edges whose endpoints carry
+  /// different pod ids are never contracted.
+  std::vector<std::int32_t> pods;
 };
 
 struct PartitionResult {
@@ -43,6 +59,11 @@ struct PartitionResult {
   fs_t lookahead = 0;
   std::vector<std::size_t> cut_edges;       ///< indices into input.edges
   std::vector<std::uint64_t> shard_weight;  ///< per-shard packed weight
+  bool two_level = false;  ///< true when pod-aware contraction was applied
+  /// Distinct pod ids seen (two-level mode only; 0 in flat mode).
+  std::int32_t pod_count = 0;
+  /// True when every pod packed whole (no pod was split across shards).
+  bool pods_intact = false;
 };
 
 /// Partition the graph into at most `max_shards` shards (see file comment).

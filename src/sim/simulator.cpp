@@ -237,6 +237,24 @@ void Simulator::register_edge(std::int32_t a, std::int32_t b, fs_t delay) {
   edges_.push_back(GraphEdge{a, b, delay});
 }
 
+void Simulator::set_node_pod(std::int32_t node, std::int32_t pod) {
+  if (engine_)
+    throw std::logic_error("Simulator::set_node_pod: call before set_threads");
+  if (node < 0 || node >= static_cast<std::int32_t>(node_weights_.size()))
+    throw std::out_of_range("Simulator::set_node_pod: unregistered node");
+  if (node_pods_.size() < node_weights_.size())
+    node_pods_.resize(node_weights_.size(), -1);
+  node_pods_[static_cast<std::size_t>(node)] = pod;
+  if (pod >= 0) any_pod_set_ = true;
+}
+
+void Simulator::reserve_graph(std::size_t nodes, std::size_t edges) {
+  node_weights_.reserve(nodes);
+  node_pods_.reserve(nodes);
+  edges_.reserve(edges);
+  global_q_.reserve_nodes(nodes);
+}
+
 void Simulator::set_threads(unsigned threads) {
   if (engine_) throw std::logic_error("Simulator::set_threads: already parallel");
   if (global_q_.bridge_pending() > 0)
@@ -251,6 +269,10 @@ void Simulator::set_threads(unsigned threads) {
   in.edges.reserve(edges_.size());
   for (const GraphEdge& e : edges_)
     in.edges.push_back(PartitionInput::Edge{e.a, e.b, e.delay});
+  if (any_pod_set_) {
+    in.pods = node_pods_;
+    in.pods.resize(node_weights_.size(), -1);
+  }
   PartitionResult part = partition_graph(in, static_cast<std::int32_t>(threads));
   if (part.shards <= 1) return;  // graph doesn't split; stay serial
   engine_ = std::make_unique<ParallelEngine>(in, std::move(part), global_q_.next_seq());

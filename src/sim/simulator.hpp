@@ -197,6 +197,19 @@ class Simulator {
   /// conservative epoch bound), so that case throws.
   void register_edge(std::int32_t a, std::int32_t b, fs_t delay);
 
+  /// Assign `node` to a pod (two-level partitioning; partition.hpp). A pod
+  /// is a contraction barrier: the partitioner packs whole pods onto shards
+  /// and only splits inside one when balance demands it, so at datacenter
+  /// scale the only cut cables are the long pod-to-core uplinks. Nodes left
+  /// unassigned (or set to -1) partition as before. Call during setup,
+  /// before set_threads().
+  void set_node_pod(std::int32_t node, std::int32_t pod);
+
+  /// Pre-size the device-graph registries (and the global queue's node
+  /// registry) for a topology of known size, so building a 10k-device fabric
+  /// does not pay per-registration reallocation.
+  void reserve_graph(std::size_t nodes, std::size_t edges);
+
   /// Allocate a globally unique edge-direction id for link-delivery tie
   /// keys (a cable takes two). Coordinator-only (cables are constructed at
   /// setup or at chaos sync points).
@@ -327,6 +340,8 @@ class Simulator {
   };
   std::vector<std::uint32_t> node_weights_;
   std::vector<GraphEdge> edges_;
+  std::vector<std::int32_t> node_pods_;  ///< node -> pod id; -1 unassigned
+  bool any_pod_set_ = false;
   std::uint32_t next_link_dir_ = 0;
 };
 

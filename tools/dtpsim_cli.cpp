@@ -1,6 +1,7 @@
 /// dtpsim — run a clock-synchronization experiment from the command line.
 ///
-///   dtpsim [--topology=star|tree|chain|fattree] [--nodes=N] [--hops=D]
+///   dtpsim [--topology=star|tree|chain|fattree|fat-tree:k=K,hosts=H[,pods=P]]
+///          [--nodes=N] [--hops=D]
 ///          [--protocol=dtp|dtp-master|ptp|ntp] [--seconds=S] [--seed=N]
 ///          [--load=idle|heavy] [--beacon=TICKS] [--rate=1g|10g|40g|100g]
 ///          [--drift] [--ber=P]
@@ -53,6 +54,12 @@ using namespace dtpsim;
 constexpr const char* kUsage =
     "usage: dtpsim [flags]\n"
     "  --topology=star|tree|chain|fattree   shape to build (default tree = Fig. 5)\n"
+    "  --topology=fat-tree:k=K,hosts=H[,pods=P]\n"
+    "                       k-ary multi-pod fat-tree sized for H hosts; H must\n"
+    "                       be a multiple of pods*k/2 (hosts spread evenly over\n"
+    "                       the edge switches; > k/2 per edge oversubscribes).\n"
+    "                       pods defaults to k; a smaller value builds a pod\n"
+    "                       slice. 'fattree' stays the legacy k=4 demo fabric\n"
     "  --nodes=N            hosts in a star (default 8)\n"
     "  --hops=D             chain hop count (default 4)\n"
     "  --protocol=dtp|dtp-master|ptp|ntp    protocol under test (default dtp)\n"
@@ -103,6 +110,11 @@ struct Options {
   bool drift = false;
   double ber = 0.0;
   unsigned threads = 1;
+  // Fat-tree spec (--topology=fat-tree:...); defaults reproduce the legacy
+  // 'fattree' value (k=4 canonical, all pods).
+  int ft_k = 4;
+  int ft_hosts_per_edge = -1;
+  int ft_pods = -1;
   fs_t holdover_ceiling = 0;  ///< --chaos=source only; 0 = hierarchy default
   bool bridged = false;  ///< --engine=bridged
   std::uint32_t stress = 0;  ///< 0 = off; N = campaign count
@@ -159,6 +171,54 @@ fs_t parse_duration(const std::string& key, const std::string& v) {
   return static_cast<fs_t>(x * fs_per_unit);
 }
 
+/// Strict parse of "k=K,hosts=H[,pods=P]" (the part after "fat-tree:").
+/// Anything malformed — unknown key, missing k/hosts, odd k, a host count
+/// that doesn't spread evenly over the edge switches — is a UsageError, so
+/// a typo exits 2 instead of silently building a different fabric.
+void parse_fat_tree_spec(const std::string& spec, Options& o) {
+  long long k = -1, hosts = -1, pods = -1;
+  if (spec.empty())
+    throw UsageError("--topology=fat-tree: needs k=K,hosts=H");
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string item =
+        spec.substr(start, comma == std::string::npos ? spec.npos : comma - start);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size())
+      throw UsageError("--topology=fat-tree: bad item '" + item + "' (want key=value)");
+    const std::string sk = item.substr(0, eq);
+    const std::string sv = item.substr(eq + 1);
+    const long long n = parse_int("topology", sv);
+    if (sk == "k") k = n;
+    else if (sk == "hosts") hosts = n;
+    else if (sk == "pods") pods = n;
+    else
+      throw UsageError("--topology=fat-tree: unknown key '" + sk +
+                       "' (want k, hosts, pods)");
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (k < 0 || hosts < 0)
+    throw UsageError("--topology=fat-tree: both k= and hosts= are required");
+  if (k < 2 || k % 2 != 0)
+    throw UsageError("--topology=fat-tree: k must be even and >= 2, got " +
+                     std::to_string(k));
+  if (pods < 0) pods = k;
+  if (pods < 1 || pods > k)
+    throw UsageError("--topology=fat-tree: pods must be in [1, k], got " +
+                     std::to_string(pods));
+  const long long edges = pods * (k / 2);
+  if (hosts < edges || hosts % edges != 0)
+    throw UsageError("--topology=fat-tree: hosts must be a positive multiple of "
+                     "pods*k/2 = " + std::to_string(edges) + ", got " +
+                     std::to_string(hosts));
+  o.ft_k = static_cast<int>(k);
+  o.ft_pods = static_cast<int>(pods);
+  o.ft_hosts_per_edge = static_cast<int>(hosts / edges);
+  o.topology = "fattree";
+}
+
 Options parse(int argc, char** argv) {
   Options o;
   for (int i = 1; i < argc; ++i) {
@@ -186,9 +246,15 @@ Options parse(int argc, char** argv) {
       throw UsageError("--" + key + " needs a value");
 
     if (key == "topology") {
-      if (!one_of(value, {"star", "tree", "chain", "fattree"}))
-        throw UsageError("--topology must be star|tree|chain|fattree, got '" + value + "'");
-      o.topology = value;
+      if (value.rfind("fat-tree:", 0) == 0) {
+        parse_fat_tree_spec(value.substr(sizeof("fat-tree:") - 1), o);
+      } else if (one_of(value, {"star", "tree", "chain", "fattree"})) {
+        o.topology = value;
+      } else {
+        throw UsageError(
+            "--topology must be star|tree|chain|fattree or "
+            "fat-tree:k=K,hosts=H[,pods=P], got '" + value + "'");
+      }
     } else if (key == "protocol") {
       if (!one_of(value, {"dtp", "dtp-master", "ptp", "ntp"}))
         throw UsageError("--protocol must be dtp|dtp-master|ptp|ntp, got '" + value + "'");
@@ -586,10 +652,14 @@ int run(const Options& o) {
     tree_root = chain.left;
     diameter = o.hops;
   } else if (o.topology == "fattree") {
-    auto ft = net::build_fat_tree(net, 4);
+    net::FatTreeParams fp;
+    fp.k = o.ft_k;
+    fp.hosts_per_edge = o.ft_hosts_per_edge;
+    fp.pods = o.ft_pods;
+    auto ft = net::build_fat_tree(net, fp);
     hosts = ft.hosts;
     tree_root = ft.core[0];
-    diameter = 6;
+    diameter = static_cast<std::size_t>(ft.diameter_hops);
   } else {  // tree (the paper's Fig. 5)
     auto tree = net::build_paper_tree(net);
     hosts = tree.leaves;
