@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
       pass &= check((cls + ": stall ceiling held").c_str(), s.stall_ok);
     }
   }
+  json.add_raw("rows", report.rows_json());
   json.add("rogue_isolated", rogue.isolated);
   pass &= check("rogue oscillator quarantined by its neighbor", rogue.isolated);
   pass &= check("healthy remainder reconverged after remediation",

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,17 @@ class Flags {
     long long out = 0;
     if (!parse_int_strict(v, &out)) die_malformed(key, v, "an integer");
     return out;
+  }
+  /// Duration with a required unit suffix ("50us", "1.5ms"), via the shared
+  /// strict parser in common/time_units.hpp.
+  fs_t get_duration(const std::string& key, fs_t fallback) const {
+    const auto v = find(key);
+    if (v.empty()) return fallback;
+    try {
+      return parse_duration(v);
+    } catch (const std::invalid_argument&) {
+      die_malformed(key, v, "a duration with a unit suffix (ns|us|ms|s)");
+    }
   }
   std::string get_string(const std::string& key, const std::string& fallback) const {
     const auto v = find(key);

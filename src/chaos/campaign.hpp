@@ -133,4 +133,45 @@ struct SourceCampaign {
   }
 };
 
+/// The canonical *gray-failure* campaign: one instance of each gray fault
+/// kind on the Fig. 5 tree under MTU-saturated load, paired with a
+/// `dtp::HealthWatchdog`. Run by `bench_gray_recovery`, the campaign test,
+/// and `dtpsim --chaos=gray`.
+///
+///   t0+0      asymmetric_delay  root -> S1 gains 52 ns (~8 ticks) one-way
+///                               for 3 ms; S1's uplink sees every beacon
+///                               implausibly stale and is re-INITed
+///   t0+4ms    limping_port      leaf2 -> S1 stalls 30% of its control
+///                               blocks by 90 ns (~14 ticks) for 3 ms
+///   t0+8ms    silent_corruption leaf4 -> S2 flips a low counter bit in 80%
+///                               of control payloads for 3 ms (+-4/+-8 tick
+///                               lies that survive framing)
+///   t0+12ms   frozen_counter    leaf6's port facing S3 latches its counter
+///                               for 2 ms while the device stays alive
+///
+/// Protocol parameters are the canonical campaign's with the jump detector
+/// OFF: every injection here is sized to stay under the loud detectors
+/// (that is what makes it gray), and the acceptance question is precisely
+/// whether the watchdog alone detects and remediates. Magnitudes are tied
+/// to the default `WatchdogParams::plausible_delta_ticks = 6` gate: each
+/// fault's staleness lands at or past -7 ticks even after a mid-fault
+/// re-INIT halves the bias into the measured OWD, so detection cannot be
+/// argued away by a lucky d measurement.
+struct GrayCampaign {
+  static net::NetworkParams net_params() { return CanonicalCampaign::net_params(); }
+  static dtp::DtpParams dtp_params();
+  static ChaosParams chaos_params();
+  static dtp::WatchdogParams watchdog_params() { return {}; }
+
+  static fs_t settle_time() { return from_ms(3); }
+  static FaultPlan plan(const net::PaperTreeTopology& tree, fs_t t0);
+  static fs_t end_time(fs_t t0) { return t0 + from_ms(20); }
+
+  /// Sentinel blackout windows: each fault window plus a remediation margin
+  /// (backoff ladder + probation + the post-heal network-wide fast-forward
+  /// that re-absorbs a biased OWD). Offsets and counter-rate checks hold
+  /// fire inside these; watchdog invariants never do.
+  static std::vector<std::pair<fs_t, fs_t>> blackouts(fs_t t0);
+};
+
 }  // namespace dtpsim::chaos

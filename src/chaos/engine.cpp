@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "chaos/serialize.hpp"
 #include "dtp/daemon.hpp"
 #include "dtp/hierarchy.hpp"
 #include "obs/hub.hpp"
@@ -162,6 +163,11 @@ ProbeResult ChaosEngine::make_seed(const FaultSpec& spec, fs_t recovery_start) c
   seed.label = spec.label;
   seed.injected_at = spec.at;
   seed.recovery_start = recovery_start;
+  try {
+    seed.repro = fault_to_line(describe(spec));
+  } catch (const std::invalid_argument&) {
+    // Daemon-targeted faults have no device name to serialize.
+  }
   return seed;
 }
 
@@ -377,6 +383,74 @@ void ChaosEngine::schedule_fault(const FaultSpec& spec) {
         srv->set_stratum(srv->params().stratum);
         start_hierarchy_probe(spec, make_seed(spec, sim_.now()),
                               srv->params().period, -1);
+      });
+      break;
+    }
+    // Gray failures: impair one *direction* of a live cable (or one port's
+    // counter register) without any link-down edge. The spec's a -> b order
+    // picks the direction: cable dir 0 carries dev_a's transmissions, so the
+    // faulted direction is 0 exactly when spec.link_a owns the cable's a side.
+    case FaultKind::kAsymmetricDelay: {
+      Link* l = &require_link(spec);
+      const int dir = l->dev_a == spec.link_a ? 0 : 1;
+      sim_.schedule_at(spec.at, [this, l, dir, extra = spec.period] {
+        mark("fault:asymmetric_delay " + l->dev_a->name() + "-" + l->dev_b->name());
+        l->cable->set_extra_delay(dir, extra);
+      });
+      sim_.schedule_at(spec.at + spec.duration, [this, l, dir, spec] {
+        mark("heal:asymmetric_delay_clear " + l->dev_a->name() + "-" +
+             l->dev_b->name());
+        l->cable->set_extra_delay(dir, 0);
+        start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
+      });
+      break;
+    }
+    case FaultKind::kLimpingPort: {
+      Link* l = &require_link(spec);
+      const int dir = l->dev_a == spec.link_a ? 0 : 1;
+      sim_.schedule_at(spec.at,
+                       [this, l, dir, prob = spec.magnitude, stall = spec.period] {
+        mark("fault:limping_port " + l->dev_a->name() + "-" + l->dev_b->name());
+        l->cable->set_tx_stall(dir, prob, stall);
+      });
+      sim_.schedule_at(spec.at + spec.duration, [this, l, dir, spec] {
+        mark("heal:limping_port_clear " + l->dev_a->name() + "-" +
+             l->dev_b->name());
+        l->cable->set_tx_stall(dir, 0.0, 0);
+        start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
+      });
+      break;
+    }
+    case FaultKind::kSilentCorruption: {
+      Link* l = &require_link(spec);
+      const int dir = l->dev_a == spec.link_a ? 0 : 1;
+      sim_.schedule_at(spec.at, [this, l, dir, prob = spec.magnitude] {
+        mark("fault:silent_corruption " + l->dev_a->name() + "-" +
+             l->dev_b->name());
+        l->cable->set_silent_corrupt(dir, prob);
+      });
+      sim_.schedule_at(spec.at + spec.duration, [this, l, dir, spec] {
+        mark("heal:silent_corruption_clear " + l->dev_a->name() + "-" +
+             l->dev_b->name());
+        l->cable->set_silent_corrupt(dir, 0.0);
+        start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
+      });
+      break;
+    }
+    case FaultKind::kFrozenCounter: {
+      Link* l = &require_link(spec);
+      // The stuck register lives on spec.link_a's port facing spec.link_b.
+      phy::PhyPort* port = l->dev_a == spec.link_a ? l->a : l->b;
+      sim_.schedule_at(spec.at, [this, port, spec] {
+        mark("fault:frozen_counter " + spec.link_a->name());
+        // Resolve at fire time: the agent may have been replaced since
+        // scheduling (crash faults earlier in the plan).
+        if (dtp::PortLogic* pl = port_logic_at(port)) pl->set_counter_frozen(true);
+      });
+      sim_.schedule_at(spec.at + spec.duration, [this, port, spec] {
+        mark("heal:frozen_counter_thaw " + spec.link_a->name());
+        if (dtp::PortLogic* pl = port_logic_at(port)) pl->set_counter_frozen(false);
+        start_probe(spec, make_seed(spec, sim_.now()), {spec.link_a, spec.link_b});
       });
       break;
     }

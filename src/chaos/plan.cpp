@@ -1,6 +1,25 @@
 #include "chaos/plan.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace dtpsim::chaos {
+
+namespace {
+
+void require_window(const char* what, fs_t window) {
+  if (window <= 0)
+    throw std::invalid_argument(std::string(what) +
+                                ": fault window must be positive");
+}
+
+void require_prob(const char* what, double p) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument(std::string(what) +
+                                ": probability must be in [0, 1]");
+}
+
+}  // namespace
 
 const char* fault_class_name(FaultKind kind) {
   switch (kind) {
@@ -16,6 +35,10 @@ const char* fault_class_name(FaultKind kind) {
     case FaultKind::kRogueGrandmaster: return "rogue_grandmaster";
     case FaultKind::kIslandPartition: return "island_partition";
     case FaultKind::kStratumFlap: return "stratum_flap";
+    case FaultKind::kAsymmetricDelay: return "asymmetric_delay";
+    case FaultKind::kLimpingPort: return "limping_port";
+    case FaultKind::kSilentCorruption: return "silent_corruption";
+    case FaultKind::kFrozenCounter: return "frozen_counter";
   }
   return "?";
 }
@@ -157,6 +180,64 @@ FaultSpec FaultSpec::stratum_flap(net::Device& server_host, fs_t at, int flaps,
   s.period = flap_period;
   s.magnitude = alt_stratum;
   s.device = &server_host;
+  return s;
+}
+
+FaultSpec FaultSpec::asymmetric_delay(net::Device& a, net::Device& b, fs_t at,
+                                      fs_t window, fs_t extra_delay) {
+  require_window("asymmetric_delay", window);
+  if (extra_delay <= 0)
+    throw std::invalid_argument("asymmetric_delay: extra delay must be positive");
+  FaultSpec s;
+  s.kind = FaultKind::kAsymmetricDelay;
+  s.at = at;
+  s.duration = window;
+  s.period = extra_delay;
+  s.link_a = &a;
+  s.link_b = &b;
+  return s;
+}
+
+FaultSpec FaultSpec::limping_port(net::Device& a, net::Device& b, fs_t at,
+                                  fs_t window, double stall_prob, fs_t stall) {
+  require_window("limping_port", window);
+  require_prob("limping_port", stall_prob);
+  if (stall <= 0)
+    throw std::invalid_argument("limping_port: stall duration must be positive");
+  FaultSpec s;
+  s.kind = FaultKind::kLimpingPort;
+  s.at = at;
+  s.duration = window;
+  s.magnitude = stall_prob;
+  s.period = stall;
+  s.link_a = &a;
+  s.link_b = &b;
+  return s;
+}
+
+FaultSpec FaultSpec::silent_corruption(net::Device& a, net::Device& b, fs_t at,
+                                       fs_t window, double prob) {
+  require_window("silent_corruption", window);
+  require_prob("silent_corruption", prob);
+  FaultSpec s;
+  s.kind = FaultKind::kSilentCorruption;
+  s.at = at;
+  s.duration = window;
+  s.magnitude = prob;
+  s.link_a = &a;
+  s.link_b = &b;
+  return s;
+}
+
+FaultSpec FaultSpec::frozen_counter(net::Device& a, net::Device& b, fs_t at,
+                                    fs_t window) {
+  require_window("frozen_counter", window);
+  FaultSpec s;
+  s.kind = FaultKind::kFrozenCounter;
+  s.at = at;
+  s.duration = window;
+  s.link_a = &a;
+  s.link_b = &b;
   return s;
 }
 

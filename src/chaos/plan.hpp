@@ -43,6 +43,14 @@ enum class FaultKind : std::uint8_t {
   kRogueGrandmaster,  ///< a source broadcasts plausible-but-wrong UTC
   kIslandPartition,   ///< a link cut isolates clients from every source
   kStratumFlap,       ///< a source's advertised stratum flaps repeatedly
+
+  // Gray failures (DESIGN.md §15): sub-detection-threshold degradation that
+  // biases time without tripping the loud defenses. Paired with the
+  // dtp::HealthWatchdog, which detects and remediates them.
+  kAsymmetricDelay,   ///< one cable direction gains one-way latency
+  kLimpingPort,       ///< intermittent TX stalls below the detection threshold
+  kSilentCorruption,  ///< counter-bit flips that survive framing and parity
+  kFrozenCounter,     ///< a port's counter register stops; the device lives
 };
 
 /// Stable snake_case identifier per class (JSON keys, report rows).
@@ -145,6 +153,36 @@ struct FaultSpec {
   /// and serving must never step backwards.
   static FaultSpec stratum_flap(net::Device& server_host, fs_t at, int flaps,
                                 fs_t flap_period, int alt_stratum);
+
+  // --- Gray failures (DESIGN.md §15) ---------------------------------------
+  // All four throw std::invalid_argument on nonsense arguments (non-positive
+  // window, negative delay, probability outside [0, 1]): a malformed gray
+  // fault silently looks like a healthy link, which is exactly the failure
+  // mode these exist to kill.
+
+  /// The `a` -> `b` direction of the cable gains `extra_delay` of one-way
+  /// latency at `at` (b's beacons from a arrive stale; a re-INIT measures a
+  /// biased OWD), restored after `window`.
+  static FaultSpec asymmetric_delay(net::Device& a, net::Device& b, fs_t at,
+                                    fs_t window, fs_t extra_delay);
+
+  /// `a`'s transmitter toward `b` stalls each control block with
+  /// probability `stall_prob` for `stall` — intermittent, below the range
+  /// filter's detection threshold. Restored after `window`.
+  static FaultSpec limping_port(net::Device& a, net::Device& b, fs_t at,
+                                fs_t window, double stall_prob, fs_t stall);
+
+  /// Control payloads on `a` -> `b` get a low counter bit flipped with
+  /// probability `prob` — well-framed, parity-consistent lies of +-4/+-8
+  /// ticks that survive the range filter. Restored after `window`.
+  static FaultSpec silent_corruption(net::Device& a, net::Device& b, fs_t at,
+                                     fs_t window, double prob);
+
+  /// The counter register of `a`'s port facing `b` freezes at `at` (reads
+  /// repeat the latched value, writes are dropped, transmitted counters go
+  /// increasingly stale) while the device stays alive; thaws after `window`.
+  static FaultSpec frozen_counter(net::Device& a, net::Device& b, fs_t at,
+                                  fs_t window);
 };
 
 /// An ordered batch of faults. Order is cosmetic — each spec carries its own

@@ -43,6 +43,10 @@ struct ProbeResult {
   bool stall_ok = true;          ///< Section 5.4 ceiling held on every sample
   bool peer_isolated = false;    ///< rogue campaigns: quarantine happened
   double residual_ticks = 0;     ///< last |offset| seen (diagnosis on timeout)
+  /// The originating fault in `--repro` line format (fault_to_line of its
+  /// descriptor), so a report row can be replayed verbatim. Empty for
+  /// faults that cannot be serialized (pcie_storm).
+  std::string repro;
 };
 
 /// Samples a measurement until convergence or timeout, then reports once.

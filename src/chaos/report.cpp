@@ -4,6 +4,7 @@
 #include <iomanip>
 
 #include "common/stats.hpp"
+#include "obs/json.hpp"
 
 namespace dtpsim::chaos {
 
@@ -56,6 +57,25 @@ void CampaignReport::print(std::ostream& os) const {
          << " did not reconverge (residual " << r.residual_ticks << " ticks)\n";
     }
   }
+}
+
+std::string CampaignReport::rows_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const ProbeResult& r = results_[i];
+    if (i) out += ", ";
+    out += "{\"class\": \"" + obs::json_escape(r.fault_class) + "\"";
+    if (!r.label.empty()) out += ", \"label\": \"" + obs::json_escape(r.label) + "\"";
+    out += ", \"injected_at\": " + std::to_string(r.injected_at);
+    out += ", \"recovery_start\": " + std::to_string(r.recovery_start);
+    out += ", \"converged\": " + std::string(r.converged ? "true" : "false");
+    out += ", \"reconverge_beacons\": " + obs::json_double(r.reconverge_beacons);
+    out += ", \"stall_ok\": " + std::string(r.stall_ok ? "true" : "false");
+    out += ", \"peer_isolated\": " + std::string(r.peer_isolated ? "true" : "false");
+    out += ", \"residual_ticks\": " + obs::json_double(r.residual_ticks);
+    out += ", \"repro\": \"" + obs::json_escape(r.repro) + "\"}";
+  }
+  return out + "]";
 }
 
 }  // namespace dtpsim::chaos

@@ -46,6 +46,11 @@ class CampaignReport {
   /// Human-readable table.
   void print(std::ostream& os) const;
 
+  /// One JSON array with a row per fault result. Each row carries the
+  /// originating fault in `--repro` line format alongside the recovery
+  /// numbers, so any row can be replayed verbatim from the artifact.
+  std::string rows_json() const;
+
  private:
   std::vector<ProbeResult> results_;
 };

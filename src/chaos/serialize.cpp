@@ -20,6 +20,8 @@ FaultKind kind_from_name(const std::string& name) {
       FaultKind::kRogueOscillator, FaultKind::kPcieStorm,
       FaultKind::kGpsLoss,   FaultKind::kRogueGrandmaster,
       FaultKind::kIslandPartition, FaultKind::kStratumFlap,
+      FaultKind::kAsymmetricDelay, FaultKind::kLimpingPort,
+      FaultKind::kSilentCorruption, FaultKind::kFrozenCounter,
   };
   for (FaultKind k : all)
     if (name == fault_class_name(k)) return k;
@@ -34,6 +36,10 @@ bool is_link_fault(FaultKind k) {
     case FaultKind::kBerBurst:
     case FaultKind::kBeaconLoss:
     case FaultKind::kIslandPartition:
+    case FaultKind::kAsymmetricDelay:
+    case FaultKind::kLimpingPort:
+    case FaultKind::kSilentCorruption:
+    case FaultKind::kFrozenCounter:
       return true;
     default:
       return false;

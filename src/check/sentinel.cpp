@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "dtp/hierarchy.hpp"
+#include "dtp/watchdog.hpp"
 #include "net/device.hpp"
 #include "net/mac.hpp"
 #include "obs/hub.hpp"
@@ -48,6 +49,16 @@ struct Sentinel::HierarchyMon {
   double prev_uncertainty = 0.0;
   fs_t prev_at = 0;
   dtp::HierarchyStatus prev_status = dtp::HierarchyStatus::kAcquiring;
+};
+
+/// Per-watchdog-watch sampler state (coordinator-only).
+struct Sentinel::WatchdogMon {
+  bool has_prev = false;
+  int prev_attempts = 0;
+  fs_t prev_backoff = 0;
+  std::uint64_t prev_quarantines = 0;
+  std::uint64_t prev_reinits = 0;
+  bool was_disabled = false;
 };
 
 namespace {
@@ -172,6 +183,12 @@ void Sentinel::set_hierarchy(dtp::TimeHierarchy* hierarchy) {
     hier_mons_.push_back(HierarchyMon{c.get()});
 }
 
+void Sentinel::set_watchdog(const dtp::HealthWatchdog* watchdog) {
+  watchdog_ = watchdog;
+  watchdog_mons_.clear();
+  if (watchdog_ != nullptr) watchdog_mons_.resize(watchdog_->watch_count());
+}
+
 void Sentinel::add_blackout(fs_t from, fs_t until) {
   blackouts_.emplace_back(from, until);
 }
@@ -235,6 +252,53 @@ void Sentinel::sample() {
   check_overhead(now);
   check_wrap_and_rate(now);
   check_hierarchy(now);
+  check_watchdog(now);
+}
+
+void Sentinel::check_watchdog(fs_t now) {
+  if (watchdog_ == nullptr) return;
+  const int ceiling = watchdog_->params().max_reinit_attempts;
+  for (std::size_t i = 0; i < watchdog_mons_.size(); ++i) {
+    WatchdogMon& m = watchdog_mons_[i];
+    const dtp::WatchdogPortStats& ws = watchdog_->watch_stats(i);
+    const std::string& label = watchdog_->watch_label(i);
+    ++stats_.watchdog_checks;
+    if (ws.attempts > ceiling) {
+      record(Violation{InvariantKind::kWatchdogRemediation, now, label,
+                       static_cast<double>(ws.attempts),
+                       static_cast<double>(ceiling),
+                       "re-INIT attempts exceeded the escalation ceiling"});
+    }
+    if (m.has_prev) {
+      // Each backoff computed while an episode is live (attempts carried
+      // over from a prior re-INIT) must be strictly longer than the last —
+      // the no-flap-loop guarantee. A fresh episode (attempts reset to 0 on
+      // a clean probation) legitimately restarts at the base backoff, and
+      // the quarantine that became a disable never draws a backoff at all.
+      if (ws.quarantines > m.prev_quarantines && ws.disables == 0 &&
+          ws.attempts > 0 &&
+          ws.attempts == m.prev_attempts &&
+          ws.last_backoff <= m.prev_backoff) {
+        record(Violation{InvariantKind::kWatchdogRemediation, now, label,
+                         static_cast<double>(ws.last_backoff),
+                         static_cast<double>(m.prev_backoff),
+                         "episode backoff did not grow monotonically"});
+      }
+      if (m.was_disabled && ws.reinits > m.prev_reinits) {
+        record(Violation{InvariantKind::kWatchdogRemediation, now, label,
+                         static_cast<double>(ws.reinits),
+                         static_cast<double>(m.prev_reinits),
+                         "a disabled port was re-INITed (disable must be final)"});
+      }
+    }
+    m.has_prev = true;
+    m.prev_attempts = ws.attempts;
+    m.prev_backoff = ws.last_backoff;
+    m.prev_quarantines = ws.quarantines;
+    m.prev_reinits = ws.reinits;
+    m.was_disabled =
+        m.was_disabled || watchdog_->watch_health(i) == dtp::PortHealth::kDisabled;
+  }
 }
 
 void Sentinel::check_hierarchy(fs_t now) {
@@ -469,6 +533,22 @@ RunDigest Sentinel::digest() const {
     d.mix(m.client->selection_changes());
     d.mix(static_cast<std::uint64_t>(
         static_cast<std::int64_t>(m.client->selected_source())));
+  }
+  if (watchdog_ != nullptr) {
+    // The full escalation history per watch: a single off-by-one strike or a
+    // different backoff draw between thread counts shows up immediately.
+    for (std::size_t i = 0; i < watchdog_->watch_count(); ++i) {
+      const dtp::WatchdogPortStats& ws = watchdog_->watch_stats(i);
+      d.mix(ws.windows);
+      d.mix(ws.strikes);
+      d.mix(ws.suspects);
+      d.mix(ws.quarantines);
+      d.mix(ws.reinits);
+      d.mix(ws.disables);
+      d.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(ws.attempts)));
+      d.mix(static_cast<std::uint64_t>(ws.last_backoff));
+      d.mix(static_cast<std::uint64_t>(watchdog_->watch_health(i)));
+    }
   }
   return d;
 }

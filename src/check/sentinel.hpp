@@ -35,6 +35,7 @@ class Hub;
 namespace dtpsim::dtp {
 class TimeHierarchy;
 class HierarchyClient;
+class HealthWatchdog;
 }
 
 namespace dtpsim::check {
@@ -93,6 +94,7 @@ struct SentinelStats {
   std::uint64_t tx_probe_checks = 0;
   std::uint64_t fifo_probe_checks = 0;
   std::uint64_t utc_checks = 0;
+  std::uint64_t watchdog_checks = 0;
   std::uint64_t suppressed_violations = 0;
 };
 
@@ -145,10 +147,19 @@ class Sentinel {
   /// the serial-vs-parallel differential covers selection and holdover too.
   void set_hierarchy(dtp::TimeHierarchy* hierarchy);
 
+  /// Attach a health watchdog (null detaches). Every sample then also pins
+  /// the watchdog's remediation contract — attempts never exceed the
+  /// configured ceiling, each new backoff within an episode is strictly
+  /// longer than the last, and a disabled port never re-INITs again — and
+  /// folds the per-port ladder counters into the run digest. These checks
+  /// are never blacked out: bounded remediation must hold *during* faults.
+  void set_watchdog(const dtp::HealthWatchdog* watchdog);
+
  private:
   struct PortMon;
   struct DeviceMon;
   struct HierarchyMon;
+  struct WatchdogMon;
 
   void sample();
   void check_monotonic(fs_t now);
@@ -156,6 +167,7 @@ class Sentinel {
   void check_overhead(fs_t now);
   void check_wrap_and_rate(fs_t now);
   void check_hierarchy(fs_t now);
+  void check_watchdog(fs_t now);
   bool in_blackout(fs_t t) const;
   void record(Violation v);
 
@@ -169,6 +181,8 @@ class Sentinel {
   std::vector<DeviceMon> device_mons_;
   std::vector<HierarchyMon> hier_mons_;
   dtp::TimeHierarchy* hierarchy_ = nullptr;
+  std::vector<WatchdogMon> watchdog_mons_;
+  const dtp::HealthWatchdog* watchdog_ = nullptr;
   std::vector<std::pair<fs_t, fs_t>> blackouts_;
 
   int settled_streak_ = 0;

@@ -17,6 +17,7 @@ const char* invariant_name(InvariantKind k) {
     case InvariantKind::kDigestMismatch: return "digest-mismatch";
     case InvariantKind::kUtcBackstep: return "utc-backstep";
     case InvariantKind::kUtcUncertainty: return "utc-uncertainty";
+    case InvariantKind::kWatchdogRemediation: return "watchdog-remediation";
   }
   return "unknown";
 }

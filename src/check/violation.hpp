@@ -27,9 +27,12 @@ enum class InvariantKind {
   kDigestMismatch,   ///< serial and parallel runs observably diverged
   kUtcBackstep,      ///< a hierarchy client's served UTC stepped backwards
   kUtcUncertainty,   ///< served uncertainty understated the true UTC error
+  kWatchdogRemediation,  ///< watchdog escalation broke its bounded/monotone
+                         ///< remediation contract (attempt ceiling, backoff
+                         ///< monotonicity, or action after a final disable)
 };
 
-inline constexpr int kInvariantKindCount = 10;
+inline constexpr int kInvariantKindCount = 11;
 
 /// Stable short name ("offset-bound", ...) used in reports and repro files.
 const char* invariant_name(InvariantKind k);

@@ -2,8 +2,29 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace dtpsim {
+
+fs_t parse_duration(const std::string& text) {
+  char* end = nullptr;
+  const double x = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == text.c_str())
+    throw std::invalid_argument("'" + text + "' is not a duration");
+  const std::string suffix(end);
+  double fs_per_unit = 0;
+  if (suffix == "ns") fs_per_unit = 1e6;
+  else if (suffix == "us") fs_per_unit = 1e9;
+  else if (suffix == "ms") fs_per_unit = 1e12;
+  else if (suffix == "s") fs_per_unit = 1e15;
+  else
+    throw std::invalid_argument("'" + text +
+                                "' needs a duration unit suffix (ns|us|ms|s)");
+  if (!(x > 0))
+    throw std::invalid_argument("duration '" + text + "' must be positive");
+  return static_cast<fs_t>(x * fs_per_unit);
+}
 
 std::string format_duration(fs_t t) {
   const bool neg = t < 0;

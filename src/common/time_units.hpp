@@ -69,4 +69,11 @@ constexpr fs_t operator""_sec(long double v) { return static_cast<fs_t>(v * stat
 /// Render a duration using the most readable unit, e.g. "25.6ns" or "1.28us".
 std::string format_duration(fs_t t);
 
+/// Strictly parse a positive duration with a required unit suffix: "50us",
+/// "1.5ms", "2s". The whole string must be consumed — "2,5ms", "50", or a
+/// non-positive value throw std::invalid_argument, so a typo can never run a
+/// different experiment. This is the single parser behind every CLI / bench
+/// duration flag (--metrics-interval, --holdover-ceiling, the watchdog knobs).
+fs_t parse_duration(const std::string& text);
+
 }  // namespace dtpsim

@@ -34,6 +34,8 @@ double Agent::phase_units_at(fs_t t) const {
 
 void Agent::force_global(fs_t t, const WideCounter& v) {
   const std::int64_t k = tick_at(t);
+  const __int128 moved = v.diff(global_.at_tick(k));
+  if (moved > 0) note_forward_jump(t, static_cast<unsigned __int128>(moved));
   global_.set(k, v);
   // Locals must follow unconditionally, not via the monotone
   // sync_locals_to_global: an operator-set value can be *behind* the current
@@ -41,7 +43,7 @@ void Agent::force_global(fs_t t, const WideCounter& v) {
   // below the 2^106 wrap), and a fast-forward would silently keep the old
   // lc — after which every peer beacon compares against the stale local and
   // is rejected as "behind us" while the network drifts apart.
-  for (auto& p : ports_) p->local_.set(k, v);
+  for (auto& p : ports_) p->local_set(k, v);
   // An operator-set counter is a join-sized event: announce it so peers do
   // not spend eternity range-filtering our beacons.
   for (auto& p : ports_)
@@ -53,7 +55,7 @@ void Agent::sync_locals_to_global(std::int64_t k) {
   // predates a join-sized gc move would keep filtering its peer's (now
   // far-ahead) beacons forever and the subnet would free-run apart.
   const WideCounter gc = global_.at_tick(k);
-  for (auto& port : ports_) port->local_.fast_forward(k, gc);
+  for (auto& port : ports_) port->local_fast_forward(k, gc);
 }
 
 void Agent::local_updated(std::size_t port_index, std::int64_t k, bool join) {
@@ -61,6 +63,7 @@ void Agent::local_updated(std::size_t port_index, std::int64_t k, bool join) {
   const unsigned __int128 jump = global_.fast_forward(k, lc);  // T5
   if (jump > 0) ++global_adjustments_;
   if (join && jump > 0) {
+    note_forward_jump(dev_.simulator().now(), jump);
     sync_locals_to_global(k);
     // A join-sized move: announce the new counter on every other port so the
     // whole connected component converges in one propagation wave.
@@ -69,6 +72,14 @@ void Agent::local_updated(std::size_t port_index, std::int64_t k, bool join) {
       if (ports_[i]->state() == PortState::kSynced) ports_[i]->send_join();
     }
   }
+}
+
+void Agent::note_forward_jump(fs_t at, unsigned __int128 units) {
+  last_join_jump_at_ = at;
+  constexpr auto kCap =
+      static_cast<unsigned __int128>(~static_cast<std::uint64_t>(0));
+  last_join_jump_units_ =
+      static_cast<std::uint64_t>(units > kCap ? kCap : units);
 }
 
 void Agent::set_parent_port(std::size_t port_index) {
@@ -106,7 +117,7 @@ void Agent::port_went_down(std::size_t) {
     if (p->phy_port().link_up()) return;
   const std::int64_t k = tick_at(dev_.simulator().now());
   global_.set(k, WideCounter(0));
-  for (auto& p : ports_) p->local_.set(k, WideCounter(0));
+  for (auto& p : ports_) p->local_set(k, WideCounter(0));
   ++counter_resets_;
 }
 

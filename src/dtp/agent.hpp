@@ -87,6 +87,15 @@ class Agent {
   /// Total positive gc fast-forwards (device-level jumps).
   std::uint64_t global_adjustments() const { return global_adjustments_; }
 
+  /// When gc last took a join-sized forward jump (adopting a BEACON-JOIN or
+  /// an operator force_global), and by how much (counter units, saturated to
+  /// 64 bits). Such jumps are the max-discipline converging after a
+  /// partition heal or a quarantined subtree re-joining: every peer that has
+  /// not heard the announce wave yet briefly looks stale. Consumers (the
+  /// health watchdog) excuse staleness in the jump's shadow. -1 = never.
+  fs_t last_join_jump_at() const { return last_join_jump_at_; }
+  std::uint64_t last_join_jump_units() const { return last_join_jump_units_; }
+
   /// Times the counters were zeroed because every port went inactive
   /// (Section 3.2, "Network dynamics").
   std::uint64_t counter_resets() const { return counter_resets_; }
@@ -100,6 +109,9 @@ class Agent {
 
   /// Fast-forward every port's lc to the current gc (join adoption).
   void sync_locals_to_global(std::int64_t k);
+
+  /// Record a join-sized forward move of gc for last_join_jump_at().
+  void note_forward_jump(fs_t at, unsigned __int128 units);
 
   /// Master-tree mode: the parent port heard the parent's counter `target`
   /// (already delay-compensated) at tick `k`; jump up if behind, set the
@@ -118,6 +130,8 @@ class Agent {
   std::vector<std::unique_ptr<PortLogic>> ports_;
   std::uint64_t global_adjustments_ = 0;
   std::uint64_t counter_resets_ = 0;
+  fs_t last_join_jump_at_ = -1;
+  std::uint64_t last_join_jump_units_ = 0;
   std::optional<std::size_t> parent_port_;
 };
 

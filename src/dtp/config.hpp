@@ -80,4 +80,66 @@ struct DtpParams {
   fs_t fault_cooldown = from_ms(50);
 };
 
+/// Tunables of the per-port gray-failure HealthWatchdog (DESIGN.md §15).
+/// The watchdog samples every port each `check_period` and cross-validates
+/// three signals the loud detectors cannot see: sibling-port counter
+/// divergence (all ports on one device share an oscillator), plausibility of
+/// implied beacon deltas, and counter advance. Strikes drive an escalation
+/// ladder: suspect -> quarantine -> re-INIT with exponential backoff +
+/// deterministic jitter -> port disable with an operator-visible verdict.
+struct WatchdogParams {
+  /// Sampling window. Each window either records a strike or counts clean.
+  fs_t check_period = from_us(50);
+
+  /// Sibling cross-check bound, in ticks: ports on one device share the
+  /// oscillator, so their local counters must agree within roughly
+  /// 2 * max_beacon_offset_ticks of each other (each port tracks its peer
+  /// with at most the range-filter bias) plus CDC slack. A port lagging the
+  /// best sibling by more than this is struck.
+  double sibling_bound_ticks = 12.0;
+
+  /// Plausibility gate on implied beacon deltas (gdiff before the
+  /// fast-forward clamp), in ticks; only deltas more negative than -gate
+  /// count (staleness — positive surprises are the max-discipline working).
+  /// The fastest oscillator in the network persistently sees every beacon
+  /// stale by both endpoints' OWD underestimates (each bounded by
+  /// ~alpha/2 + 1 tick of CDC jitter), so the healthy envelope reaches
+  /// about -(alpha + 2). 6 sits above that and below the smallest gray
+  /// staleness worth remediating (-8: a flipped counter bit 3, or a one-way
+  /// delay of 8+ ticks). Smaller lies (+-4) stay sub-threshold by design —
+  /// the range filter already bounds their effect to the healthy envelope.
+  double plausible_delta_ticks = 6.0;
+
+  /// Gate events within one window needed to call the window a strike
+  /// (a single outlier is CDC noise, a burst is a failing lane).
+  int min_gate_events = 2;
+
+  /// Consecutive strike windows before a suspect port is quarantined.
+  int suspect_strikes = 2;
+
+  /// Re-INIT backoff: attempt k fires base * 2^k plus a deterministic
+  /// jitter drawn in [0, base/4) after the quarantine. Monotone by
+  /// construction — the sentinel pins it.
+  fs_t reinit_backoff = from_us(200);
+
+  /// Escalation ceiling: after this many failed re-INIT attempts in one
+  /// episode the port is disabled with an operator-visible verdict.
+  int max_reinit_attempts = 6;
+
+  /// Clean windows on probation before the port returns to healthy and the
+  /// episode's attempt counter resets. Short streaks keep the attempt count
+  /// (and therefore the backoff) growing — no flap-looping.
+  int probation_windows = 8;
+
+  /// Post-join grace. When a device adopts a join-sized forward jump (a
+  /// partition heals, a quarantined subtree re-joins, an operator sets the
+  /// counter), every peer that has not heard the announce wave yet looks
+  /// stale and sibling ports transiently diverge — the max-discipline
+  /// converging, not damage. Windows overlapping this long a shadow after
+  /// the device's last such jump skip the staleness and sibling signals;
+  /// the counter-stall signal stays live (a frozen register is frozen
+  /// regardless of who jumped).
+  fs_t jump_shadow = from_us(10);
+};
+
 }  // namespace dtpsim::dtp

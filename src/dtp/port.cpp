@@ -105,8 +105,10 @@ void PortLogic::clear_fault() {
 
 void PortLogic::handle_link_down() {
   set_state(PortState::kDown);
-  // The measured delay belongs to the old cable; a reconnection re-measures.
+  // The measured delay belongs to the old cable; a reconnection re-measures
+  // from scratch — no reinit ceiling either, the new cable may be shorter.
   owd_units_.reset();
+  prior_owd_.reset();
   init_echo_wait_.reset();
   auto& sim = agent_.simulator();
   sim.cancel(beacon_timer_);
@@ -117,7 +119,73 @@ void PortLogic::handle_link_down() {
 }
 
 WideCounter PortLogic::local_at(fs_t t) const {
-  return local_.at_tick(agent_.device().oscillator().tick_at(t));
+  return lc_at_tick(agent_.device().oscillator().tick_at(t));
+}
+
+WideCounter PortLogic::lc_at_tick(std::int64_t tick) const {
+  if (counter_frozen_) return *frozen_value_;
+  return local_.at_tick(tick);
+}
+
+WideCounter PortLogic::tx_global(std::int64_t tx_tick) const {
+  if (counter_frozen_) return *frozen_gc_;
+  return agent_.global_at_tick(tx_tick);
+}
+
+void PortLogic::local_set(std::int64_t tick, const WideCounter& v) {
+  if (counter_frozen_) return;  // a stuck register ignores writes
+  local_.set(tick, v);
+}
+
+unsigned __int128 PortLogic::local_fast_forward(std::int64_t tick,
+                                                const WideCounter& v) {
+  if (counter_frozen_) return 0;
+  return local_.fast_forward(tick, v);
+}
+
+void PortLogic::set_counter_frozen(bool frozen) {
+  if (frozen == counter_frozen_) return;
+  const std::int64_t tick =
+      agent_.device().oscillator().tick_at(agent_.simulator().now());
+  if (frozen) {
+    frozen_value_ = local_.at_tick(tick);
+    frozen_gc_ = agent_.global_at_tick(tick);
+    counter_frozen_ = true;
+    return;
+  }
+  counter_frozen_ = false;
+  // The register resumes counting from the latched value: re-anchor lc so
+  // the port wakes up exactly as far behind as the freeze lasted. Recovery
+  // is the watchdog's job (quarantine blocks beacons; re-INIT + join).
+  local_.set(tick, *frozen_value_);
+  frozen_value_.reset();
+  frozen_gc_.reset();
+}
+
+void PortLogic::quarantine(fs_t now) {
+  if (state_ == PortState::kFaulty) return;
+  set_state(PortState::kFaulty);
+  faulted_at_ = now;
+}
+
+void PortLogic::reinit() {
+  jump_detector_.reset();
+  // Keep the old measurement as a ceiling for the redo (see handle_init_ack):
+  // the cable did not get shorter while the port sat quarantined.
+  if (owd_units_) prior_owd_ = owd_units_;
+  owd_units_.reset();
+  init_echo_wait_.reset();
+  consecutive_filtered_ = 0;
+  auto& sim = agent_.simulator();
+  sim.cancel(beacon_timer_);
+  sim.bridge_cancel(beacon_step_);
+  beacon_step_ = {};
+  sim.cancel(init_retry_);
+  if (!port_.link_up()) {
+    set_state(PortState::kDown);
+    return;
+  }
+  send_init();
 }
 
 // T0: lc <- gc; send (INIT, lc). The counter is stamped at the instant the
@@ -125,8 +193,8 @@ WideCounter PortLogic::local_at(fs_t t) const {
 void PortLogic::send_init() {
   set_state(PortState::kInitWait);
   port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
-    local_.set(tx_tick, agent_.global_at_tick(tx_tick));
-    init_echo_wait_ = local_.at_tick(tx_tick);
+    local_set(tx_tick, agent_.global_at_tick(tx_tick));
+    init_echo_wait_ = lc_at_tick(tx_tick);
     ++stats_.inits_sent;
     return encode_bits({MessageType::kInit, init_echo_wait_->lsb53()},
                        agent_.params().parity);
@@ -206,12 +274,30 @@ void PortLogic::handle_init_ack(const Message& m, std::int64_t rx_tick) {
   const std::uint64_t mask = (1ULL << bits) - 1;
   if ((m.payload & mask) != (init_echo_wait_->lsb53() & mask)) return;  // stale echo
 
-  const WideCounter lc_now = local_.at_tick(rx_tick);
+  const WideCounter lc_now = lc_at_tick(rx_tick);
   const __int128 rtt_units = lc_now.diff(*init_echo_wait_);
   const auto alpha_units = static_cast<__int128>(agent_.params().alpha_ticks) *
                            agent_.params().counter_delta;
   const __int128 d = (rtt_units - alpha_units) / 2;
-  owd_units_ = static_cast<std::int64_t>(std::max<__int128>(d, 0));
+  if (d <= 0 && prior_owd_) {
+    // Physically impossible (true RTT >= 2d + alpha): the local counter sat
+    // frozen across the exchange, so the echo timed itself. Keep the prior
+    // measurement — the cable is what it was.
+    owd_units_ = prior_owd_;
+  } else {
+    owd_units_ = static_cast<std::int64_t>(std::max<__int128>(d, 0));
+    // Watchdog re-INIT on a live link: the ACK may have sat behind an MTU
+    // frame, and that wait lands squarely in the measured RTT. Queueing only
+    // ever adds, so the fresh d can overestimate but never undershoot the
+    // quiet-line truth — and an overestimate is the poisonous direction (it
+    // sets lc ahead of the peer's real counter and max-discipline spreads
+    // the phantom time network-wide). Cap the remeasure at the pre-reinit
+    // value; an underestimate merely makes this port lag a few ticks, which
+    // the max-discipline absorbs.
+    if (prior_owd_ && *prior_owd_ > 0)
+      owd_units_ = std::min(*owd_units_, *prior_owd_);
+  }
+  prior_owd_.reset();
   init_echo_wait_.reset();
   agent_.simulator().cancel(init_retry_);
   set_state(PortState::kSynced);
@@ -269,7 +355,7 @@ void PortLogic::bridge_fire_beacon() {
   if (p.msb_every_n_beacons > 0) ++beacons_since_msb_;
   schedule_beacon();
   port_.fuse_fire_control([this](fs_t, std::int64_t tx_tick) {
-    const WideCounter gc = agent_.global_at_tick(tx_tick);
+    const WideCounter gc = tx_global(tx_tick);
     ++stats_.beacons_sent;
     return encode_bits({MessageType::kBeacon, gc.lsb53()}, agent_.params().parity);
   });
@@ -278,7 +364,7 @@ void PortLogic::bridge_fire_beacon() {
 void PortLogic::send_beacon() {
   if (state_ != PortState::kSynced) return;
   port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
-    const WideCounter gc = agent_.global_at_tick(tx_tick);
+    const WideCounter gc = tx_global(tx_tick);
     ++stats_.beacons_sent;
     return encode_bits({MessageType::kBeacon, gc.lsb53()}, agent_.params().parity);
   });
@@ -290,7 +376,7 @@ void PortLogic::send_beacon() {
       ++beacons_since_msb_ >= agent_.params().msb_every_n_beacons) {
     beacons_since_msb_ = 0;
     port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
-      const WideCounter gc = agent_.global_at_tick(tx_tick);
+      const WideCounter gc = tx_global(tx_tick);
       ++stats_.msbs_sent;
       return encode_bits({MessageType::kBeaconMsb, gc.msb53()}, agent_.params().parity);
     });
@@ -301,6 +387,7 @@ void PortLogic::send_beacon() {
 // T4: lc <- max(lc, c + d), guarded by the Section 3.2 filters.
 void PortLogic::handle_beacon(const Message& m, std::int64_t rx_tick, bool join) {
   if (state_ == PortState::kFaulty) return;
+  if (counter_frozen_) return;  // a stuck register cannot latch a beacon
   if (!owd_units_) return;  // cannot apply a beacon before d is measured
 
   const DtpParams& p = agent_.params();
@@ -331,7 +418,7 @@ void PortLogic::handle_beacon(const Message& m, std::int64_t rx_tick, bool join)
     // lc is the running estimate of the *parent's* counter: it tracks in
     // both directions (monotonicity of the device clock is gc's job, via
     // fast-forward plus the stall ceiling).
-    local_.set(rx_tick, target);
+    local_set(rx_tick, target);
     agent_.parent_update(rx_tick, target);
     ++stats_.adjustments;
     return;
@@ -342,6 +429,16 @@ void PortLogic::handle_beacon(const Message& m, std::int64_t rx_tick, bool join)
     // the device's global counter — the value this device transmits and the
     // only reference that stays valid across join-sized adjustments.
     const __int128 gdiff = target.diff(gc_now);
+    // Watchdog plausibility gate: count implausibly *stale* implied deltas
+    // before the range filter, so sub-range lies (silent corruption at -4),
+    // range-filtered outliers and stale frozen peers all feed one per-window
+    // signal. Only the negative side counts: under max-discipline a positive
+    // surprise is legitimate (someone's oscillator runs fast — that is the
+    // protocol working), and an inflated counter propagating through healthy
+    // devices arrives as a positive delta — counting it would let one lying
+    // link strike its innocent neighbors.
+    if (plausibility_gate_units_ > 0 && gdiff < -plausibility_gate_units_)
+      ++wd_gate_events_;
     if (gdiff > limit || gdiff < -limit) {
       ++stats_.filtered_range;
       // Random bit errors are filtered one at a time; a *run* of filtered
@@ -417,7 +514,7 @@ void PortLogic::send_join() {
   if (auto* tr = obs_hub_ != nullptr ? obs_hub_->trace() : nullptr)
     tr->instant(obs_track_, agent_.simulator().now(), "JOIN tx");
   port_.request_control_slot([this](fs_t, std::int64_t tx_tick) {
-    const WideCounter gc = agent_.global_at_tick(tx_tick);
+    const WideCounter gc = tx_global(tx_tick);
     return encode_bits({MessageType::kBeaconJoin, gc.lsb53()}, agent_.params().parity);
   });
 }

@@ -125,6 +125,41 @@ class PortLogic {
   /// Inspection: the sliding-window fault detector for this port's peer.
   const JumpDetector& jump_detector() const { return jump_detector_; }
 
+  // --- HealthWatchdog surface (DESIGN.md §15) ------------------------------
+
+  /// Plausibility gate on implied beacon deltas, in counter units; 0 (the
+  /// default) disables. When set, handle_beacon counts every beacon whose
+  /// implied delta is more negative than -gate — *before* the range filter
+  /// and the monotonicity clamp, so sub-threshold lies and range-filtered
+  /// stale outliers are both visible to the watchdog. Only staleness counts;
+  /// positive surprises are the max-discipline working (see handle_beacon).
+  void set_plausibility_gate(std::int64_t units) {
+    plausibility_gate_units_ = units;
+  }
+  /// Cumulative gate events (the watchdog differences these per window).
+  std::uint64_t wd_gate_events() const { return wd_gate_events_; }
+
+  /// Gray-fault seam (chaos kFrozenCounter): freeze the port's counter
+  /// register. While frozen, lc reads return the value latched at the freeze
+  /// instant, incoming beacons cannot advance it, and transmitted beacons
+  /// carry the latched gc — exactly a stuck hardware register on a device
+  /// that otherwise lives. Unfreezing resumes counting from the latched
+  /// value, leaving the port as far behind as the freeze lasted.
+  void set_counter_frozen(bool frozen);
+  bool counter_frozen() const { return counter_frozen_; }
+
+  /// Watchdog remediation: quarantine this port (kFaulty, stops beaconing
+  /// and ignores received beacons) without tripping the jump detector.
+  /// `now` anchors the fault cooldown like a detector trip would.
+  void quarantine(fs_t now);
+
+  /// Watchdog remediation: full protocol restart — forget the measured
+  /// delay, the detector state and the filters, then re-run INIT (kDown if
+  /// the link is physically down). Unlike clear_fault() this re-measures d:
+  /// the watchdog calls it when the *measurement itself* is suspect
+  /// (asymmetric delay), which clear_fault deliberately preserves.
+  void reinit();
+
   /// Attach trace instrumentation (obs::Session wiring); null detaches.
   /// `track` is the owning device's interned TraceSink track. Only stores
   /// the pointer — safe with an incomplete Hub.
@@ -160,6 +195,18 @@ class PortLogic {
   /// trace instant when observability is attached.
   void set_state(PortState s);
 
+  /// lc read honoring the frozen-counter seam (the stuck register reads the
+  /// latched value). Every internal lc read goes through here.
+  WideCounter lc_at_tick(std::int64_t tick) const;
+  /// gc value stamped into transmitted beacons/joins/MSBs — the latched gc
+  /// while frozen, the live device counter otherwise.
+  WideCounter tx_global(std::int64_t tx_tick) const;
+  /// Freeze-honoring lc writes; the Agent routes its device-wide counter
+  /// pushes (sync_locals_to_global, force_global) through these instead of
+  /// touching local_ directly, so a frozen register stays frozen.
+  void local_set(std::int64_t tick, const WideCounter& v);
+  unsigned __int128 local_fast_forward(std::int64_t tick, const WideCounter& v);
+
   Agent& agent_;
   phy::PhyPort& port_;
   std::size_t index_;
@@ -167,6 +214,7 @@ class PortLogic {
 
   TickCounter local_;
   std::optional<std::int64_t> owd_units_;
+  std::optional<std::int64_t> prior_owd_;      ///< pre-reinit d, caps the remeasure
   std::optional<WideCounter> init_echo_wait_;  ///< lc value sent in our INIT
   std::uint64_t last_peer_msb_ = 0;
   std::int64_t beacons_since_msb_ = 0;
@@ -174,6 +222,11 @@ class PortLogic {
   std::int64_t consecutive_filtered_ = 0;
   JumpDetector jump_detector_;
   fs_t faulted_at_ = 0;  ///< when the detector last tripped (cooldown anchor)
+  std::int64_t plausibility_gate_units_ = 0;  ///< watchdog gate; 0 = off
+  std::uint64_t wd_gate_events_ = 0;          ///< |gdiff| > gate occurrences
+  bool counter_frozen_ = false;               ///< chaos kFrozenCounter seam
+  std::optional<WideCounter> frozen_value_;   ///< lc latched at freeze
+  std::optional<WideCounter> frozen_gc_;      ///< gc latched at freeze (tx)
   PortStats stats_;
   sim::EventHandle beacon_timer_;
   sim::Simulator::BridgeToken beacon_step_;  ///< bridged-mode beacon timer

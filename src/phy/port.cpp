@@ -285,6 +285,30 @@ void Cable::grow_ring() {
 
 PhyPort& Cable::other_side(const PhyPort& from) { return &from == &a_ ? b_ : a_; }
 
+int Cable::check_dir(int dir) {
+  if (dir != 0 && dir != 1)
+    throw std::invalid_argument("Cable: direction must be 0 (a->b) or 1 (b->a)");
+  return dir;
+}
+
+void Cable::set_extra_delay(int dir, fs_t extra) {
+  if (extra < 0) throw std::invalid_argument("Cable: negative extra delay");
+  extra_delay_[check_dir(dir)] = extra;
+}
+
+void Cable::set_tx_stall(int dir, double prob, fs_t stall) {
+  if (prob < 0.0 || prob > 1.0 || stall < 0)
+    throw std::invalid_argument("Cable: tx stall needs prob in [0,1], stall >= 0");
+  stall_prob_[check_dir(dir)] = prob;
+  stall_[dir] = stall;
+}
+
+void Cable::set_silent_corrupt(int dir, double prob) {
+  if (prob < 0.0 || prob > 1.0)
+    throw std::invalid_argument("Cable: silent-corrupt prob must be in [0,1]");
+  silent_corrupt_[check_dir(dir)] = prob;
+}
+
 void Cable::transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end) {
   const int dir = direction_of(from);
   Rng& rng = dir == 0 ? rng_ab_ : rng_ba_;
@@ -304,8 +328,22 @@ void Cable::transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end) {
       bits56 ^= (1ULL << rng.uniform(56));  // flip one payload bit
     }
   }
+  if (silent_corrupt_[dir] > 0.0 && rng.bernoulli(silent_corrupt_[dir])) {
+    // Gray fault: flip one low counter bit (payload bits sit at [55:3], so
+    // bits 5..6 are counter bits 2..3 — a +-4/+-8 tick lie). Deliberately
+    // does NOT set `corrupted`: the damage survives framing, so the DTP
+    // sublayer sees a well-formed message carrying a wrong value.
+    bits56 ^= (1ULL << (5 + rng.uniform(2)));
+  }
   PhyPort& to = other_side(from);
-  const fs_t arrival = tx_end + params_.propagation_delay;
+  fs_t arrival = tx_end + params_.propagation_delay + extra_delay_[dir];
+  if (stall_prob_[dir] > 0.0 && rng.bernoulli(stall_prob_[dir]))
+    arrival += stall_[dir];
+  // The lane is FIFO: a stalled block holds its successors behind it, so a
+  // later block never overtakes an earlier one. No-op when the seams are off
+  // (serialization already makes per-direction arrivals monotone).
+  if (arrival < last_control_arrival_[dir]) arrival = last_control_arrival_[dir];
+  last_control_arrival_[dir] = arrival;
   const std::uint64_t key =
       (static_cast<std::uint64_t>(dir_id_[dir]) << 32) | tx_seq_[dir]++;
   if (sim_.bridged()) {

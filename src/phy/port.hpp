@@ -265,6 +265,28 @@ class Cable {
   void set_control_drop(double p) { control_drop_ = p; }
   double control_drop() const { return control_drop_; }
 
+  // --- Gray-failure seams (chaos: asymmetric_delay / limping_port /
+  // silent_corruption). All are per-direction (0 = a->b, 1 = b->a) and act
+  // on the control path only — they model a degraded transceiver lane, not
+  // an unplugged cable, so nothing here trips link-down or the BER decoder.
+  // Extra delay and stalls only ever *increase* an arrival time, which keeps
+  // the parallel engine's registered-edge lookahead conservative.
+
+  /// One direction of the cable gains constant extra latency, silently
+  /// biasing the symmetric-propagation assumption behind measured OWD.
+  void set_extra_delay(int dir, fs_t extra);
+  fs_t extra_delay(int dir) const { return extra_delay_[check_dir(dir)]; }
+
+  /// Intermittent TX stalls: with probability `prob`, a control block is
+  /// held for `stall` before it starts propagating (a limping serializer).
+  /// Stalled blocks never overtake later ones — the line is FIFO.
+  void set_tx_stall(int dir, double prob, fs_t stall);
+
+  /// With probability `prob`, flip one low bit of the counter field in the
+  /// 56-bit payload. Unlike the BER path the block is NOT flagged corrupted:
+  /// the damage survives framing and reaches the DTP sublayer as truth.
+  void set_silent_corrupt(int dir, double prob);
+
   /// Cumulative corrupted / dropped transmissions (diagnostics; summed over
   /// both directions — each direction keeps its own counter because the two
   /// endpoints may transmit from different worker threads).
@@ -286,6 +308,7 @@ class Cable {
   /// counters, and (edge, message) key sequence, so the two endpoints can
   /// transmit concurrently from their own shards.
   int direction_of(const PhyPort& from) const { return &from == &a_ ? 0 : 1; }
+  static int check_dir(int dir);
   /// Move one control block across; applies BER and schedules delivery.
   void transmit_control(PhyPort& from, std::uint64_t bits56, fs_t tx_end);
   /// Move one frame across; applies BER and schedules delivery.
@@ -311,6 +334,11 @@ class Cable {
   std::uint32_t tx_seq_[2] = {};   ///< per-direction message index (key low bits)
   bool connected_ = true;
   double control_drop_ = 0.0;
+  fs_t extra_delay_[2] = {};          ///< gray: constant one-way delay bias
+  double stall_prob_[2] = {};         ///< gray: limping-port stall probability
+  fs_t stall_[2] = {};                ///< gray: per-stall hold time
+  double silent_corrupt_[2] = {};     ///< gray: unflagged counter-bit flips
+  fs_t last_control_arrival_[2] = {};  ///< FIFO clamp under stalls/delay
   std::vector<sim::EventHandle> ring_;  ///< in-flight deliveries (power-of-two)
   std::size_t ring_head_ = 0;
   std::size_t ring_count_ = 0;

@@ -8,6 +8,7 @@
 #include "chaos/serialize.hpp"
 #include "dtp/hierarchy.hpp"
 #include "dtp/network.hpp"
+#include "dtp/watchdog.hpp"
 #include "net/topology.hpp"
 #include "obs/session.hpp"
 #include "sim/simulator.hpp"
@@ -126,12 +127,23 @@ CampaignResult run_campaign(const StressSpec& spec, const ObsOptions* obs) {
   for (const auto& f : spec.faults) plan.add(chaos::realize(f, net));
   if (!plan.faults.empty()) engine.schedule(plan);
 
+  // Gray-failure watchdog (DESIGN.md §15): seeded from the sim seed so the
+  // backoff-jitter stream replays bit-identically from the repro file.
+  std::unique_ptr<dtp::HealthWatchdog> watchdog;
+  if (spec.gray) {
+    watchdog = std::make_unique<dtp::HealthWatchdog>(net, dtp,
+                                                     dtp::WatchdogParams{},
+                                                     spec.sim_seed);
+    if (session) watchdog->set_obs(&session->hub());
+  }
+
   check::SentinelParams sp;
   if (spec.sample_period > 0) sp.sample_period = spec.sample_period;
   if (spec.offset_bound_ticks > 0) sp.offset_bound_ticks = spec.offset_bound_ticks;
   check::Sentinel sentinel(net, dtp, sp);
   if (session) sentinel.set_obs(&session->hub());
   if (spec.hier) sentinel.set_hierarchy(&hierarchy);
+  if (watchdog) sentinel.set_watchdog(watchdog.get());
   for (const auto& f : spec.faults)
     sentinel.add_blackout(f.at - 2 * sp.sample_period,
                           fault_end(f) + recovery_margin(f.kind));

@@ -78,6 +78,7 @@ double spec_size(const StressSpec& s) {
   size += static_cast<double>(s.horizon) / static_cast<double>(from_ms(1));
   size += 2.0 * s.threads + s.n_flows + (s.bridged ? 2.0 : 0.0);
   size += s.hier ? 25.0 : 0.0;  // shrinker: drop the hierarchy when it can
+  size += s.gray ? 25.0 : 0.0;  // ... and the watchdog
   return size;
 }
 
@@ -172,6 +173,7 @@ std::string to_text(const StressSpec& s) {
   if (s.hier || s.hier_holdover_ceiling != 0)
     out << "hier enabled=" << (s.hier ? 1 : 0)
         << " ceiling=" << s.hier_holdover_ceiling << "\n";
+  if (s.gray) out << "gray enabled=1\n";
   for (const auto& f : s.faults) out << chaos::fault_to_line(f) << "\n";
   out << "end\n";
   return out.str();
@@ -249,6 +251,9 @@ StressSpec spec_from_text(const std::string& text) {
       // Optional — absent in pre-hierarchy repro files.
       s.hier = parse_u64("enabled", take(kv, section, "enabled")) != 0;
       s.hier_holdover_ceiling = parse_i64("ceiling", take(kv, section, "ceiling"));
+    } else if (section == "gray") {
+      // Optional — absent in pre-watchdog repro files.
+      s.gray = parse_u64("enabled", take(kv, section, "enabled")) != 0;
     } else {
       throw std::invalid_argument("stress: unknown section '" + section + "'");
     }
@@ -346,6 +351,14 @@ fs_t recovery_margin(chaos::FaultKind kind) {
     case chaos::FaultKind::kNodeCrash:
     case chaos::FaultKind::kPortFail:
       return from_us(1500);  // INIT restart + join propagation
+    case chaos::FaultKind::kAsymmetricDelay:
+    case chaos::FaultKind::kLimpingPort:
+    case chaos::FaultKind::kSilentCorruption:
+    case chaos::FaultKind::kFrozenCounter:
+      // The watchdog ladder runs past the heal: a pending exponential
+      // backoff (a few doublings of the 200us base), the re-INIT exchange,
+      // and a full clean probation before the port counts as recovered.
+      return from_ms(3);
     default:
       return from_ms(1);
   }
@@ -497,6 +510,45 @@ StressSpec generate(std::uint64_t seed, std::uint32_t index, const StressLimits&
         f.count = 2 + static_cast<int>(r.uniform(3));
         f.period = from_us(static_cast<std::int64_t>(80 + r.uniform(120)));
         f.magnitude = 5;  // alternate (worse) advertised stratum
+      }
+      last_recovery = std::max(last_recovery, fault_end(f) + recovery_margin(f.kind));
+      s.faults.push_back(std::move(f));
+    }
+  }
+
+  // Gray-failure slice: drawn strictly after the hierarchy slice so existing
+  // (seed, index) pairs keep every earlier field bit-identical. Turning it on
+  // arms the per-port watchdog; half the time one gray fault rides along on a
+  // random link. Magnitudes track the canonical gray campaign's: big enough
+  // that the staleness clears the default plausibility gate, small enough
+  // that the range filter still bounds every lie.
+  if (limits.allow_gray && r.bernoulli(0.25)) {
+    s.gray = true;
+    if (s.faults.size() < limits.max_faults && r.bernoulli(0.5)) {
+      chaos::FaultDescriptor f;
+      const auto& [a, b] = links[r.uniform(links.size())];
+      f.a = a;
+      f.b = b;
+      f.at = s.settle + from_us(200) +
+             from_ns(static_cast<std::int64_t>(r.uniform(600'000)));
+      f.duration = from_us(static_cast<std::int64_t>(200 + r.uniform(601)));
+      switch (r.uniform(4)) {
+        case 0:
+          f.kind = chaos::FaultKind::kAsymmetricDelay;
+          f.period = from_ns(static_cast<std::int64_t>(45 + r.uniform(76)));
+          break;
+        case 1:
+          f.kind = chaos::FaultKind::kLimpingPort;
+          f.magnitude = r.uniform_real(0.2, 0.5);
+          f.period = from_ns(static_cast<std::int64_t>(60 + r.uniform(91)));
+          break;
+        case 2:
+          f.kind = chaos::FaultKind::kSilentCorruption;
+          f.magnitude = r.uniform_real(0.5, 0.9);
+          break;
+        default:
+          f.kind = chaos::FaultKind::kFrozenCounter;
+          break;
       }
       last_recovery = std::max(last_recovery, fault_end(f) + recovery_margin(f.kind));
       s.faults.push_back(std::move(f));

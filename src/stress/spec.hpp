@@ -67,6 +67,16 @@ struct StressSpec {
   bool hier = false;
   fs_t hier_holdover_ceiling = 0;  ///< 0 = HierarchyParams default
 
+  // --- Gray-failure tier (DESIGN.md §15) -------------------------------------
+  /// When set, the campaign arms a per-port `HealthWatchdog` with default
+  /// parameters on top of DTP and folds its ladder counters into the run
+  /// digest, so the serial-vs-parallel differential covers detection and
+  /// remediation too. Gray fault classes (asymmetric_delay, limping_port,
+  /// silent_corruption, frozen_counter) are only generated when this is on;
+  /// without the watchdog they would degrade a port with nobody assigned to
+  /// notice.
+  bool gray = false;
+
   // --- Fault schedule --------------------------------------------------------
   std::vector<chaos::FaultDescriptor> faults;
 
@@ -102,6 +112,7 @@ struct StressLimits {
   bool allow_parallel = true;
   bool allow_bridged = true;
   bool allow_hier = true;
+  bool allow_gray = true;
 };
 
 /// Host (traffic endpoint) count implied by the topology fields — the

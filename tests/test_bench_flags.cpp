@@ -63,6 +63,46 @@ TEST(BenchFlags, WellFormedValuesParseAndMissingFallsBack) {
   EXPECT_EQ(f.get_int("missing", 5), 5);
 }
 
+TEST(BenchFlags, ParseDurationAcceptsEveryUnitSuffix) {
+  using dtpsim::parse_duration;
+  EXPECT_EQ(parse_duration("50ns"), dtpsim::from_ns(50));
+  EXPECT_EQ(parse_duration("1.5us"), dtpsim::from_ns(1500));
+  EXPECT_EQ(parse_duration("2ms"), dtpsim::from_ms(2));
+  EXPECT_EQ(parse_duration("0.25s"), dtpsim::from_ms(250));
+}
+
+TEST(BenchFlags, ParseDurationIsStrict) {
+  using dtpsim::parse_duration;
+  // A bare number is ambiguous — seconds? ticks? — so the suffix is
+  // mandatory, and the whole string must be consumed.
+  EXPECT_THROW(parse_duration(""), std::invalid_argument);
+  EXPECT_THROW(parse_duration("50"), std::invalid_argument);
+  EXPECT_THROW(parse_duration("ms"), std::invalid_argument);
+  EXPECT_THROW(parse_duration("50 ms"), std::invalid_argument);  // inner space
+  EXPECT_THROW(parse_duration("50msx"), std::invalid_argument);
+  EXPECT_THROW(parse_duration("50m"), std::invalid_argument);  // minutes? milli?
+  // Durations configure timers and windows: zero and negative are nonsense.
+  EXPECT_THROW(parse_duration("0ms"), std::invalid_argument);
+  EXPECT_THROW(parse_duration("-3us"), std::invalid_argument);
+}
+
+TEST(BenchFlags, GetDurationParsesAndFallsBack) {
+  const Flags f = make_flags({"--wd-check-period=50us"});
+  EXPECT_EQ(f.get_duration("wd-check-period", dtpsim::from_ms(1)),
+            dtpsim::from_us(50));
+  EXPECT_EQ(f.get_duration("missing", dtpsim::from_ms(1)), dtpsim::from_ms(1));
+}
+
+TEST(BenchFlagsDeathTest, MalformedDurationExitsWithDiagnostic) {
+  // "--wd-backoff=200" (no unit) silently meaning 200 fs — or falling back
+  // to the default while the JSON row claims 200 — is the exact corruption
+  // mode the strict parser exists to kill.
+  const Flags f = make_flags({"--wd-backoff=200"});
+  EXPECT_EXIT(f.get_duration("wd-backoff", dtpsim::from_us(200)),
+              testing::ExitedWithCode(2),
+              "--wd-backoff=200 is not a duration with a unit suffix");
+}
+
 TEST(BenchFlagsDeathTest, MalformedDoubleExitsWithDiagnostic) {
   const Flags f = make_flags({"--seconds=2,5"});
   EXPECT_EXIT(f.get_double("seconds", 9.0), testing::ExitedWithCode(2),

@@ -202,6 +202,57 @@ TEST(ChaosEngine, UnknownLinkInPlanThrows) {
   EXPECT_THROW(engine.schedule(plan), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Gray-failure named constructors (DESIGN.md §15): every malformed spec must
+// fail loudly at construction or scheduling time — a gray fault that half
+// injects IS the gray failure mode the tier exists to kill.
+
+TEST(ChaosGray, NamedConstructorsRejectMalformedSpecs) {
+  Chain c(59, chaos::CanonicalCampaign::dtp_params());
+
+  // Zero / negative windows.
+  EXPECT_THROW(chaos::FaultSpec::asymmetric_delay(*c.a, *c.s, 1_ms, 0, from_ns(50)),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::FaultSpec::limping_port(*c.a, *c.s, 1_ms, -1_ms, 0.3, from_ns(80)),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::FaultSpec::silent_corruption(*c.a, *c.s, 1_ms, 0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::FaultSpec::frozen_counter(*c.a, *c.s, 1_ms, -1),
+               std::invalid_argument);
+
+  // Degenerate magnitudes.
+  EXPECT_THROW(chaos::FaultSpec::asymmetric_delay(*c.a, *c.s, 1_ms, 1_ms, 0),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::FaultSpec::asymmetric_delay(*c.a, *c.s, 1_ms, 1_ms, -from_ns(50)),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::FaultSpec::limping_port(*c.a, *c.s, 1_ms, 1_ms, 1.5, from_ns(80)),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::FaultSpec::limping_port(*c.a, *c.s, 1_ms, 1_ms, 0.3, 0),
+               std::invalid_argument);
+  EXPECT_THROW(chaos::FaultSpec::silent_corruption(*c.a, *c.s, 1_ms, 1_ms, -0.1),
+               std::invalid_argument);
+}
+
+TEST(ChaosGray, ScheduleRejectsUncabledGrayFaults) {
+  Chain c(60, chaos::CanonicalCampaign::dtp_params());
+  chaos::ChaosEngine engine(c.net, c.dtp, chaos::CanonicalCampaign::chaos_params());
+  // a and b are two hops apart — no direct cable, so the direction the spec
+  // names does not exist.
+  chaos::FaultPlan plan;
+  plan.add(chaos::FaultSpec::frozen_counter(*c.a, *c.b, 1_ms, 1_ms));
+  EXPECT_THROW(engine.schedule(plan), std::invalid_argument);
+}
+
+TEST(ChaosGray, SourceFaultWithoutHierarchyThrows) {
+  Chain c(61, chaos::CanonicalCampaign::dtp_params());
+  chaos::ChaosEngine engine(c.net, c.dtp, chaos::CanonicalCampaign::chaos_params());
+  // No set_hierarchy(): scheduling a source-kind fault must fail loudly, not
+  // silently skip the injection.
+  chaos::FaultPlan plan;
+  plan.add(chaos::FaultSpec::gps_loss(*c.a, 1_ms, 1_ms));
+  EXPECT_THROW(engine.schedule(plan), std::invalid_argument);
+}
+
 TEST(ChaosEngine, PcieStormRejectedThenRecovered) {
   sim::Simulator sim(58);
   net::Network net(sim);

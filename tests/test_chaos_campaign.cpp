@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <iostream>
+#include <memory>
 
 #include "chaos/campaign.hpp"
 #include "chaos/engine.hpp"
 #include "check/sentinel.hpp"
 #include "dtp/hierarchy.hpp"
+#include "dtp/watchdog.hpp"
 #include "net/frame.hpp"
 
 /// The canonical chaos campaign (chaos/campaign.hpp) on the paper's Fig. 5
@@ -251,6 +253,169 @@ TEST(ChaosCampaign, SourceCampaignDeterministicAcrossThreads) {
   const Fingerprint serial = fingerprint(1);
   EXPECT_EQ(serial, fingerprint(2)) << "2-thread run diverged from serial";
   EXPECT_EQ(serial, fingerprint(4)) << "4-thread run diverged from serial";
+}
+
+/// The canonical *gray-failure* campaign (chaos::GrayCampaign): asymmetric
+/// delay, limping port, silent corruption, frozen counter — partial faults
+/// the loud detectors cannot see, detected and remediated by the per-port
+/// HealthWatchdog's escalation ladder (DESIGN.md §15).
+struct GrayRun {
+  sim::Simulator sim;
+  net::Network net;
+  net::PaperTreeTopology tree;
+  dtp::DtpNetwork dtp;
+  std::unique_ptr<dtp::HealthWatchdog> watchdog;
+
+  explicit GrayRun(std::uint64_t seed, unsigned threads = 1,
+                   dtp::WatchdogParams wp = chaos::GrayCampaign::watchdog_params())
+      : sim(seed),
+        net(sim, chaos::GrayCampaign::net_params()),
+        tree(net::build_paper_tree(net)) {
+    dtp = dtp::enable_dtp(net, chaos::GrayCampaign::dtp_params());
+    chaos::CanonicalCampaign::start_heavy_load(net, tree, net::kMtuFrameBytes);
+    watchdog = std::make_unique<dtp::HealthWatchdog>(net, dtp, wp, seed);
+    if (threads > 1) sim.set_threads(threads);
+  }
+};
+
+TEST(ChaosCampaign, GrayCampaignDetectsAndRemediatesAllClasses) {
+  GrayRun run(77);
+  check::Sentinel sentinel(run.net, run.dtp);
+  sentinel.set_watchdog(run.watchdog.get());
+  chaos::ChaosEngine engine(run.net, run.dtp, chaos::GrayCampaign::chaos_params());
+  const fs_t t0 = chaos::GrayCampaign::settle_time();
+  for (const auto& [from, until] : chaos::GrayCampaign::blackouts(t0))
+    sentinel.add_blackout(from, until);
+  const chaos::FaultPlan plan = chaos::GrayCampaign::plan(run.tree, t0);
+  engine.schedule(plan);
+  run.sim.run_until(chaos::GrayCampaign::end_time(t0));
+  ASSERT_TRUE(engine.all_probes_done()) << "a gray-fault probe never reported";
+
+  const chaos::CampaignReport& report = engine.report();
+  for (const char* cls : {"asymmetric_delay", "limping_port",
+                          "silent_corruption", "frozen_counter"}) {
+    const chaos::ClassSummary c = report.summary(cls);
+    EXPECT_EQ(c.n, 1) << cls;
+    EXPECT_EQ(c.converged, c.n) << cls << " did not reconverge after remediation";
+  }
+
+  // Detection: every fault window produced a suspicion, and every suspicion
+  // lies inside some fault window (+ remediation margin) — a suspicion on
+  // clean hardware is a false positive. Remediation: each suspected port
+  // walked the ladder (quarantined at least once), finished HEALTHY with the
+  // episode closed, and nothing escalated to a disable.
+  std::size_t remediated = 0;
+  std::vector<int> window_hits(plan.faults.size(), 0);
+  for (std::size_t i = 0; i < run.watchdog->watch_count(); ++i) {
+    const dtp::WatchdogPortStats& ws = run.watchdog->watch_stats(i);
+    if (ws.suspects == 0) continue;
+    bool in_window = false;
+    for (std::size_t f = 0; f < plan.faults.size(); ++f) {
+      const chaos::FaultSpec& spec = plan.faults[f];
+      if (ws.first_suspected_at >= spec.at &&
+          ws.first_suspected_at < spec.at + spec.duration + 3_ms) {
+        in_window = true;
+        ++window_hits[f];
+      }
+    }
+    EXPECT_TRUE(in_window) << run.watchdog->watch_label(i)
+                           << " suspected outside every fault window";
+    if (ws.quarantines > 0) ++remediated;
+    EXPECT_EQ(run.watchdog->watch_health(i), dtp::PortHealth::kHealthy)
+        << run.watchdog->watch_label(i) << " never recovered";
+    EXPECT_EQ(ws.attempts, 0) << run.watchdog->watch_label(i)
+                              << " episode still open at the end";
+  }
+  for (std::size_t f = 0; f < plan.faults.size(); ++f)
+    EXPECT_GT(window_hits[f], 0)
+        << chaos::fault_class_name(plan.faults[f].kind) << " was never detected";
+  EXPECT_GE(remediated, 4u) << "fewer victim ports than faults were remediated";
+  EXPECT_EQ(run.watchdog->total_disables(), 0u)
+      << "a transient gray fault must not burn a port";
+
+  // The sentinel's watchdog invariants (attempt ceiling, monotone backoff,
+  // disable finality) are never blacked out and must be clean throughout.
+  EXPECT_GT(sentinel.stats().watchdog_checks, 0u) << "watchdog monitor never ran";
+  EXPECT_TRUE(sentinel.clean()) << [&] {
+    std::string out;
+    for (const auto& v : sentinel.violations()) out += v.to_string() + "\n";
+    return out;
+  }();
+
+  if (HasFailure()) engine.report().print(std::cerr);
+}
+
+TEST(ChaosCampaign, GrayCampaignDeterministicAcrossThreads) {
+  // Detection, quarantine, backoff jitter, re-INIT and probation must be
+  // bit-identical serial vs 2 vs 4 worker threads: the sentinel digest folds
+  // the per-port ladder counters, and the per-watch stats are compared raw.
+  struct Fingerprint {
+    std::string digest;
+    std::vector<double> reconverge;
+    std::vector<std::uint64_t> counters;
+    bool operator==(const Fingerprint&) const = default;
+  };
+  auto fingerprint = [](unsigned threads) {
+    GrayRun run(321, threads);
+    check::Sentinel sentinel(run.net, run.dtp);
+    sentinel.set_watchdog(run.watchdog.get());
+    chaos::ChaosEngine engine(run.net, run.dtp,
+                              chaos::GrayCampaign::chaos_params());
+    const fs_t t0 = chaos::GrayCampaign::settle_time();
+    engine.schedule(chaos::GrayCampaign::plan(run.tree, t0));
+    run.sim.run_until(chaos::GrayCampaign::end_time(t0));
+    Fingerprint fp;
+    fp.digest = sentinel.digest().hex();
+    for (const auto& r : engine.report().results())
+      fp.reconverge.push_back(r.reconverge_beacons);
+    for (std::size_t i = 0; i < run.watchdog->watch_count(); ++i) {
+      const dtp::WatchdogPortStats& ws = run.watchdog->watch_stats(i);
+      fp.counters.push_back(ws.strikes);
+      fp.counters.push_back(ws.quarantines);
+      fp.counters.push_back(ws.reinits);
+      fp.counters.push_back(static_cast<std::uint64_t>(ws.last_backoff));
+    }
+    return fp;
+  };
+  const Fingerprint serial = fingerprint(1);
+  EXPECT_EQ(serial, fingerprint(2)) << "2-thread gray run diverged from serial";
+  EXPECT_EQ(serial, fingerprint(4)) << "4-thread gray run diverged from serial";
+}
+
+TEST(ChaosCampaign, ProbeExcludesWatchdogQuarantinedPorts) {
+  // Regression pin: a watchdog-quarantined port must not count as a neighbor
+  // relation in the recovery probe's measurement. A frozen counter gets both
+  // sides of the leaf6-S3 link quarantined; with the re-INIT backoff pushed
+  // far past the horizon they stay kFaulty for the whole probe window. The
+  // probe must still converge — S3's healthy ports are the measurable
+  // remainder — exactly like rogue isolation, where the quarantined
+  // divergence is the *correct* outcome, not a recovery failure.
+  dtp::WatchdogParams wp = chaos::GrayCampaign::watchdog_params();
+  wp.reinit_backoff = 50_ms;
+  GrayRun run(77, 1, wp);
+  chaos::ChaosEngine engine(run.net, run.dtp, chaos::GrayCampaign::chaos_params());
+  const fs_t t0 = chaos::GrayCampaign::settle_time();
+  chaos::FaultPlan plan;
+  plan.add(chaos::FaultSpec::frozen_counter(*run.tree.leaves[6], *run.tree.aggs[2],
+                                            t0, 2_ms));
+  plan.faults.back().probe_timeout = 5_ms;
+  engine.schedule(plan);
+  run.sim.run_until(t0 + 8_ms);
+  ASSERT_TRUE(engine.all_probes_done());
+
+  // Both victim ports were quarantined and are still parked there.
+  EXPECT_GE(run.watchdog->total_quarantines(), 2u);
+  dtp::Agent* leaf = run.dtp.agent_of(run.tree.leaves[6]);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->port_logic(0).state(), dtp::PortState::kFaulty)
+      << "the frozen leaf's port should still be quarantined";
+  EXPECT_EQ(run.watchdog->total_reinits(), 0u) << "backoff should outlast the run";
+
+  // The probe converged on the healthy remainder despite the live quarantine.
+  const chaos::ClassSummary c = engine.report().summary("frozen_counter");
+  EXPECT_EQ(c.n, 1);
+  EXPECT_EQ(c.converged, 1)
+      << "quarantined ports leaked into the probe's neighbor measurement";
 }
 
 }  // namespace

@@ -152,6 +152,64 @@ TEST(ChaosSerialize, SourceFaultStrictness) {
       std::invalid_argument);
 }
 
+TEST(ChaosSerialize, GrayFaultsRoundTripThroughALiveTopology) {
+  // The four gray-failure kinds (DESIGN.md §15) are link faults riding the
+  // same grammar: direction in a=/b= order, the magnitude knob in mag=
+  // (stall / corruption probability), the latency / stall span in period=.
+  sim::Simulator sim(15);
+  net::Network net(sim);
+  net::PaperTreeTopology topo = net::build_paper_tree(net);
+
+  chaos::FaultPlan plan;
+  plan.add(chaos::FaultSpec::asymmetric_delay(*topo.root, *topo.aggs[0], from_ms(3),
+                                              from_ms(2), from_ns(52)));
+  plan.add(chaos::FaultSpec::limping_port(*topo.leaves[2], *topo.aggs[0], from_ms(6),
+                                          from_ms(2), 0.3, from_ns(90)));
+  plan.add(chaos::FaultSpec::silent_corruption(*topo.leaves[4], *topo.aggs[1],
+                                               from_ms(9), from_ms(2), 0.8));
+  plan.add(chaos::FaultSpec::frozen_counter(*topo.leaves[6], *topo.aggs[2],
+                                            from_ms(12), from_ms(2)));
+  plan.faults.back().label = "gray:frozen_counter";
+  plan.faults.back().probe_timeout = from_ms(5);
+
+  const std::string text = chaos::plan_to_text(plan);
+  for (const char* name : {"asymmetric_delay", "limping_port", "silent_corruption",
+                           "frozen_counter"})
+    EXPECT_NE(text.find(std::string("kind=") + name), std::string::npos) << text;
+
+  chaos::FaultPlan back = chaos::plan_from_text(text, net);
+  ASSERT_EQ(back.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(back.faults[i].kind, plan.faults[i].kind);
+    EXPECT_EQ(back.faults[i].link_a, plan.faults[i].link_a);
+    EXPECT_EQ(back.faults[i].link_b, plan.faults[i].link_b);
+    EXPECT_EQ(back.faults[i].at, plan.faults[i].at);
+    EXPECT_EQ(back.faults[i].duration, plan.faults[i].duration);
+    EXPECT_EQ(back.faults[i].period, plan.faults[i].period);
+    EXPECT_EQ(back.faults[i].magnitude, plan.faults[i].magnitude);
+    EXPECT_EQ(back.faults[i].label, plan.faults[i].label);
+    EXPECT_EQ(back.faults[i].probe_timeout, plan.faults[i].probe_timeout);
+  }
+  EXPECT_EQ(chaos::plan_to_text(back), text);
+}
+
+TEST(ChaosSerialize, GrayKindsRejectMisspellingsAndMissingEndpoints) {
+  // Every gray kind is a link fault: a missing b= endpoint or an unknown
+  // kind spelling must fail loudly — a dropped gray fault IS a gray failure.
+  EXPECT_THROW(
+      chaos::fault_from_line(
+          "fault kind=frozen_counter a=S4 at=0 dur=1 count=1 period=0 mag=0"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      chaos::fault_from_line(
+          "fault kind=asymetric_delay a=S0 b=S1 at=0 dur=1 count=1 period=50 mag=0"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      chaos::fault_from_line(
+          "fault kind=limping a=S4 b=S1 at=0 dur=1 count=1 period=90 mag=0.3"),
+      std::invalid_argument);
+}
+
 TEST(ChaosSerialize, UnresolvableDeviceNameThrows) {
   sim::Simulator sim(12);
   net::Network net(sim);

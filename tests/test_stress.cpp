@@ -81,6 +81,16 @@ TEST(StressSpec, HierarchySectionRoundTripsAndValidates) {
                std::invalid_argument);
 }
 
+TEST(StressSpec, GraySectionRoundTripsAndStaysOptional) {
+  stress::StressSpec s = base_spec();
+  s.gray = true;
+  EXPECT_EQ(s, stress::spec_from_text(stress::to_text(s)));
+  EXPECT_NE(stress::to_text(s).find("gray "), std::string::npos);
+  // Gray-free specs keep the pre-gray byte format: old repro files replay
+  // byte-identically through a round trip.
+  EXPECT_EQ(stress::to_text(base_spec()).find("gray "), std::string::npos);
+}
+
 TEST(StressSpec, MalformedReproTextRejected) {
   const stress::StressSpec s = base_spec();
   const std::string good = stress::to_text(s);

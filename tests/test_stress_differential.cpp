@@ -148,6 +148,43 @@ TEST(StressDifferential, HierarchyStratumFlapFourThreadMatchesSerial) {
   EXPECT_GT(r.shards, 1);
 }
 
+namespace {
+
+stress::StressSpec gray_spec(std::uint32_t threads) {
+  // Gray tier armed: a frozen counter mid-run drives the watchdog through
+  // quarantine -> backoff -> re-INIT -> probation. Every ladder decision
+  // (including the per-slot jitter draws) folds into the digest, so the
+  // serial and threaded runs must agree bit for bit.
+  stress::StressSpec s = differential_spec(threads);
+  s.gray = true;
+  chaos::FaultDescriptor frozen;
+  frozen.kind = chaos::FaultKind::kFrozenCounter;
+  frozen.a = "S4";
+  frozen.b = "S1";
+  frozen.at = from_ms(3) + from_us(200);
+  frozen.duration = from_us(400);
+  s.faults.push_back(frozen);
+  s.horizon = stress::fault_end(frozen) + stress::recovery_margin(frozen.kind) +
+              from_us(300);
+  return s;
+}
+
+}  // namespace
+
+TEST(StressDifferential, GrayWatchdogTwoThreadMatchesSerial) {
+  const stress::CampaignResult r = stress::run_differential(gray_spec(2));
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+  EXPECT_GT(r.shards, 1);
+  EXPECT_GT(r.sentinel_stats.watchdog_checks, 0u)
+      << "the watchdog invariants must actually be in the digest";
+}
+
+TEST(StressDifferential, GrayWatchdogFourThreadMatchesSerial) {
+  const stress::CampaignResult r = stress::run_differential(gray_spec(4));
+  for (const auto& v : r.violations) ADD_FAILURE() << v.to_string();
+  EXPECT_GT(r.shards, 1);
+}
+
 TEST(StressDifferential, GeneratedParallelCampaignsMatchSerial) {
   int checked = 0;
   for (std::uint32_t i = 0; i < 32 && checked < 2; ++i) {

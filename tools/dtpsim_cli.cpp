@@ -5,8 +5,8 @@
 ///          [--protocol=dtp|dtp-master|ptp|ntp] [--seconds=S] [--seed=N]
 ///          [--load=idle|heavy] [--beacon=TICKS] [--rate=1g|10g|40g|100g]
 ///          [--drift] [--ber=P]
-///          [--chaos=flap|storm|crash|ber|rogue|source|canonical]
-///          [--holdover-ceiling=DUR]
+///          [--chaos=flap|storm|crash|ber|rogue|source|gray|canonical]
+///          [--holdover-ceiling=DUR] [--wd-check-period=DUR] [--wd-backoff=DUR]
 ///          [--threads=N] [--stress=N] [--repro=FILE] [--json-out=PATH]
 ///          [--trace=PATH] [--metrics=PATH] [--metrics-interval=DUR]
 ///
@@ -36,6 +36,7 @@
 #include "check/sentinel.hpp"
 #include "dtp/hierarchy.hpp"
 #include "dtp/network.hpp"
+#include "dtp/watchdog.hpp"
 #include "net/frame.hpp"
 #include "net/topology.hpp"
 #include "ntp/ntp.hpp"
@@ -70,14 +71,21 @@ constexpr const char* kUsage =
     "  --rate=1g|10g|40g|100g  link rate (default 10g)\n"
     "  --drift              enable oscillator drift random walk\n"
     "  --ber=P              uniform cable bit-error rate (default 0)\n"
-    "  --chaos=flap|storm|crash|ber|rogue|source|canonical  fault-injection demo;\n"
-    "                       'source' runs the multi-source time-hierarchy\n"
+    "  --chaos=flap|storm|crash|ber|rogue|source|gray|canonical  fault-injection\n"
+    "                       demo; 'source' runs the multi-source time-hierarchy\n"
     "                       campaign (GPS loss, rogue grandmaster, island\n"
     "                       holdover, stratum flap) with the sentinel's UTC\n"
-    "                       monitors armed\n"
+    "                       monitors armed; 'gray' runs the gray-failure\n"
+    "                       campaign (asymmetric delay, limping port, silent\n"
+    "                       corruption, frozen counter) against the per-port\n"
+    "                       health watchdog and its escalation ladder\n"
     "  --holdover-ceiling=DUR  refuse-to-serve uncertainty ceiling for the\n"
     "                       hierarchy clients in --chaos=source, with a unit\n"
     "                       suffix (ns|us|ms|s), e.g. 5us; default 2us\n"
+    "  --wd-check-period=DUR  watchdog sampling cadence in --chaos=gray\n"
+    "                       (default 50us)\n"
+    "  --wd-backoff=DUR     watchdog re-INIT backoff base in --chaos=gray;\n"
+    "                       attempt k waits base*2^k + jitter (default 200us)\n"
     "  --threads=N          parallel conservative engine workers (default 1)\n"
     "  --engine=exact|bridged  event engine: cycle-exact, or analytic\n"
     "                       tick-bridging fast-forward for quiet PHY time\n"
@@ -116,6 +124,8 @@ struct Options {
   int ft_hosts_per_edge = -1;
   int ft_pods = -1;
   fs_t holdover_ceiling = 0;  ///< --chaos=source only; 0 = hierarchy default
+  fs_t wd_check_period = 0;   ///< --chaos=gray only; 0 = watchdog default
+  fs_t wd_backoff = 0;        ///< --chaos=gray only; 0 = watchdog default
   bool bridged = false;  ///< --engine=bridged
   std::uint32_t stress = 0;  ///< 0 = off; N = campaign count
   std::string repro;         ///< non-empty = replay this file
@@ -154,21 +164,13 @@ double parse_double(const std::string& key, const std::string& v) {
 }
 
 /// A positive duration with a required unit suffix: "50us", "1.5ms", "2s".
-fs_t parse_duration(const std::string& key, const std::string& v) {
-  char* end = nullptr;
-  const double x = std::strtod(v.c_str(), &end);
-  if (v.empty() || end == v.c_str())
-    throw UsageError("--" + key + "=" + v + " is not a duration");
-  const std::string suffix(end);
-  double fs_per_unit = 0;
-  if (suffix == "ns") fs_per_unit = 1e6;
-  else if (suffix == "us") fs_per_unit = 1e9;
-  else if (suffix == "ms") fs_per_unit = 1e12;
-  else if (suffix == "s") fs_per_unit = 1e15;
-  else
-    throw UsageError("--" + key + "=" + v + " needs a unit suffix (ns|us|ms|s)");
-  if (x <= 0) throw UsageError("--" + key + " must be positive");
-  return static_cast<fs_t>(x * fs_per_unit);
+/// Delegates to the shared strict parser; a malformed value exits 2.
+fs_t parse_duration_flag(const std::string& key, const std::string& v) {
+  try {
+    return parse_duration(v);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError("--" + key + "=" + v + ": " + e.what());
+  }
 }
 
 /// Strict parse of "k=K,hosts=H[,pods=P]" (the part after "fat-tree:").
@@ -233,7 +235,8 @@ Options parse(int argc, char** argv) {
     if (!one_of(key, {"help", "drift", "topology", "protocol", "load", "chaos",
                       "nodes", "hops", "seconds", "seed", "beacon", "rate", "ber",
                       "threads", "engine", "stress", "repro", "json-out", "trace",
-                      "metrics", "metrics-interval", "holdover-ceiling"}))
+                      "metrics", "metrics-interval", "holdover-ceiling",
+                      "wd-check-period", "wd-backoff"}))
       throw UsageError("unknown flag '--" + key + "'");
     if (key == "help") continue;  // handled in main() before parsing
     if (key == "drift") {
@@ -264,11 +267,11 @@ Options parse(int argc, char** argv) {
         throw UsageError("--load must be idle|heavy, got '" + value + "'");
       o.load = value;
     } else if (key == "chaos") {
-      if (!one_of(value,
-                  {"flap", "storm", "crash", "ber", "rogue", "source", "canonical"}))
+      if (!one_of(value, {"flap", "storm", "crash", "ber", "rogue", "source",
+                          "gray", "canonical"}))
         throw UsageError(
-            "--chaos must be flap|storm|crash|ber|rogue|source|canonical, got '" +
-            value + "'");
+            "--chaos must be flap|storm|crash|ber|rogue|source|gray|canonical, "
+            "got '" + value + "'");
       o.chaos = value;
     } else if (key == "nodes") {
       const long long n = parse_int(key, value);
@@ -311,9 +314,13 @@ Options parse(int argc, char** argv) {
     } else if (key == "metrics") {
       o.metrics = value;
     } else if (key == "metrics-interval") {
-      o.metrics_interval = parse_duration(key, value);
+      o.metrics_interval = parse_duration_flag(key, value);
     } else if (key == "holdover-ceiling") {
-      o.holdover_ceiling = parse_duration(key, value);
+      o.holdover_ceiling = parse_duration_flag(key, value);
+    } else if (key == "wd-check-period") {
+      o.wd_check_period = parse_duration_flag(key, value);
+    } else if (key == "wd-backoff") {
+      o.wd_backoff = parse_duration_flag(key, value);
     } else {  // ber — the whitelist above rules out everything else
       o.ber = parse_double(key, value);
       if (o.ber < 0 || o.ber >= 1) throw UsageError("--ber must be in [0, 1)");
@@ -329,6 +336,8 @@ Options parse(int argc, char** argv) {
     throw UsageError("--metrics-interval needs --metrics or --trace");
   if (o.holdover_ceiling > 0 && o.chaos != "source")
     throw UsageError("--holdover-ceiling only applies to --chaos=source");
+  if ((o.wd_check_period > 0 || o.wd_backoff > 0) && o.chaos != "gray")
+    throw UsageError("--wd-check-period/--wd-backoff only apply to --chaos=gray");
   return o;
 }
 
@@ -437,11 +446,91 @@ int run_source_chaos(const Options& o) {
   return ok ? 0 : 1;
 }
 
+/// --chaos=gray: the canonical gray-failure campaign (DESIGN.md §15).
+/// Four gray faults — asymmetric delay, limping port, silent corruption,
+/// frozen counter — hit the Fig. 5 tree under MTU load while the per-port
+/// health watchdog cross-validates siblings, gates beacon plausibility, and
+/// walks its escalation ladder. PASS requires every fault detected and
+/// remediated within the attempt ceiling and zero ports disabled.
+int run_gray_chaos(const Options& o) {
+  sim::Simulator sim(o.seed);
+  if (o.bridged) sim.set_engine(sim::Simulator::EngineMode::kBridged);
+  net::Network net(sim, chaos::GrayCampaign::net_params());
+  auto tree = net::build_paper_tree(net);
+  auto dtp = dtp::enable_dtp(net, chaos::GrayCampaign::dtp_params());
+  chaos::CanonicalCampaign::start_heavy_load(net, tree, net::kMtuFrameBytes);
+
+  dtp::WatchdogParams wp = chaos::GrayCampaign::watchdog_params();
+  if (o.wd_check_period > 0) wp.check_period = o.wd_check_period;
+  if (o.wd_backoff > 0) wp.reinit_backoff = o.wd_backoff;
+  dtp::HealthWatchdog watchdog(net, dtp, wp, o.seed);
+
+  check::Sentinel sentinel(net, dtp);
+  sentinel.set_watchdog(&watchdog);
+
+  std::unique_ptr<obs::Session> session;
+  if (obs_requested(o)) session = std::make_unique<obs::Session>(net, &dtp, obs_config(o));
+  if (session) watchdog.set_obs(&session->hub());
+  chaos::ChaosEngine engine(net, dtp, chaos::GrayCampaign::chaos_params());
+  if (session) engine.set_obs(&session->hub());
+
+  const fs_t t0 = chaos::GrayCampaign::settle_time();
+  const fs_t until = chaos::GrayCampaign::end_time(t0);
+  for (const auto& [from, bo_until] : chaos::GrayCampaign::blackouts(t0))
+    sentinel.add_blackout(from, bo_until);
+
+  std::printf("chaos plan=gray on the Fig. 5 tree, MTU-saturated, seed=%llu "
+              "(watchdog check=%s backoff=%s)\n",
+              static_cast<unsigned long long>(o.seed),
+              format_duration(wp.check_period).c_str(),
+              format_duration(wp.reinit_backoff).c_str());
+  if (session) session->start(until);
+  engage_threads(sim, o.threads);
+  engine.schedule(chaos::GrayCampaign::plan(tree, t0));
+  sim.run_until(until);
+  finish_obs(session.get(), o);
+
+  const chaos::CampaignReport& report = engine.report();
+  report.print(std::cout);
+  std::size_t remediated = 0;
+  for (std::size_t i = 0; i < watchdog.watch_count(); ++i) {
+    const dtp::WatchdogPortStats& ws = watchdog.watch_stats(i);
+    if (ws.suspects == 0) continue;
+    if (ws.quarantines > 0) ++remediated;
+    std::printf("  watchdog %s: %s suspects=%llu quarantines=%llu reinits=%llu "
+                "attempts=%d first-suspected=%.1f us\n",
+                watchdog.watch_label(i).c_str(),
+                dtp::to_string(watchdog.watch_health(i)),
+                static_cast<unsigned long long>(ws.suspects),
+                static_cast<unsigned long long>(ws.quarantines),
+                static_cast<unsigned long long>(ws.reinits), ws.attempts,
+                to_ns_f(ws.first_suspected_at) / 1000.0);
+  }
+  for (const auto& v : watchdog.verdicts())
+    std::printf("  verdict %s:%zu at %.1f us: %s\n", v.device.c_str(), v.port,
+                to_ns_f(v.at) / 1000.0, v.reason.c_str());
+  for (const auto& v : sentinel.violations())
+    std::printf("  !! %s\n", v.to_string().c_str());
+  if (!engine.all_probes_done()) {
+    std::printf("verdict: FAIL (a probe never reported)\n");
+    return 1;
+  }
+  bool ok = sentinel.clean() && sentinel.stats().watchdog_checks > 0;
+  // Every gray fault injects on a distinct link, and remediation means its
+  // victim port walked the ladder: all four must have quarantined, and none
+  // may have escalated all the way to a disable.
+  ok &= remediated >= 4 && watchdog.total_disables() == 0;
+  for (const auto& [cls, s] : report.by_class()) ok &= s.converged == s.n;
+  std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 /// --chaos: a fault-injection plan on the Fig. 5 tree under saturating MTU
 /// load, with the canonical campaign's DTP/chaos parameters. Returns 0 when
 /// every probe reported and recovery matched the class's contract.
 int run_chaos(const Options& o) {
   if (o.chaos == "source") return run_source_chaos(o);
+  if (o.chaos == "gray") return run_gray_chaos(o);
   sim::Simulator sim(o.seed);
   if (o.bridged) sim.set_engine(sim::Simulator::EngineMode::kBridged);
   net::Network net(sim, chaos::CanonicalCampaign::net_params());
