@@ -31,8 +31,9 @@ OwdMeter::OwdMeter(sim::Simulator& sim, net::Host& src, net::Host& dst, ClockFn 
           pkt && pkt->meter_id == meter_id_) {
         // The payload object is shared with the in-flight copy; stamping
         // here models the NIC writing the timestamp as the frame leaves.
-        const_cast<OwdProbePacket*>(pkt.get())->tx_clock_ns = src_clock_(tx_start);
-        tx_times_[pkt->sequence] = tx_start;
+        auto* p = const_cast<OwdProbePacket*>(pkt.get());
+        p->tx_clock_ns = src_clock_(tx_start);
+        p->tx_true = tx_start;
       }
     }
     if (prev_tx) prev_tx(f, tx_start);
@@ -46,18 +47,14 @@ OwdMeter::OwdMeter(sim::Simulator& sim, net::Host& src, net::Host& dst, ClockFn 
         if (prev_rx) prev_rx(f, rx_time);
         return;
       }
-      {
-        auto it = tx_times_.find(pkt->sequence);
-        if (it != tx_times_.end()) {
-          const double measured = dst_clock_(rx_time) - pkt->tx_clock_ns;
-          const double truth = to_ns_f(rx_time - it->second);
-          const double t_sec = to_sec_f(rx_time);
-          measured_.add(t_sec, measured);
-          truth_.add(t_sec, truth);
-          error_.add(t_sec, measured - truth);
-          ++received_;
-          tx_times_.erase(it);
-        }
+      if (pkt->tx_true > 0) {
+        const double measured = dst_clock_(rx_time) - pkt->tx_clock_ns;
+        const double truth = to_ns_f(rx_time - pkt->tx_true);
+        const double t_sec = to_sec_f(rx_time);
+        measured_.add(t_sec, measured);
+        truth_.add(t_sec, truth);
+        error_.add(t_sec, measured - truth);
+        ++received_;
       }
       return;
     }

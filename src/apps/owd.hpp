@@ -32,6 +32,11 @@ struct OwdProbePacket : net::Packet {
   std::uint32_t meter_id = 0;  ///< which OwdMeter owns this probe
   std::uint32_t sequence = 0;
   double tx_clock_ns = 0.0;  ///< filled at the hardware TX timestamp point
+  /// True TX instant (simulator metadata, not "on the wire"): stamped at
+  /// the same hook as tx_clock_ns and carried in the frame, so the receiver
+  /// never reaches back into sender-side state — keeps the meter safe on
+  /// the parallel engine, where src and dst run on different shards.
+  fs_t tx_true = 0;
 };
 
 /// Reads a synchronized clock (ns) at a simulated instant. Bind this to a
@@ -73,8 +78,6 @@ class OwdMeter {
   std::uint32_t meter_id_;  ///< distinguishes coexisting meters on one host pair
   std::uint32_t seq_ = 0;
   std::uint64_t received_ = 0;
-  /// True TX time by sequence, recorded at the hardware TX instant.
-  std::unordered_map<std::uint32_t, fs_t> tx_times_;
   TimeSeries measured_;
   TimeSeries truth_;
   TimeSeries error_;

@@ -1,0 +1,89 @@
+#include "apps/readers.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace dtpsim::apps {
+
+namespace {
+std::uint64_t bits_of(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+}  // namespace
+
+ReaderFleet::ReaderFleet(sim::Simulator& sim, std::vector<TimeService> services,
+                         std::size_t readers_per_host, fs_t period)
+    : sim_(sim), period_(period), readers_per_host_(readers_per_host) {
+  if (readers_per_host == 0) throw std::invalid_argument("ReaderFleet: no readers");
+  if (period <= 0) throw std::invalid_argument("ReaderFleet: period");
+  readers_.reserve(services.size() * readers_per_host);
+  for (const TimeService& svc : services) {
+    for (std::size_t r = 0; r < readers_per_host; ++r) {
+      auto reader = std::make_unique<Reader>();
+      reader->svc = svc;
+      Reader* rp = reader.get();
+      rp->proc = std::make_unique<sim::PeriodicProcess>(
+          sim_, period_, [this, rp] { read_once(*rp); }, sim::EventCategory::kApp);
+      rp->proc->set_affinity(svc.host->node());
+      readers_.push_back(std::move(reader));
+    }
+  }
+}
+
+void ReaderFleet::start(fs_t at) {
+  const fs_t now = sim_.now();
+  for (std::size_t i = 0; i < readers_.size(); ++i) {
+    // Stagger readers within each host across one period so the fleet
+    // exercises the page at many instants, not one synchronized comb.
+    const fs_t offset = static_cast<fs_t>(
+        (static_cast<__int128>(period_) * static_cast<fs_t>(i % readers_per_host_)) /
+        static_cast<fs_t>(readers_per_host_));
+    readers_[i]->proc->start_with_phase(at - now + offset + period_);
+  }
+}
+
+void ReaderFleet::stop() {
+  for (auto& r : readers_) r->proc->stop();
+}
+
+void ReaderFleet::read_once(Reader& r) {
+  const fs_t now = sim_.now();
+  const dtp::TimebaseSample s = r.svc.sample(now);
+  ReaderStats& st = r.stats;
+  ++st.reads;
+  if (!s.valid) ++st.invalid_reads;
+  if (s.stale) ++st.stale_reads;
+  if (s.valid) st.max_unc_units = std::max(st.max_unc_units, s.uncertainty_units);
+  st.digest.mix(static_cast<std::uint64_t>(s.units));
+  st.digest.mix(bits_of(s.frac));
+  st.digest.mix(bits_of(s.uncertainty_units));
+  st.digest.mix((static_cast<std::uint64_t>(s.epoch) << 2) |
+                (static_cast<std::uint64_t>(s.valid) << 1) |
+                static_cast<std::uint64_t>(s.stale));
+}
+
+std::uint64_t ReaderFleet::total_reads() const {
+  std::uint64_t n = 0;
+  for (const auto& r : readers_) n += r->stats.reads;
+  return n;
+}
+
+std::uint64_t ReaderFleet::total_stale_reads() const {
+  std::uint64_t n = 0;
+  for (const auto& r : readers_) n += r->stats.stale_reads;
+  return n;
+}
+
+check::RunDigest ReaderFleet::digest() const {
+  check::RunDigest out;
+  for (const auto& r : readers_) {
+    out.mix(r->stats.reads);
+    out.mix(r->stats.digest.hash);
+  }
+  return out;
+}
+
+}  // namespace dtpsim::apps

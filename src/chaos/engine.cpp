@@ -209,7 +209,10 @@ void ChaosEngine::start_daemon_probe(const FaultSpec& spec, ProbeResult seed) {
       sim_, pp,
       [this, daemon] {
         ProbeSample s;
-        if (!daemon->calibrated()) return s;
+        // A stale anchor (every storm-window read rejected) still
+        // extrapolates and can drift *through* the threshold by luck;
+        // recovery only counts from readings on a fresh anchor.
+        if (!daemon->calibrated() || daemon->stale(sim_.now())) return s;
         s.worst_abs = daemon->current_error_ticks(sim_.now());
         s.valid = true;
         return s;

@@ -57,6 +57,20 @@ void CampaignReport::print(std::ostream& os) const {
          << " did not reconverge (residual " << r.residual_ticks << " ticks)\n";
     }
   }
+  if (!app_verdicts_.empty()) {
+    os << "app workloads: " << app_verdicts_.size() << " verdict(s)\n";
+    os << std::left << std::setw(18) << "  app" << std::right << std::setw(10)
+       << "ops" << std::setw(10) << "fail" << std::setw(10) << "detect"
+       << std::setw(14) << "worst[ns]" << "\n";
+    for (const AppVerdict& v : app_verdicts_) {
+      os << "  " << std::left << std::setw(16) << v.app << std::right
+         << std::setw(10) << v.ops << std::setw(10) << v.failures
+         << std::setw(10) << v.detected << std::fixed << std::setprecision(1)
+         << std::setw(14) << v.worst_error_ns << "\n";
+      os.unsetf(std::ios::fixed);
+      if (!v.detail.empty()) os << "      " << v.detail << "\n";
+    }
+  }
 }
 
 std::string CampaignReport::rows_json() const {
@@ -74,6 +88,21 @@ std::string CampaignReport::rows_json() const {
     out += ", \"peer_isolated\": " + std::string(r.peer_isolated ? "true" : "false");
     out += ", \"residual_ticks\": " + obs::json_double(r.residual_ticks);
     out += ", \"repro\": \"" + obs::json_escape(r.repro) + "\"}";
+  }
+  return out + "]";
+}
+
+std::string CampaignReport::apps_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < app_verdicts_.size(); ++i) {
+    const AppVerdict& v = app_verdicts_[i];
+    if (i) out += ", ";
+    out += "{\"app\": \"" + obs::json_escape(v.app) + "\"";
+    out += ", \"ops\": " + std::to_string(v.ops);
+    out += ", \"failures\": " + std::to_string(v.failures);
+    out += ", \"detected\": " + std::to_string(v.detected);
+    out += ", \"worst_error_ns\": " + obs::json_double(v.worst_error_ns);
+    out += ", \"detail\": \"" + obs::json_escape(v.detail) + "\"}";
   }
   return out + "]";
 }

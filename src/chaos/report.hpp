@@ -9,6 +9,7 @@
 /// reconverge) — the numbers `bench_fault_recovery` emits and the campaign
 /// test asserts on.
 
+#include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
@@ -29,12 +30,30 @@ struct ClassSummary {
   bool isolated = false;  ///< any probe reported a quarantined peer
 };
 
+/// Application-level outcome of one workload that ran over the campaign
+/// (DESIGN.md §16): the protocol layer says "the bound held / broke"; the
+/// app verdict says what that *meant* one level up — a write ordered
+/// wrongly, a TDMA guard band missed, an OWD estimate outside its stated
+/// uncertainty. Fault-free campaigns must report zero failures; campaigns
+/// with injected faults are expected to detect some.
+struct AppVerdict {
+  std::string app;            ///< "owd" | "lww" | "tdma"
+  std::uint64_t ops = 0;      ///< operations attempted (reads excluded)
+  std::uint64_t failures = 0; ///< correctness failures (the gated number)
+  std::uint64_t detected = 0; ///< degradations the app *noticed* (stale page,
+                              ///< uncertainty overlap, self-reported skips)
+  double worst_error_ns = 0;  ///< worst observed app-level error
+  std::string detail;         ///< free-form context for the report table
+};
+
 /// All results of one campaign.
 class CampaignReport {
  public:
   void add(ProbeResult r) { results_.push_back(std::move(r)); }
+  void add_app(AppVerdict v) { app_verdicts_.push_back(std::move(v)); }
 
   const std::vector<ProbeResult>& results() const { return results_; }
+  const std::vector<AppVerdict>& app_verdicts() const { return app_verdicts_; }
   std::size_t size() const { return results_.size(); }
 
   /// Per-class aggregation, keyed by fault_class.
@@ -51,8 +70,13 @@ class CampaignReport {
   /// numbers, so any row can be replayed verbatim from the artifact.
   std::string rows_json() const;
 
+  /// JSON array with one row per app verdict (empty array when no
+  /// workloads ran).
+  std::string apps_json() const;
+
  private:
   std::vector<ProbeResult> results_;
+  std::vector<AppVerdict> app_verdicts_;
 };
 
 }  // namespace dtpsim::chaos

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "dtp/daemon.hpp"
 #include "dtp/hierarchy.hpp"
 #include "dtp/watchdog.hpp"
 #include "net/device.hpp"
@@ -49,6 +50,11 @@ struct Sentinel::HierarchyMon {
   double prev_uncertainty = 0.0;
   fs_t prev_at = 0;
   dtp::HierarchyStatus prev_status = dtp::HierarchyStatus::kAcquiring;
+};
+
+/// Per-daemon timebase-page sampler state (coordinator-only).
+struct Sentinel::TimebaseMon {
+  const dtp::Daemon* daemon = nullptr;
 };
 
 /// Per-watchdog-watch sampler state (coordinator-only).
@@ -189,6 +195,10 @@ void Sentinel::set_watchdog(const dtp::HealthWatchdog* watchdog) {
   if (watchdog_ != nullptr) watchdog_mons_.resize(watchdog_->watch_count());
 }
 
+void Sentinel::watch_timebase(const dtp::Daemon* daemon) {
+  if (daemon != nullptr) timebase_mons_.push_back(TimebaseMon{daemon});
+}
+
 void Sentinel::add_blackout(fs_t from, fs_t until) {
   blackouts_.emplace_back(from, until);
 }
@@ -253,6 +263,46 @@ void Sentinel::sample() {
   check_wrap_and_rate(now);
   check_hierarchy(now);
   check_watchdog(now);
+  check_timebase(now);
+}
+
+void Sentinel::check_timebase(fs_t now) {
+  for (TimebaseMon& m : timebase_mons_) {
+    const dtp::Daemon* d = m.daemon;
+    const dtp::TimebaseSample s = d->timebase_sample(now);
+    // Every page read is observable output: fold it into the digest so the
+    // serving layer joins the serial-vs-parallel differential.
+    auto mix_double = [this](double v) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      offsets_digest_.mix(bits);
+    };
+    offsets_digest_.mix(static_cast<std::uint64_t>(s.units));
+    mix_double(s.frac);
+    mix_double(s.uncertainty_units);
+    offsets_digest_.mix((static_cast<std::uint64_t>(s.epoch) << 2) |
+                        (s.valid ? 2u : 0u) | (s.stale ? 1u : 0u));
+    if (!s.valid || s.stale) continue;
+    // Honesty: a fresh snapshot's uncertainty must cover the true counter
+    // error. Stale pages are exempt (the flag is the admission) and fault
+    // windows are blacked out like the offset monitor — a rogue oscillator
+    // moves the truth in ways no poll-time analysis can bound.
+    if (in_blackout(now)) continue;
+    ++stats_.timebase_checks;
+    const dtp::Agent& agent = d->agent();
+    const auto truth_units = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(agent.global_at(now).value()) &
+        0x7FFF'FFFF'FFFF'FFFFULL);
+    const double err =
+        std::abs(static_cast<double>(s.units - truth_units) + s.frac -
+                 agent.phase_units_at(now));
+    if (err > s.uncertainty_units) {
+      record(Violation{InvariantKind::kTimebaseUncertainty, now,
+                       agent.device().name(), err, s.uncertainty_units,
+                       "timebase page uncertainty understated the true "
+                       "counter error (units)"});
+    }
+  }
 }
 
 void Sentinel::check_watchdog(fs_t now) {

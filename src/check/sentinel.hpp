@@ -36,6 +36,7 @@ namespace dtpsim::dtp {
 class TimeHierarchy;
 class HierarchyClient;
 class HealthWatchdog;
+class Daemon;
 }
 
 namespace dtpsim::check {
@@ -95,6 +96,7 @@ struct SentinelStats {
   std::uint64_t fifo_probe_checks = 0;
   std::uint64_t utc_checks = 0;
   std::uint64_t watchdog_checks = 0;
+  std::uint64_t timebase_checks = 0;
   std::uint64_t suppressed_violations = 0;
 };
 
@@ -155,11 +157,22 @@ class Sentinel {
   /// are never blacked out: bounded remediation must hold *during* faults.
   void set_watchdog(const dtp::HealthWatchdog* watchdog);
 
+  /// Watch a daemon's timebase page (DESIGN.md §16). Every sample then
+  /// reads the page exactly like an application would and pins its honesty
+  /// contract: a fresh (non-stale) snapshot must never claim an uncertainty
+  /// smaller than the true counter error. Stale snapshots are exempt — the
+  /// stale flag *is* the daemon saying the bound no longer holds. Respects
+  /// blackout windows (a rogue oscillator makes the bound unknowable), and
+  /// folds every read into the run digest so the serial-vs-parallel
+  /// differential covers the serving layer too.
+  void watch_timebase(const dtp::Daemon* daemon);
+
  private:
   struct PortMon;
   struct DeviceMon;
   struct HierarchyMon;
   struct WatchdogMon;
+  struct TimebaseMon;
 
   void sample();
   void check_monotonic(fs_t now);
@@ -168,6 +181,7 @@ class Sentinel {
   void check_wrap_and_rate(fs_t now);
   void check_hierarchy(fs_t now);
   void check_watchdog(fs_t now);
+  void check_timebase(fs_t now);
   bool in_blackout(fs_t t) const;
   void record(Violation v);
 
@@ -183,6 +197,7 @@ class Sentinel {
   dtp::TimeHierarchy* hierarchy_ = nullptr;
   std::vector<WatchdogMon> watchdog_mons_;
   const dtp::HealthWatchdog* watchdog_ = nullptr;
+  std::vector<TimebaseMon> timebase_mons_;
   std::vector<std::pair<fs_t, fs_t>> blackouts_;
 
   int settled_streak_ = 0;

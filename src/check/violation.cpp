@@ -18,6 +18,7 @@ const char* invariant_name(InvariantKind k) {
     case InvariantKind::kUtcBackstep: return "utc-backstep";
     case InvariantKind::kUtcUncertainty: return "utc-uncertainty";
     case InvariantKind::kWatchdogRemediation: return "watchdog-remediation";
+    case InvariantKind::kTimebaseUncertainty: return "timebase-uncertainty";
   }
   return "unknown";
 }

@@ -30,9 +30,12 @@ enum class InvariantKind {
   kWatchdogRemediation,  ///< watchdog escalation broke its bounded/monotone
                          ///< remediation contract (attempt ceiling, backoff
                          ///< monotonicity, or action after a final disable)
+  kTimebaseUncertainty,  ///< a timebase page served a fresh (non-stale)
+                         ///< snapshot whose uncertainty understated the true
+                         ///< counter error
 };
 
-inline constexpr int kInvariantKindCount = 11;
+inline constexpr int kInvariantKindCount = 12;
 
 /// Stable short name ("offset-bound", ...) used in reports and repro files.
 const char* invariant_name(InvariantKind k);

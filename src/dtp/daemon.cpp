@@ -1,9 +1,17 @@
 #include "dtp/daemon.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace dtpsim::dtp {
+
+namespace {
+// Keep register reads in the non-negative int64 range; the counter stays
+// far below 2^63 units inside the fs_t horizon even when tests pre-age it
+// past the 2^53 double-precision cliff.
+constexpr std::uint64_t kUnitsMask = 0x7FFF'FFFF'FFFF'FFFFULL;
+}  // namespace
 
 Daemon::Daemon(sim::Simulator& sim, Agent& agent, DaemonParams params, double tsc_ppm)
     : sim_(sim),
@@ -18,9 +26,12 @@ Daemon::Daemon(sim::Simulator& sim, Agent& agent, DaemonParams params, double ts
       sampler_(sim, params.sample_period > 0 ? params.sample_period : from_ms(1),
                [this] { sample(); }, sim::EventCategory::kProbe) {
   if (params.poll_period <= 0) throw std::invalid_argument("Daemon: poll period");
+  if (params.rtt_window_polls == 0)
+    throw std::invalid_argument("Daemon: rtt window");
 }
 
 void Daemon::start() {
+  ++epoch_;
   poller_.start_with_phase(0);
   if (params_.sample_period > 0) sampler_.start();
 }
@@ -32,6 +43,25 @@ void Daemon::stop() {
 
 __int128 Daemon::tsc_at(fs_t t) const {
   return static_cast<__int128>(t) * tsc_rate_hz_ / kFsPerSec;
+}
+
+double Daemon::unit_fs() const {
+  return static_cast<double>(agent_.device().oscillator().nominal_period()) /
+         static_cast<double>(agent_.params().counter_delta);
+}
+
+fs_t Daemon::max_anchor_age_effective() const {
+  return params_.max_anchor_age > 0 ? params_.max_anchor_age
+                                    : 8 * params_.poll_period;
+}
+
+fs_t Daemon::anchor_age(fs_t now) const {
+  return last_accept_at_ < 0 ? fs_t{-1} : now - last_accept_at_;
+}
+
+bool Daemon::stale(fs_t now) const {
+  if (!calibrated()) return true;
+  return anchor_age(now) > max_anchor_age_effective();
 }
 
 void Daemon::poll() {
@@ -60,10 +90,18 @@ void Daemon::poll() {
   // Quality filter: the daemon sees the bracketed RTT; a read that took far
   // longer than the best recent one carries unbounded association error, so
   // it is discarded and the clock keeps extrapolating (RADclock-style).
+  // The floor is the minimum over a sliding window of every poll's RTT —
+  // rejected reads still contribute theirs — so after a permanent latency
+  // regime change the old floor ages out within rtt_window_polls and the
+  // filter re-admits the new regime instead of rejecting forever.
   const fs_t rtt = d_req + d_resp;
-  if (best_rtt_ == 0 || rtt < best_rtt_) best_rtt_ = rtt;
-  // Let the floor decay slowly so a step change in PCIe latency re-learns.
-  best_rtt_ += best_rtt_ / 256;
+  if (rtt_ring_.size() < params_.rtt_window_polls) {
+    rtt_ring_.push_back(rtt);
+  } else {
+    rtt_ring_[rtt_next_] = rtt;
+    rtt_next_ = (rtt_next_ + 1) % params_.rtt_window_polls;
+  }
+  best_rtt_ = *std::min_element(rtt_ring_.begin(), rtt_ring_.end());
   if (params_.rtt_reject_margin > 0 && polls_ >= 2 &&
       rtt > best_rtt_ + params_.rtt_reject_margin) {
     ++rejected_;
@@ -71,8 +109,8 @@ void Daemon::poll() {
   }
 
   const fs_t t_value = t_issue + d_req;  // register sampled on request arrival
-  const double counter = static_cast<double>(static_cast<unsigned long long>(
-      agent_.global_at(t_value).value() & 0xFFFF'FFFF'FFFF'FFFFULL));
+  const auto counter = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(agent_.global_at(t_value).value()) & kUnitsMask);
   const __int128 tsc_assoc = tsc_at(t_issue + (d_req + d_resp) / 2);
 
   if (polls_ > 0) {
@@ -82,7 +120,7 @@ void Daemon::poll() {
         checkpoints_.size() < params_.rate_window_polls
             ? checkpoints_.front()
             : checkpoints_[checkpoint_next_];  // oldest slot in the ring
-    const double dc = counter - anchor.first;
+    const auto dc = static_cast<double>(counter - anchor.first);
     const auto dt = static_cast<double>(tsc_assoc - anchor.second);
     if (dt > 0) counter_per_tsc_ = dc / dt;
   }
@@ -95,30 +133,86 @@ void Daemon::poll() {
   if (polls_ >= 2) {
     // Blend the new (jittery) reading into the prediction instead of
     // jumping to it; the raw readings still feed the rate window above.
-    const double predicted =
-        last_counter_ + static_cast<double>(tsc_assoc - last_tsc_) * counter_per_tsc_;
-    last_counter_ = predicted + params_.anchor_blend * (counter - predicted);
+    // All arithmetic is split-precision: the integer units never pass
+    // through a double, so nothing quantizes past 2^53.
+    std::int64_t pred_units;
+    double pred_frac;
+    TimebasePage::advance(anchor_units_, anchor_frac_,
+                          static_cast<double>(tsc_assoc - last_tsc_) * counter_per_tsc_,
+                          &pred_units, &pred_frac);
+    const double resid = static_cast<double>(counter - pred_units) - pred_frac;
+    TimebasePage::advance(pred_units, pred_frac, params_.anchor_blend * resid,
+                          &anchor_units_, &anchor_frac_);
+    resid_max_ = std::max(std::abs(resid), resid_max_ * 0.7);
   } else {
-    last_counter_ = counter;
+    anchor_units_ = counter;
+    anchor_frac_ = 0.0;
   }
   last_tsc_ = tsc_assoc;
+  last_accept_at_ = t_issue;
   ++polls_;
+  publish_page();
+}
+
+double Daemon::unc_base_units() const {
+  // Association bound of an accepted read: the register is sampled at
+  // t_issue + d_req but associated with the RTT midpoint, so the error is
+  // at most rtt/2, and accepted RTTs are capped at best + margin.
+  const fs_t rtt_budget = best_rtt_ + (params_.rtt_reject_margin > 0
+                                           ? params_.rtt_reject_margin
+                                           : best_rtt_);
+  const double assoc_units = static_cast<double>(rtt_budget) / 2.0 / unit_fs();
+  const double margin_units =
+      params_.unc_margin_ticks * static_cast<double>(agent_.params().counter_delta);
+  return assoc_units + resid_max_ + margin_units;
+}
+
+void Daemon::publish_page() {
+  if (!calibrated()) return;
+  TimebaseSnapshot s;
+  s.anchor_units = anchor_units_;
+  s.anchor_frac = anchor_frac_;
+  s.anchor_tsc = static_cast<std::int64_t>(last_tsc_);
+  s.units_per_tsc = counter_per_tsc_;
+  s.unc_base_units = unc_base_units();
+  s.unc_per_tsc = params_.unc_drift_ppm * 1e-6 * counter_per_tsc_;
+  s.stale_after_tsc = static_cast<std::int64_t>(
+      last_tsc_ + static_cast<__int128>(max_anchor_age_effective()) *
+                      tsc_rate_hz_ / kFsPerSec);
+  s.epoch = epoch_;
+  s.flags = TimebasePage::kFlagValid;
+  page_.publish(s);
+}
+
+CounterReading Daemon::get_dtp_counter_split(fs_t now) const {
+  if (!calibrated()) throw std::logic_error("Daemon: not calibrated yet");
+  CounterReading r;
+  TimebasePage::advance(anchor_units_, anchor_frac_,
+                        static_cast<double>(tsc_at(now) - last_tsc_) * counter_per_tsc_,
+                        &r.units, &r.frac);
+  return r;
 }
 
 double Daemon::get_dtp_counter(fs_t now) const {
-  if (!calibrated()) throw std::logic_error("Daemon: not calibrated yet");
-  const auto dt = static_cast<double>(tsc_at(now) - last_tsc_);
-  return last_counter_ + dt * counter_per_tsc_;
+  return get_dtp_counter_split(now).value();
 }
 
 double Daemon::get_time_ns(fs_t now) const {
-  const double units = get_dtp_counter(now);
+  const CounterReading r = get_dtp_counter_split(now);
   // One counter unit is one tick of the nominal clock (delta units per tick
   // in multi-rate mode, where a unit is 0.32 ns).
   const double ns_per_unit =
       to_ns_f(agent_.device().oscillator().nominal_period()) /
       static_cast<double>(agent_.params().counter_delta);
-  return units * ns_per_unit;
+  return r.value() * ns_per_unit;
+}
+
+double Daemon::uncertainty_units(fs_t now) const {
+  const fs_t age = anchor_age(now);
+  const double growth =
+      age > 0 ? static_cast<double>(age) * params_.unc_drift_ppm * 1e-6 / unit_fs()
+              : 0.0;
+  return unc_base_units() + growth;
 }
 
 void Daemon::set_pcie_stress(fs_t extra_per_leg, double spike_prob, fs_t spike_mean) {
@@ -133,18 +227,27 @@ void Daemon::clear_pcie_stress() {
   stress_spike_mean_ = 0;
 }
 
+double Daemon::signed_error_ticks(fs_t now) const {
+  // Difference the exact integer parts first (int64 arithmetic), then add
+  // the sub-unit fractions; resolution is tick-level at any magnitude,
+  // unlike differencing two quantized doubles.
+  const CounterReading est = get_dtp_counter_split(now);
+  const auto truth_units = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(agent_.global_at(now).value()) & kUnitsMask);
+  const double truth_frac = agent_.phase_units_at(now);
+  const double diff =
+      static_cast<double>(est.units - truth_units) + est.frac - truth_frac;
+  return diff / static_cast<double>(agent_.params().counter_delta);
+}
+
 double Daemon::current_error_ticks(fs_t now) const {
-  const double est = get_dtp_counter(now);
-  const double truth = agent_.global_fractional_at(now);
-  return std::abs(est - truth) / static_cast<double>(agent_.params().counter_delta);
+  return std::abs(signed_error_ticks(now));
 }
 
 void Daemon::sample() {
   if (!calibrated()) return;
   const fs_t now = sim_.now();
-  const double est = get_dtp_counter(now);
-  const double truth = agent_.global_fractional_at(now);
-  const double ticks = (est - truth) / static_cast<double>(agent_.params().counter_delta);
+  const double ticks = signed_error_ticks(now);
   raw_series_.add(to_sec_f(now), ticks);
   smoothed_series_.add(to_sec_f(now), smoother_.push(ticks));
 }

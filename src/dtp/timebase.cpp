@@ -1,0 +1,132 @@
+#include "dtp/timebase.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace dtpsim::dtp {
+
+namespace {
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+double double_of(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+std::uint64_t bits_of_i64(std::int64_t v) {
+  return static_cast<std::uint64_t>(v);
+}
+
+std::int64_t i64_of(std::uint64_t u) {
+  return static_cast<std::int64_t>(u);
+}
+
+void pack(const TimebaseSnapshot& s, std::uint64_t* w) {
+  w[0] = bits_of_i64(s.anchor_units);
+  w[1] = bits_of(s.anchor_frac);
+  w[2] = bits_of_i64(s.anchor_tsc);
+  w[3] = bits_of(s.units_per_tsc);
+  w[4] = bits_of(s.unc_base_units);
+  w[5] = bits_of(s.unc_per_tsc);
+  w[6] = bits_of_i64(s.stale_after_tsc);
+  w[7] = (static_cast<std::uint64_t>(s.epoch) << 32) | s.flags;
+}
+
+void unpack(const std::uint64_t* w, TimebaseSnapshot* s) {
+  s->anchor_units = i64_of(w[0]);
+  s->anchor_frac = double_of(w[1]);
+  s->anchor_tsc = i64_of(w[2]);
+  s->units_per_tsc = double_of(w[3]);
+  s->unc_base_units = double_of(w[4]);
+  s->unc_per_tsc = double_of(w[5]);
+  s->stale_after_tsc = i64_of(w[6]);
+  s->epoch = static_cast<std::uint32_t>(w[7] >> 32);
+  s->flags = static_cast<std::uint32_t>(w[7] & 0xFFFF'FFFFULL);
+}
+
+}  // namespace
+
+std::uint64_t TimebasePage::checksum(const std::uint64_t* w) {
+  std::uint64_t h = 0xCBF2'9CE4'8422'2325ULL;
+  for (std::size_t i = 0; i < kPayloadWords; ++i) {
+    std::uint64_t v = w[i];
+    for (int b = 0; b < 8; ++b) {
+      h ^= v & 0xFF;
+      h *= 0x0000'0100'0000'01B3ULL;
+      v >>= 8;
+    }
+  }
+  return h;
+}
+
+void TimebasePage::publish(const TimebaseSnapshot& s) {
+  std::uint64_t w[kWords];
+  pack(s, w);
+  w[kPayloadWords] = checksum(w);
+
+  const std::uint32_t s0 = seq_.load(std::memory_order_relaxed);
+  seq_.store(s0 + 1, std::memory_order_relaxed);  // odd: write in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < kWords; ++i)
+    words_[i].store(w[i], std::memory_order_relaxed);
+  seq_.store(s0 + 2, std::memory_order_release);  // even: stable
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TimebasePage::RawWords TimebasePage::read_raw() const {
+  RawWords out;
+  for (;;) {
+    const std::uint32_t s1 = seq_.load(std::memory_order_acquire);
+    if (s1 & 1u) continue;  // writer mid-publish
+    for (std::size_t i = 0; i < kWords; ++i)
+      out.words[i] = words_[i].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint32_t s2 = seq_.load(std::memory_order_relaxed);
+    if (s1 == s2) {
+      out.seq = s1;
+      return out;
+    }
+  }
+}
+
+bool TimebasePage::snapshot(TimebaseSnapshot* out) const {
+  const RawWords raw = read_raw();
+  if (raw.seq == 0) return false;  // never published
+  unpack(raw.words.data(), out);
+  return true;
+}
+
+void TimebasePage::advance(std::int64_t units, double frac, double delta,
+                           std::int64_t* out_units, double* out_frac) {
+  // `frac + delta` stays small (a poll period's worth of units at most, a
+  // few 1e7), so the double arithmetic here has sub-nanosecond resolution
+  // regardless of how large `units` is.
+  const double total = frac + delta;
+  const double whole = std::floor(total);
+  *out_units = units + static_cast<std::int64_t>(whole);
+  *out_frac = total - whole;
+}
+
+TimebaseSample TimebasePage::read(std::int64_t tsc_now) const {
+  TimebaseSample sample;
+  TimebaseSnapshot s;
+  if (!snapshot(&s)) return sample;  // valid = false
+  sample.valid = (s.flags & kFlagValid) != 0;
+  sample.epoch = s.epoch;
+
+  const auto age = static_cast<double>(tsc_now - s.anchor_tsc);
+  advance(s.anchor_units, s.anchor_frac, age * s.units_per_tsc,
+          &sample.units, &sample.frac);
+  sample.uncertainty_units =
+      s.unc_base_units + (age > 0 ? age * s.unc_per_tsc : 0.0);
+  sample.stale = s.stale_after_tsc > 0 && tsc_now > s.stale_after_tsc;
+  return sample;
+}
+
+}  // namespace dtpsim::dtp

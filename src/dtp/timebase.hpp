@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file timebase.hpp
+/// The per-host timebase page — time-as-a-service (DESIGN.md §16).
+///
+/// The paper's §5.1 daemon answers get_DTP_counter() one caller at a time.
+/// Real hosts serve *thousands* of readers, so production clocks (RADclock,
+/// the Linux vDSO gettimeofday page) publish a small versioned snapshot —
+/// (anchor counter, anchor TSC, rate, uncertainty, staleness deadline) —
+/// that applications read lock-free at memory speed and extrapolate
+/// themselves. `TimebasePage` is that page: a single-writer seqlock whose
+/// payload is a fixed set of atomic words, so concurrent publish/read is
+/// data-race-free (TSan-clean) and a reader can never observe a torn
+/// snapshot.
+///
+/// Memory ordering follows the standard seqlock recipe (Boehm, "Can
+/// seqlocks get along with programming language memory models?"):
+///
+///   writer: seq <- odd (relaxed); release fence; payload stores (relaxed);
+///           seq <- even (release)
+///   reader: s1 <- seq (acquire); payload loads (relaxed); acquire fence;
+///           s2 <- seq (relaxed); retry unless s1 == s2 and even
+///
+/// The page also carries an FNV-1a checksum over the payload words. The
+/// seqlock alone already forbids tearing; the checksum is an independent
+/// witness the tests (and the sentinel) can verify without trusting the
+/// protocol they are trying to falsify.
+///
+/// Counter values are kept as an integer unit count plus a fractional
+/// remainder in [0, 1). A single double loses tick precision once the
+/// counter passes 2^53 (a few hours at 10G rates — the same horizon class
+/// PR 6 swept for fs_t); the split representation keeps the integer part
+/// exact for the full 64-bit range.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace dtpsim::dtp {
+
+/// Publisher-side snapshot: everything a reader needs to extrapolate the
+/// counter and judge the result.
+struct TimebaseSnapshot {
+  std::int64_t anchor_units = 0;    ///< integer counter units at the anchor
+  double anchor_frac = 0.0;         ///< fractional remainder in [0, 1)
+  std::int64_t anchor_tsc = 0;      ///< TSC count the anchor is pinned to
+  double units_per_tsc = 0.0;       ///< calibrated counter rate vs the TSC
+  double unc_base_units = 0.0;      ///< uncertainty at zero anchor age
+  double unc_per_tsc = 0.0;         ///< uncertainty growth per TSC count of age
+  std::int64_t stale_after_tsc = 0; ///< absolute TSC staleness deadline (0 = unset)
+  std::uint32_t epoch = 0;          ///< bumped each daemon (re)start
+  std::uint32_t flags = 0;          ///< TimebasePage::kFlagValid
+};
+
+/// Reader-side result of one lock-free page read at a given TSC instant.
+struct TimebaseSample {
+  std::int64_t units = 0;         ///< integer counter units (exact)
+  double frac = 0.0;              ///< fractional remainder in [0, 1)
+  double uncertainty_units = 0.0; ///< half-width error bound, counter units
+  std::uint32_t epoch = 0;
+  bool valid = false;             ///< page ever published by a calibrated daemon
+  bool stale = false;             ///< anchor older than the staleness deadline
+
+  /// Convenience double view. Quantizes past 2^53 units — long-horizon
+  /// consumers must difference `units`/`frac` instead.
+  double value() const { return static_cast<double>(units) + frac; }
+};
+
+/// Single-writer, many-reader seqlock page.
+class TimebasePage {
+ public:
+  static constexpr std::uint32_t kFlagValid = 1u;
+
+  /// Payload words 0..7 plus checksum word 8.
+  static constexpr std::size_t kPayloadWords = 8;
+  static constexpr std::size_t kWords = kPayloadWords + 1;
+
+  /// Raw seqlock-consistent read: the words exactly as published, plus the
+  /// sequence number they were read under. Tests verify
+  /// `checksum(raw.words.data()) == raw.words[kPayloadWords]` to prove
+  /// torn reads are impossible.
+  struct RawWords {
+    std::array<std::uint64_t, kWords> words{};
+    std::uint32_t seq = 0;
+  };
+
+  TimebasePage() = default;
+  TimebasePage(const TimebasePage&) = delete;
+  TimebasePage& operator=(const TimebasePage&) = delete;
+
+  /// Publish a new snapshot. Single writer only (the owning daemon).
+  void publish(const TimebaseSnapshot& s);
+
+  /// Lock-free consistent read of the last published snapshot. Returns
+  /// false if nothing has been published yet.
+  bool snapshot(TimebaseSnapshot* out) const;
+
+  /// Lock-free read + extrapolation to `tsc_now`. The integer unit count is
+  /// exact for the full 64-bit range; only the fraction lives in a double.
+  TimebaseSample read(std::int64_t tsc_now) const;
+
+  /// Raw consistent read for torn-read auditing.
+  RawWords read_raw() const;
+
+  std::uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+  /// FNV-1a over the first kPayloadWords words.
+  static std::uint64_t checksum(const std::uint64_t* w);
+
+  /// Split-precision extrapolation: (units, frac) advanced by `delta` units
+  /// (any sign, fractional). The integer part never round-trips through a
+  /// double, so precision is independent of counter magnitude.
+  static void advance(std::int64_t units, double frac, double delta,
+                      std::int64_t* out_units, double* out_frac);
+
+ private:
+  std::atomic<std::uint32_t> seq_{0};
+  std::array<std::atomic<std::uint64_t>, kWords> words_{};
+  std::atomic<std::uint64_t> publishes_{0};
+};
+
+}  // namespace dtpsim::dtp

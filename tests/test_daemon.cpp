@@ -170,5 +170,118 @@ TEST(ExternalSync, ServerUtcErrorPropagates) {
   EXPECT_LT(tail.max_abs(), 5'000.0);
 }
 
+// ---------------------------------------------------------------------------
+// Clock-reading bugfix regressions (PR 10)
+// ---------------------------------------------------------------------------
+
+TEST(Daemon, RttFilterRelearnsAfterLatencyRegimeChange) {
+  // Regression: best_rtt_ used to ratchet down forever, so any *permanent*
+  // increase in PCIe latency (firmware update, bus renegotiation) made every
+  // subsequent poll look like an outlier and the clock never re-anchored.
+  // With a windowed minimum the filter must re-learn the new floor after
+  // rtt_window_polls polls and resume accepting.
+  TwoNodes n(201, 50.0, -50.0);
+  DaemonParams dp;
+  dp.poll_period = from_ms(1);
+  dp.sample_period = 0;
+  dp.rtt_window_polls = 16;
+  Daemon d(n.sim, *n.agent_a, dp, 10.0);
+  d.start();
+  n.sim.run_until(50_ms);
+  ASSERT_TRUE(d.calibrated());
+  ASSERT_FALSE(d.stale(n.sim.now()));
+
+  // A step change, not a storm: +600 ns on every MMIO leg, forever.
+  d.set_pcie_stress(from_ns(600), 0.0, 0);
+  n.sim.run_until(n.sim.now() + 100_ms);
+
+  // The window has long since cycled: polls are being accepted again under
+  // the new latency floor, and accuracy is back (the extra latency is
+  // symmetric across the request/response legs, so the midpoint is honest).
+  const fs_t now = n.sim.now();
+  EXPECT_FALSE(d.stale(now)) << "filter never re-learned the new RTT floor";
+  EXPECT_LE(d.anchor_age(now), 3 * dp.poll_period)
+      << "polls are still being rejected against the stale pre-change floor";
+  EXPECT_LT(d.current_error_ticks(now), 120.0);
+}
+
+TEST(Daemon, AnchorGoesStaleWithoutAcceptedPolls) {
+  // Regression: get_dtp_counter() used to extrapolate from the last anchor
+  // without bound — a daemon whose polls all failed would serve confidently
+  // wrong time forever. The anchor-age cap must flag the clock (and its
+  // page) stale while still serving, and a restart must bump the epoch.
+  TwoNodes n(202, 50.0, -50.0);
+  DaemonParams dp;
+  dp.poll_period = from_ms(1);
+  dp.sample_period = 0;
+  dp.max_anchor_age = from_ms(4);
+  Daemon d(n.sim, *n.agent_a, dp, 10.0);
+
+  // Before any poll there is no anchor at all.
+  EXPECT_EQ(d.anchor_age(n.sim.now()), -1);
+  EXPECT_TRUE(d.stale(n.sim.now()));
+
+  d.start();
+  n.sim.run_until(20_ms);
+  ASSERT_TRUE(d.calibrated());
+  EXPECT_FALSE(d.stale(n.sim.now()));
+  const TimebaseSample fresh = d.timebase_sample(n.sim.now());
+  ASSERT_TRUE(fresh.valid);
+  EXPECT_FALSE(fresh.stale);
+
+  // Stop polling entirely; the anchor ages past the cap.
+  d.stop();
+  n.sim.run_until(n.sim.now() + 20_ms);
+  const fs_t now = n.sim.now();
+  EXPECT_GT(d.anchor_age(now), dp.max_anchor_age);
+  EXPECT_TRUE(d.stale(now));
+  EXPECT_NO_THROW(d.get_dtp_counter(now)) << "a stale clock still serves";
+  const TimebaseSample old = d.timebase_sample(now);
+  EXPECT_TRUE(old.valid);
+  EXPECT_TRUE(old.stale) << "staleness must reach page readers";
+  EXPECT_GT(old.uncertainty_units, fresh.uncertainty_units)
+      << "the claimed bound must grow while coasting";
+
+  // Restart: fresh polls clear the flag and the epoch moves so readers can
+  // tell a recovery from a continuously serving daemon.
+  d.start();
+  n.sim.run_until(n.sim.now() + 10_ms);
+  const TimebaseSample back = d.timebase_sample(n.sim.now());
+  EXPECT_FALSE(d.stale(n.sim.now()));
+  EXPECT_FALSE(back.stale);
+  EXPECT_EQ(back.epoch, fresh.epoch + 1);
+}
+
+TEST(Daemon, SplitCounterKeepsTickPrecisionPastDoubleCliff) {
+  // Regression: the double returned by get_dtp_counter() quantizes to
+  // 256-unit steps once the network counter passes 2^60 (a few months of
+  // uptime at 156.25 MHz). The split API must keep integer-unit accuracy.
+  TwoNodes n(203, 50.0, -50.0);
+  n.sim.run_until(2_ms);
+  n.agent_a->force_global(n.sim.now(), WideCounter(std::uint64_t{1} << 60));
+  n.agent_a->port_logic(0).send_join();
+  n.sim.run_until(4_ms);
+
+  DaemonParams dp;
+  dp.poll_period = from_ms(1);
+  dp.sample_period = 0;
+  Daemon d(n.sim, *n.agent_a, dp, 10.0);
+  d.start();
+  n.sim.run_until(200_ms);
+  ASSERT_TRUE(d.calibrated());
+
+  const fs_t now = n.sim.now();
+  const CounterReading r = d.get_dtp_counter_split(now);
+  EXPECT_GT(r.units, std::int64_t{1} << 60);
+  EXPECT_GE(r.frac, 0.0);
+  EXPECT_LT(r.frac, 1.0);
+  // Exact integer differencing against the hardware counter: still within
+  // the normal poll-boundary envelope, far below the 256-unit double ulp.
+  EXPECT_LT(d.current_error_ticks(now), 120.0);
+  // And the double view is indeed the lossy one at this magnitude.
+  const double dbl = d.get_dtp_counter(now);
+  EXPECT_EQ(dbl, dbl + 1.0) << "double view must be quantized here";
+}
+
 }  // namespace
 }  // namespace dtpsim::dtp

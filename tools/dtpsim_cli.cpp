@@ -5,6 +5,7 @@
 ///          [--protocol=dtp|dtp-master|ptp|ntp] [--seconds=S] [--seed=N]
 ///          [--load=idle|heavy] [--beacon=TICKS] [--rate=1g|10g|40g|100g]
 ///          [--drift] [--ber=P]
+///          [--app=owd|lww|tdma] [--readers=N]
 ///          [--chaos=flap|storm|crash|ber|rogue|source|gray|canonical]
 ///          [--holdover-ceiling=DUR] [--wd-check-period=DUR] [--wd-backoff=DUR]
 ///          [--threads=N] [--stress=N] [--repro=FILE] [--json-out=PATH]
@@ -31,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/harness.hpp"
 #include "chaos/campaign.hpp"
 #include "chaos/engine.hpp"
 #include "check/sentinel.hpp"
@@ -71,6 +73,15 @@ constexpr const char* kUsage =
     "  --rate=1g|10g|40g|100g  link rate (default 10g)\n"
     "  --drift              enable oscillator drift random walk\n"
     "  --ber=P              uniform cable bit-error rate (default 0)\n"
+    "  --app=owd|lww|tdma   time-as-a-service demo: one daemon + lock-free\n"
+    "                       timebase page per host, a reader fleet, and the\n"
+    "                       chosen page-consuming workload (one-way-delay\n"
+    "                       pairs, last-writer-wins versioning ring, TDMA slot\n"
+    "                       schedule), with the sentinel's never-understate-\n"
+    "                       uncertainty monitor armed on every page; needs an\n"
+    "                       acyclic topology (tree|star|chain)\n"
+    "  --readers=N          lock-free page readers per host in an --app run\n"
+    "                       (default 4)\n"
     "  --chaos=flap|storm|crash|ber|rogue|source|gray|canonical  fault-injection\n"
     "                       demo; 'source' runs the multi-source time-hierarchy\n"
     "                       campaign (GPS loss, rogue grandmaster, island\n"
@@ -109,11 +120,14 @@ struct Options {
   std::string protocol = "dtp";
   std::string load = "idle";
   std::string chaos;  ///< empty = normal experiment
+  std::string app;    ///< empty = no app-workload demo
+  long long readers = -1;  ///< --app page readers per host; -1 = default (4)
   std::size_t nodes = 8;
   std::size_t hops = 4;
   double seconds = 0.5;
   std::uint64_t seed = 1;
   std::int64_t beacon = 200;
+  bool beacon_set = false;  ///< --app keeps the campaign default unless asked
   std::string rate = "10g";
   bool drift = false;
   double ber = 0.0;
@@ -233,10 +247,10 @@ Options parse(int argc, char** argv) {
     const bool has_value = eq != std::string::npos;
 
     if (!one_of(key, {"help", "drift", "topology", "protocol", "load", "chaos",
-                      "nodes", "hops", "seconds", "seed", "beacon", "rate", "ber",
-                      "threads", "engine", "stress", "repro", "json-out", "trace",
-                      "metrics", "metrics-interval", "holdover-ceiling",
-                      "wd-check-period", "wd-backoff"}))
+                      "app", "readers", "nodes", "hops", "seconds", "seed",
+                      "beacon", "rate", "ber", "threads", "engine", "stress",
+                      "repro", "json-out", "trace", "metrics", "metrics-interval",
+                      "holdover-ceiling", "wd-check-period", "wd-backoff"}))
       throw UsageError("unknown flag '--" + key + "'");
     if (key == "help") continue;  // handled in main() before parsing
     if (key == "drift") {
@@ -273,6 +287,14 @@ Options parse(int argc, char** argv) {
             "--chaos must be flap|storm|crash|ber|rogue|source|gray|canonical, "
             "got '" + value + "'");
       o.chaos = value;
+    } else if (key == "app") {
+      if (!one_of(value, {"owd", "lww", "tdma"}))
+        throw UsageError("--app must be owd|lww|tdma, got '" + value + "'");
+      o.app = value;
+    } else if (key == "readers") {
+      const long long n = parse_int(key, value);
+      if (n < 0 || n > 4096) throw UsageError("--readers must be in [0, 4096]");
+      o.readers = n;
     } else if (key == "nodes") {
       const long long n = parse_int(key, value);
       if (n < 2) throw UsageError("--nodes must be >= 2");
@@ -289,6 +311,7 @@ Options parse(int argc, char** argv) {
     } else if (key == "beacon") {
       o.beacon = parse_int(key, value);
       if (o.beacon < 8) throw UsageError("--beacon must be >= 8 ticks");
+      o.beacon_set = true;
     } else if (key == "rate") {
       if (!one_of(value, {"1g", "10g", "40g", "100g"}))
         throw UsageError("--rate must be 1g|10g|40g|100g, got '" + value + "'");
@@ -328,6 +351,20 @@ Options parse(int argc, char** argv) {
   }
   if (!o.chaos.empty() && o.protocol != "dtp")
     throw UsageError("--chaos drives the DTP protocol; drop --protocol=" + o.protocol);
+  if (o.readers >= 0 && o.app.empty())
+    throw UsageError("--readers only applies to --app runs");
+  if (!o.app.empty()) {
+    if (o.protocol != "dtp")
+      throw UsageError("--app workloads read the DTP daemon's page; drop --protocol=" +
+                       o.protocol);
+    if (!o.chaos.empty() || o.stress > 0 || !o.repro.empty())
+      throw UsageError("--app does not combine with --chaos/--stress/--repro");
+    if (o.topology == "fattree")
+      throw UsageError(
+          "--app workloads need an acyclic topology (tree|star|chain): the "
+          "fat-tree's learn-and-flood switches duplicate unicast app frames "
+          "across its multipaths");
+  }
   if (o.stress > 0 && !o.repro.empty())
     throw UsageError("--stress and --repro are mutually exclusive");
   if (!o.json_out.empty() && o.stress == 0 && o.repro.empty())
@@ -383,6 +420,44 @@ void engage_threads(sim::Simulator& sim, unsigned threads) {
                 static_cast<int>(sim.shard_count()), to_ns_f(sim.lookahead()));
   else
     std::printf("parallel: topology does not shard; running serial\n");
+}
+
+/// The realized --topology, reduced to what the runners need: the host
+/// list, a root for master-tree mode, and the hop diameter for the 4TD bound.
+struct BuiltTopology {
+  std::vector<net::Host*> hosts;
+  net::Device* root = nullptr;
+  std::size_t diameter = 2;
+};
+
+BuiltTopology build_topology(net::Network& net, const Options& o) {
+  BuiltTopology t;
+  if (o.topology == "star") {
+    auto star = net::build_star(net, o.nodes);
+    t.hosts = star.hosts;
+    t.root = star.hub;
+    t.diameter = 2;
+  } else if (o.topology == "chain") {
+    auto chain = net::build_chain(net, o.hops > 0 ? o.hops - 1 : 0);
+    t.hosts = {chain.left, chain.right};
+    t.root = chain.left;
+    t.diameter = o.hops;
+  } else if (o.topology == "fattree") {
+    net::FatTreeParams fp;
+    fp.k = o.ft_k;
+    fp.hosts_per_edge = o.ft_hosts_per_edge;
+    fp.pods = o.ft_pods;
+    auto ft = net::build_fat_tree(net, fp);
+    t.hosts = ft.hosts;
+    t.root = ft.core[0];
+    t.diameter = static_cast<std::size_t>(ft.diameter_hops);
+  } else {  // tree (the paper's Fig. 5)
+    auto tree = net::build_paper_tree(net);
+    t.hosts = tree.leaves;
+    t.root = tree.root;
+    t.diameter = 4;
+  }
+  return t;
 }
 
 /// --chaos=source: the canonical source-level campaign (DESIGN.md §13).
@@ -709,10 +784,135 @@ int run_repro(const Options& o) {
   return r.clean() ? 0 : 1;
 }
 
+/// --app=owd|lww|tdma: the time-as-a-service demo (DESIGN.md §16). One
+/// daemon + timebase page per host, a lock-free reader fleet, and the chosen
+/// page-consuming workload, with the sentinel's honesty monitor armed on
+/// every page. PASS requires zero app correctness failures and zero
+/// understated-uncertainty violations outside the cold-start blackout.
+int run_app(const Options& o) {
+  sim::Simulator sim(o.seed);
+  if (o.bridged) sim.set_engine(sim::Simulator::EngineMode::kBridged);
+  // Serving apps under saturating load needs the campaign-hardened network
+  // and DTP parameters (MAC data holdoff, 800-tick beacons): the page is
+  // only as honest as the sync underneath it. --drift is already part of
+  // the campaign baseline.
+  net::NetworkParams np = chaos::CanonicalCampaign::net_params();
+  np.rate = parse_rate(o.rate);
+  np.cable.ber = o.ber;
+  // Apps stamp priority-7 frames; the MAC needs its full strict-priority
+  // queue set so bulk load cannot starve them.
+  np.mac.priority_queues = 8;
+  net::Network net(sim, np);
+  const BuiltTopology topo = build_topology(net, o);
+  const std::vector<net::Host*>& hosts = topo.hosts;
+  const std::size_t n = hosts.size();
+
+  // Keep the campaign's counter_delta = 1 (one unit = one tick at the link
+  // rate): every app parameter — slot and guard lengths, the 4TD network
+  // bound — is denominated in those units.
+  dtp::DtpParams dp = chaos::CanonicalCampaign::dtp_params();
+  if (o.beacon_set) dp.beacon_interval_ticks = o.beacon;
+  dtp::DtpNetwork dtp = dtp::enable_dtp(net, dp);
+
+  apps::AppHarnessParams hp;
+  hp.daemon.poll_period = from_ms(1);
+  hp.daemon.sample_period = 0;
+  hp.daemon.max_anchor_age = from_us(2500);
+  hp.readers_per_host = o.readers >= 0 ? static_cast<std::size_t>(o.readers) : 4;
+  hp.reader_period = from_us(50);
+  if (o.app == "owd") {
+    // Cross-fabric pairs: each probe crosses the topology's full diameter.
+    for (std::size_t i = 0; i < n / 2; ++i) hp.owd_pairs.emplace_back(i, i + n / 2);
+  } else if (o.app == "lww") {
+    for (std::size_t i = 0; i < n; ++i) hp.lww_ring.push_back(i);
+  } else {  // tdma: even host indices send; odd ones are free for bulk load
+    for (std::size_t i = 0; i < n; i += 2) hp.tdma_senders.push_back(i);
+    if (hp.tdma_senders.size() < 2)
+      throw UsageError("--app=tdma needs a topology with >= 3 hosts");
+  }
+
+  // Heavy load saturates with MTU bulk, but never *from* a TDMA sender: a
+  // 1500 B frame already on the wire would hold the slot frame past its
+  // guard band no matter how good the clock is.
+  if (o.load == "heavy") {
+    std::vector<net::Host*> bulk;
+    if (o.app == "tdma") {
+      for (std::size_t i = 1; i < n; i += 2) bulk.push_back(hosts[i]);
+    } else {
+      bulk = hosts;
+    }
+    if (bulk.size() >= 2) {
+      net::TrafficParams tp;
+      tp.saturate = true;
+      for (std::size_t i = 0; i < bulk.size(); ++i)
+        net.add_traffic(*bulk[i], bulk[(i + 1) % bulk.size()]->addr(), tp).start();
+      std::printf("load: saturating MTU traffic on %zu host(s)\n", bulk.size());
+    } else {
+      std::printf("load: skipped (too few non-sender hosts for bulk traffic)\n");
+    }
+  }
+
+  apps::AppHarness harness(sim, dtp, hosts, hp);
+  check::Sentinel sentinel(net, dtp);
+  for (std::size_t i = 0; i < harness.size(); ++i)
+    sentinel.watch_timebase(&harness.daemon(i));
+  // Cold start is blacked out like a campaign fault window: the first page
+  // is published off a 2-poll rate estimate while the fabric may still be
+  // max-adopting counters. The honesty gate judges steady-state serving.
+  const fs_t settle = from_ms(4);
+  sentinel.add_blackout(0, settle);
+
+  const fs_t duration = static_cast<fs_t>(o.seconds * static_cast<double>(kFsPerSec));
+  const fs_t until = settle + duration;
+  std::unique_ptr<obs::Session> session;
+  if (obs_requested(o)) {
+    session = std::make_unique<obs::Session>(net, &dtp, obs_config(o));
+    session->start(until);
+  }
+
+  std::printf("app=%s topology=%s hosts=%zu readers/host=%zu seed=%llu\n",
+              o.app.c_str(), o.topology.c_str(), n, hp.readers_per_host,
+              static_cast<unsigned long long>(o.seed));
+  harness.start_daemons();
+  harness.start_apps(from_ms(3));
+  engage_threads(sim, o.threads);
+  sim.run_until(until);
+  finish_obs(session.get(), o);
+
+  bool ok = true;
+  for (const auto& v : harness.verdicts()) {
+    std::printf("app %s: ops=%llu failures=%llu detected=%llu worst=%.1f ns (%s)\n",
+                v.app.c_str(), static_cast<unsigned long long>(v.ops),
+                static_cast<unsigned long long>(v.failures),
+                static_cast<unsigned long long>(v.detected), v.worst_error_ns,
+                v.detail.c_str());
+    ok &= v.failures == 0 && v.ops > 0;
+  }
+  if (apps::ReaderFleet* fleet = harness.readers()) {
+    std::printf("readers: %zu lock-free, %llu reads (%llu stale), digest=%s\n",
+                fleet->size(), static_cast<unsigned long long>(fleet->total_reads()),
+                static_cast<unsigned long long>(fleet->total_stale_reads()),
+                fleet->digest().hex().c_str());
+    ok &= fleet->total_reads() > 0;
+  }
+  std::uint64_t timebase_violations = 0;
+  for (const auto& v : sentinel.violations()) {
+    if (v.kind == check::InvariantKind::kTimebaseUncertainty) ++timebase_violations;
+    std::printf("  !! %s\n", v.to_string().c_str());
+  }
+  std::printf("sentinel: %llu page checks, %llu understated-uncertainty violation(s)\n",
+              static_cast<unsigned long long>(sentinel.stats().timebase_checks),
+              static_cast<unsigned long long>(timebase_violations));
+  ok &= sentinel.stats().timebase_checks > 0 && timebase_violations == 0;
+  std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 int run(const Options& o) {
   if (o.stress > 0) return run_stress(o);
   if (!o.repro.empty()) return run_repro(o);
   if (!o.chaos.empty()) return run_chaos(o);
+  if (!o.app.empty()) return run_app(o);
 
   sim::Simulator sim(o.seed);
   if (o.bridged) sim.set_engine(sim::Simulator::EngineMode::kBridged);
@@ -727,34 +927,10 @@ int run(const Options& o) {
   net::Network net(sim, np);
 
   // ---- Topology --------------------------------------------------------
-  std::vector<net::Host*> hosts;
-  net::Device* tree_root = nullptr;
-  std::size_t diameter = 2;
-  if (o.topology == "star") {
-    auto star = net::build_star(net, o.nodes);
-    hosts = star.hosts;
-    tree_root = star.hub;
-    diameter = 2;
-  } else if (o.topology == "chain") {
-    auto chain = net::build_chain(net, o.hops > 0 ? o.hops - 1 : 0);
-    hosts = {chain.left, chain.right};
-    tree_root = chain.left;
-    diameter = o.hops;
-  } else if (o.topology == "fattree") {
-    net::FatTreeParams fp;
-    fp.k = o.ft_k;
-    fp.hosts_per_edge = o.ft_hosts_per_edge;
-    fp.pods = o.ft_pods;
-    auto ft = net::build_fat_tree(net, fp);
-    hosts = ft.hosts;
-    tree_root = ft.core[0];
-    diameter = static_cast<std::size_t>(ft.diameter_hops);
-  } else {  // tree (the paper's Fig. 5)
-    auto tree = net::build_paper_tree(net);
-    hosts = tree.leaves;
-    tree_root = tree.root;
-    diameter = 4;
-  }
+  const BuiltTopology topo = build_topology(net, o);
+  const std::vector<net::Host*>& hosts = topo.hosts;
+  net::Device* tree_root = topo.root;
+  const std::size_t diameter = topo.diameter;
   std::printf("topology=%s devices=%zu hosts=%zu diameter=%zu hops rate=%s\n",
               o.topology.c_str(), net.devices().size(), hosts.size(), diameter,
               o.rate.c_str());
